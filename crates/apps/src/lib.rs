@@ -1,0 +1,21 @@
+//! # zerosum-apps
+//!
+//! Workload proxies for ZeroSum-rs:
+//!
+//! * [`miniqmc`] — the MPI+OpenMP (and GPU-offload) proxy standing in for
+//!   the ECP miniQMC application of the paper's evaluation (Tables 1–3,
+//!   Listing 2, Figure 8).
+//! * [`pic`] — the gyrokinetic particle-in-cell communication proxy
+//!   behind the Figure 5 heatmap.
+//! * [`synthetic`] — a freeform workload builder for examples and
+//!   failure-injection tests (deadlocks, hogs, pollers).
+
+#![warn(missing_docs)]
+
+pub mod miniqmc;
+pub mod pic;
+pub mod synthetic;
+
+pub use miniqmc::{launch as launch_miniqmc, MiniQmcConfig, MiniQmcJob, QmcOffload};
+pub use pic::{run as run_pic, PicConfig};
+pub use synthetic::{spawn as spawn_synthetic, Role, SyntheticProcess};

@@ -1,0 +1,130 @@
+//! Gyrokinetic particle-in-cell proxy (Figure 5's workload).
+//!
+//! Figure 5 of the paper shows the MPI point-to-point heatmap of a
+//! gyrokinetic PIC code [Hager et al.] at 512 ranks on Frontier: a
+//! strong nearest-neighbour band along the central diagonal with peak
+//! pair traffic around 1.75×10¹⁰ bytes. This proxy reproduces that
+//! footprint: per-step field halo exchange along the 1-D domain
+//! decomposition, plus light collective and background traffic.
+
+use zerosum_mpi::{collective, patterns, CommMatrix, CommWorld};
+
+/// PIC proxy configuration.
+#[derive(Debug, Clone)]
+pub struct PicConfig {
+    /// MPI ranks.
+    pub ranks: usize,
+    /// Simulation steps.
+    pub steps: usize,
+    /// Halo bytes per neighbour per step.
+    pub halo_bytes: u64,
+    /// Halo width (neighbour distance).
+    pub halo_width: usize,
+    /// Diagnostic reduce every this many steps (0 = never).
+    pub reduce_every: usize,
+    /// Background random messages per step.
+    pub background_per_step: usize,
+    /// Background message size, bytes.
+    pub background_bytes: u64,
+    /// RNG seed for the background traffic.
+    pub seed: u64,
+}
+
+impl PicConfig {
+    /// The Figure 5 scenario: 512 ranks; peak pair traffic calibrated to
+    /// ≈1.75×10¹⁰ bytes over the run.
+    pub fn figure5() -> Self {
+        PicConfig {
+            ranks: 512,
+            steps: 1_000,
+            halo_bytes: 17_500_000, // 1000 × 17.5 MB = 1.75e10 per pair
+            halo_width: 2,
+            reduce_every: 10,
+            background_per_step: 16,
+            background_bytes: 64 * 1024,
+            seed: 0xF16_5,
+        }
+    }
+
+    /// A scaled-down variant for tests.
+    pub fn small() -> Self {
+        PicConfig {
+            ranks: 32,
+            steps: 20,
+            halo_bytes: 1_000_000,
+            halo_width: 1,
+            reduce_every: 5,
+            background_per_step: 4,
+            background_bytes: 1024,
+            seed: 7,
+        }
+    }
+}
+
+/// Runs the communication proxy and returns the accumulated traffic
+/// matrix — the data ZeroSum's wrapped p2p calls would have recorded.
+pub fn run(cfg: &PicConfig) -> CommMatrix {
+    let world = CommWorld::new(cfg.ranks);
+    for step in 0..cfg.steps {
+        patterns::halo_1d(&world, cfg.halo_width, cfg.halo_bytes);
+        if cfg.background_per_step > 0 {
+            patterns::random_pairs(
+                &world,
+                cfg.background_per_step,
+                cfg.background_bytes,
+                cfg.seed.wrapping_add(step as u64),
+            );
+        }
+        if cfg.reduce_every > 0 && step % cfg.reduce_every == 0 {
+            // Diagnostics reduce to rank 0 (binomial tree).
+            collective::reduce_binomial(&world, 0, 8 * 1024);
+        }
+    }
+    world.matrix()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_is_diagonal_dominant() {
+        let m = run(&PicConfig::small());
+        assert!(m.diagonal_fraction(1) > 0.95, "{}", m.diagonal_fraction(1));
+        assert_eq!(m.size(), 32);
+    }
+
+    #[test]
+    fn figure5_peak_traffic_calibration() {
+        let mut cfg = PicConfig::figure5();
+        // Shrink for test speed but keep the per-step byte calibration.
+        cfg.ranks = 64;
+        cfg.steps = 100;
+        let m = run(&cfg);
+        // Nearest-neighbour pair over 100 steps: 100 × 17.5 MB, plus at
+        // most a sliver of random background traffic.
+        let nn = m.bytes(10, 11);
+        assert!((nn - 100 * 17_500_000) < 10_000_000, "nn = {nn}");
+        // Second-neighbour traffic at half weight.
+        let nn2 = m.bytes(10, 12);
+        assert!((nn2 - 100 * 8_750_000) < 10_000_000, "nn2 = {nn2}");
+        let frac = m.diagonal_fraction(2);
+        assert!(frac > 0.99, "diagonal fraction {frac}");
+    }
+
+    #[test]
+    fn reduce_traffic_present_but_minor() {
+        let m = run(&PicConfig::small());
+        // Rank 0 receives reduce traffic from the tree.
+        let into_zero: u64 = (1..32).map(|s| m.bytes(s, 0)).sum();
+        assert!(into_zero > 0);
+        assert!((into_zero as f64) < 0.05 * m.total_bytes() as f64);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(&PicConfig::small());
+        let b = run(&PicConfig::small());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,131 @@
+//! Ablations of the design choices called out in DESIGN.md §4:
+//!
+//! 1. **Sampling period** — the paper fixes 1 Hz; sweep the period and
+//!    measure how the end-to-end harness cost and the monitor's simulated
+//!    footprint change.
+//! 2. **Monitor placement** — last HWT (paper default) vs first HWT vs
+//!    unbound.
+//! 3. **Barrier spin budget** — the KMP_BLOCKTIME-style knob behind the
+//!    Table 1 vs Table 2 context-switch contrast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use zerosum_core::{
+    attach_monitor_threads, run_monitored, Monitor, MonitorPlacement, ProcessInfo, ZeroSumConfig,
+};
+use zerosum_sched::{Behavior, NodeSim, SchedParams, WorkerSpec};
+use zerosum_topology::{presets, CpuSet};
+
+fn workload(sim: &mut NodeSim) -> u32 {
+    let mask = CpuSet::range(1, 7);
+    let pid = sim.spawn_process(
+        "app",
+        mask,
+        4_096,
+        Behavior::worker(WorkerSpec {
+            barrier: Some(1),
+            ..WorkerSpec::cpu_bound(10, 20_000)
+        }),
+    );
+    for _ in 1..7 {
+        sim.spawn_task(
+            pid,
+            "OpenMP",
+            None,
+            Behavior::worker(WorkerSpec {
+                barrier: Some(1),
+                ..WorkerSpec::cpu_bound(10, 20_000)
+            }),
+            false,
+        );
+    }
+    pid
+}
+
+fn monitored_run(config: ZeroSumConfig, spin_us: u64) -> f64 {
+    let mut sim = NodeSim::new(
+        presets::frontier(),
+        SchedParams {
+            barrier_spin_us: spin_us,
+            ..Default::default()
+        },
+    );
+    let pid = workload(&mut sim);
+    let mut mon = Monitor::new(config);
+    mon.watch_process(ProcessInfo {
+        pid,
+        rank: Some(0),
+        hostname: "n".into(),
+        gpus: vec![],
+        cpus_allowed: CpuSet::range(1, 7),
+    });
+    attach_monitor_threads(&mut sim, &mon);
+    run_monitored(&mut sim, &mut mon, None, 60_000_000).duration_s
+}
+
+fn ablate_period(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_period");
+    g.sample_size(10);
+    for period_ms in [50u64, 100, 250, 1000] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{period_ms}ms")),
+            &period_ms,
+            |b, &p| {
+                b.iter(|| {
+                    black_box(monitored_run(
+                        ZeroSumConfig::default().with_period_ms(p),
+                        200_000,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn ablate_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_monitor_placement");
+    g.sample_size(10);
+    for (name, placement) in [
+        ("last_hwt", MonitorPlacement::LastHwt),
+        ("first_hwt", MonitorPlacement::FirstHwt),
+        ("unbound", MonitorPlacement::Unbound),
+    ] {
+        let p = placement.clone();
+        g.bench_function(name, move |b| {
+            let p = p.clone();
+            b.iter(|| {
+                black_box(monitored_run(
+                    ZeroSumConfig::default()
+                        .with_period_ms(100)
+                        .with_placement(p.clone()),
+                    200_000,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_spin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_barrier_spin");
+    g.sample_size(10);
+    for spin_us in [0u64, 2_000, 200_000] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{spin_us}us")),
+            &spin_us,
+            |b, &s| {
+                b.iter(|| {
+                    black_box(monitored_run(
+                        ZeroSumConfig::default().with_period_ms(100),
+                        s.max(50),
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(ablations, ablate_period, ablate_placement, ablate_spin);
+criterion_main!(ablations);

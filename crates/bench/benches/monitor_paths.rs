@@ -1,0 +1,123 @@
+//! Micro-benchmarks of the monitoring hot paths: the per-sample work the
+//! paper budgets at <0.5% of runtime. These are the operations the
+//! ZeroSum thread performs every period — procfs parsing, cpuset
+//! handling, report generation — plus the analysis-side statistics.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use zerosum_proc::{format, parse, CpuTimes, SystemStat, TaskStat, TaskState};
+use zerosum_stats::{welch_t_test, Summary};
+use zerosum_topology::CpuSet;
+
+fn frontier_system_stat_text() -> String {
+    // A realistic 128-CPU /proc/stat like the monitor reads on Frontier.
+    let cpus: Vec<(u32, CpuTimes)> = (0..128)
+        .map(|i| {
+            (
+                i,
+                CpuTimes {
+                    user: 123_456 + i as u64 * 13,
+                    nice: 3,
+                    system: 23_456 + i as u64 * 7,
+                    idle: 999_999 - i as u64 * 11,
+                    iowait: 42,
+                    irq: 5,
+                    softirq: 17,
+                    steal: 0,
+                },
+            )
+        })
+        .collect();
+    let total = cpus
+        .iter()
+        .fold(CpuTimes::default(), |acc, (_, t)| acc.add(t));
+    format::format_system_stat(&SystemStat {
+        total,
+        cpus,
+        ctxt: 123_456_789,
+        processes: 54_321,
+    })
+}
+
+fn bench_parsers(c: &mut Criterion) {
+    let stat_text = frontier_system_stat_text();
+    c.bench_function("parse_system_stat_128cpu", |b| {
+        b.iter(|| black_box(parse::parse_system_stat(&stat_text).unwrap()))
+    });
+    let task_line = format::format_task_stat(&TaskStat {
+        tid: 51_384,
+        comm: "miniqmc".into(),
+        state: TaskState::Running,
+        minflt: 123_456,
+        majflt: 3,
+        utime: 640_000,
+        stime: 12_600,
+        nice: 0,
+        num_threads: 9,
+        processor: 3,
+        nswap: 0,
+    });
+    c.bench_function("parse_task_stat", |b| {
+        b.iter(|| black_box(parse::parse_task_stat(&task_line).unwrap()))
+    });
+    let status_text = "Name:\tminiqmc\nState:\tR (running)\nTgid:\t51334\nPid:\t51384\n\
+                       VmSize:\t 900000 kB\nVmHWM:\t 123456 kB\nVmRSS:\t 120000 kB\n\
+                       Cpus_allowed_list:\t1-7,9-15,17-23,25-31\n\
+                       voluntary_ctxt_switches:\t365742\nnonvoluntary_ctxt_switches:\t3\n";
+    c.bench_function("parse_task_status", |b| {
+        b.iter(|| black_box(parse::parse_task_status(status_text).unwrap()))
+    });
+}
+
+fn bench_cpuset(c: &mut Criterion) {
+    let list = "1-7,9-15,17-23,25-31,33-39,41-47,49-55,57-63,65-71,73-79,81-87,89-95,\
+                97-103,105-111,113-119,121-127";
+    c.bench_function("cpuset_parse_list_wide", |b| {
+        b.iter(|| black_box(CpuSet::parse_list(list).unwrap()))
+    });
+    let set = CpuSet::parse_list(list).unwrap();
+    c.bench_function("cpuset_to_list_string", |b| {
+        b.iter(|| black_box(set.to_list_string()))
+    });
+    let other = CpuSet::range(60, 90);
+    c.bench_function("cpuset_intersection", |b| {
+        b.iter(|| black_box(set.intersection(&other)))
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let a: Vec<f64> = (0..10).map(|i| 27.30 + i as f64 * 0.01).collect();
+    let b2: Vec<f64> = (0..10).map(|i| 27.35 + i as f64 * 0.012).collect();
+    c.bench_function("welch_t_test_10x10", |b| {
+        b.iter(|| black_box(welch_t_test(&a, &b2).unwrap()))
+    });
+    c.bench_function("summary_fold_1000", |b| {
+        b.iter_batched(
+            || (0..1000).map(|i| (i as f64).sin()).collect::<Vec<f64>>(),
+            |xs| black_box(Summary::from_slice(&xs)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_heatmap(c: &mut Criterion) {
+    use zerosum_mpi::{heatmap, patterns, CommWorld};
+    let world = CommWorld::new(512);
+    patterns::halo_1d(&world, 2, 17_500_000);
+    let m = world.matrix();
+    c.bench_function("heatmap_intensity_512_to_64", |b| {
+        b.iter(|| black_box(heatmap::intensity_grid(&m, 64)))
+    });
+    c.bench_function("halo_1d_512ranks_step", |b| {
+        b.iter(|| patterns::halo_1d(black_box(&world), 2, 17_500_000))
+    });
+}
+
+criterion_group!(
+    monitor_paths,
+    bench_parsers,
+    bench_cpuset,
+    bench_stats,
+    bench_heatmap
+);
+criterion_main!(monitor_paths);

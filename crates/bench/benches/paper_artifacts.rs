@@ -1,0 +1,84 @@
+//! One bench target per paper artifact: regenerating each listing,
+//! table, and figure at a reduced scale. The timings measure the cost of
+//! the *whole harness* (simulate + monitor + render), documenting what a
+//! full `run_all` sweep costs and guarding against regressions in the
+//! simulation engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use zerosum_apps::PicConfig;
+use zerosum_bench::{BENCH_SCALE, BENCH_SEED};
+use zerosum_experiments::figures::{fig5, fig67, fig8};
+use zerosum_experiments::listings::{listing1, listing2};
+use zerosum_experiments::tables::{run_table, TableConfig};
+
+fn bench_listing1(c: &mut Criterion) {
+    c.bench_function("listing1_render", |b| {
+        b.iter(|| black_box(listing1()))
+    });
+}
+
+fn bench_listing2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("listing2");
+    g.sample_size(10);
+    g.bench_function("listing2_report", |b| {
+        b.iter(|| black_box(listing2(BENCH_SCALE, BENCH_SEED)))
+    });
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1_default", |b| {
+        b.iter(|| black_box(run_table(TableConfig::Table1, BENCH_SCALE, BENCH_SEED)))
+    });
+    g.bench_function("table2_c7", |b| {
+        b.iter(|| black_box(run_table(TableConfig::Table2, BENCH_SCALE, BENCH_SEED)))
+    });
+    g.bench_function("table3_bound", |b| {
+        b.iter(|| black_box(run_table(TableConfig::Table3, BENCH_SCALE, BENCH_SEED)))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    let cfg = PicConfig {
+        ranks: 256,
+        steps: 50,
+        ..PicConfig::figure5()
+    };
+    g.bench_function("fig5_heatmap", |b| b.iter(|| black_box(fig5(&cfg))));
+    g.finish();
+}
+
+fn bench_fig67(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig67");
+    g.sample_size(10);
+    g.bench_function("fig6_fig7_series", |b| {
+        b.iter(|| black_box(fig67(BENCH_SCALE, BENCH_SEED)))
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("fig8_overhead_pair", |b| {
+        b.iter(|| black_box(fig8(true, 2, BENCH_SCALE, BENCH_SEED)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    artifacts,
+    bench_listing1,
+    bench_listing2,
+    bench_tables,
+    bench_fig5,
+    bench_fig67,
+    bench_fig8
+);
+criterion_main!(artifacts);

@@ -1,0 +1,125 @@
+//! Scheduler-simulation engine benchmarks: the substrate's throughput
+//! determines how much virtual time the experiment harnesses can afford.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use zerosum_sched::{Behavior, NodeSim, SchedParams, SimProcSource, WorkerSpec};
+use zerosum_topology::{presets, CpuSet};
+
+fn busy_frontier() -> NodeSim {
+    let mut sim = NodeSim::new(presets::frontier(), SchedParams::default());
+    for rank in 0..8u32 {
+        let base = 1 + rank * 8 + if rank >= 7 { 1 } else { 0 };
+        let mask = CpuSet::range(base, base + 6);
+        let pid = sim.spawn_process(
+            "bench",
+            mask,
+            1_024,
+            Behavior::worker(WorkerSpec {
+                barrier: Some(1),
+                ..WorkerSpec::cpu_bound(1_000_000, 10_000)
+            }),
+        );
+        for _ in 1..7 {
+            sim.spawn_task(
+                pid,
+                "OpenMP",
+                None,
+                Behavior::worker(WorkerSpec {
+                    barrier: Some(1),
+                    ..WorkerSpec::cpu_bound(1_000_000, 10_000)
+                }),
+                false,
+            );
+        }
+    }
+    sim
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    // One virtual second of a fully-busy 8-rank node.
+    g.throughput(Throughput::Elements(1_000_000 / 50)); // ticks per virtual second
+    g.bench_function("run_for_1s_virtual_56busy", |b| {
+        b.iter_batched(
+            busy_frontier,
+            |mut sim| {
+                sim.run_for(1_000_000);
+                black_box(sim.now_us())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("run_for_1s_virtual_idle_node", |b| {
+        b.iter_batched(
+            || NodeSim::new(presets::frontier(), SchedParams::default()),
+            |mut sim| {
+                sim.run_for(1_000_000);
+                black_box(sim.now_us())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+fn bench_proc_source(c: &mut Criterion) {
+    // (sampled at default size; each iteration is microseconds)
+    // The monitor's per-sample cost against the simulated /proc: this is
+    // the "5 ms per sample" the Figure 8 cost model encodes.
+    let mut sim = busy_frontier();
+    sim.run_for(200_000);
+    let pids = sim.pids();
+    c.bench_function("sim_procfs_full_sample_8ranks", |b| {
+        b.iter(|| {
+            use zerosum_proc::ProcSource;
+            let src = SimProcSource::new(&sim);
+            let stat = src.system_stat().unwrap();
+            black_box(stat.cpus.len());
+            for &pid in &pids {
+                for tid in src.list_tasks(pid).unwrap() {
+                    black_box(src.task_stat(pid, tid).unwrap().utime);
+                    black_box(src.task_status(pid, tid).unwrap().nonvoluntary_ctxt_switches);
+                }
+            }
+            black_box(src.meminfo().unwrap().mem_available_kib)
+        })
+    });
+}
+
+fn bench_spawn(c: &mut Criterion) {
+    c.bench_function("spawn_72_tasks", |b| {
+        b.iter_batched(
+            || NodeSim::new(presets::frontier(), SchedParams::default()),
+            |mut sim| {
+                for rank in 0..8u32 {
+                    let mask = CpuSet::range(1 + rank * 8, 7 + rank * 8);
+                    let pid = sim.spawn_process(
+                        "s",
+                        mask,
+                        64,
+                        Behavior::FiniteCompute {
+                            remaining_us: 1,
+                            chunk_us: 1,
+                        },
+                    );
+                    for _ in 0..8 {
+                        sim.spawn_task(
+                            pid,
+                            "w",
+                            None,
+                            Behavior::Sleeper,
+                            true,
+                        );
+                    }
+                }
+                black_box(sim.pids().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(engine, bench_engine, bench_proc_source, bench_spawn);
+criterion_main!(engine);

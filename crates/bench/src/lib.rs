@@ -1,0 +1,18 @@
+//! # zerosum-bench
+//!
+//! Criterion benchmark harnesses for ZeroSum-rs. The benchmark targets
+//! live in `benches/`; one per paper artifact (tables, figures,
+//! listings) plus micro-benchmarks of the monitoring hot paths and
+//! ablations of the design choices called out in DESIGN.md.
+//!
+//! This library crate only hosts shared helpers for those benches.
+
+#![warn(missing_docs)]
+
+/// Standard small scale factor used by bench harnesses so a full
+/// `cargo bench` stays tractable: divides the paper workload's block
+/// counts.
+pub const BENCH_SCALE: u32 = 200;
+
+/// Standard bench seed.
+pub const BENCH_SEED: u64 = 0xBE7C;

@@ -1,0 +1,31 @@
+//! The `zerosum` launcher wrapper binary. See the library crate for the
+//! logic; this shim only handles argv/exit-code plumbing.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match zerosum_cli::parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("zerosum: {e}");
+            std::process::exit(2);
+        }
+    };
+    match zerosum_cli::run(&opts) {
+        Ok(out) => {
+            let rank = opts
+                .rank
+                .or_else(|| zerosum_cli::rank_from_env(|k| std::env::var(k).ok()));
+            if zerosum_cli::should_print(&opts, rank) {
+                print!("{}", out.report);
+            }
+            for p in &out.logs {
+                eprintln!("zerosum: wrote {}", p.display());
+            }
+            std::process::exit(out.exit_code);
+        }
+        Err(e) => {
+            eprintln!("zerosum: {e}");
+            std::process::exit(1);
+        }
+    }
+}

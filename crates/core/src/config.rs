@@ -1,0 +1,189 @@
+//! ZeroSum configuration.
+//!
+//! Mirrors the knobs the paper describes: the sampling period (1 s
+//! default, §4), the placement of the asynchronous monitor thread ("the
+//! last hardware thread assigned to this process by default (this is
+//! user configurable)", §3.1), the optional signal handler, and log
+//! output.
+
+use std::path::PathBuf;
+
+/// Where the asynchronous ZeroSum monitor thread is pinned.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum MonitorPlacement {
+    /// The last hardware thread of the process affinity mask — the
+    /// paper's default.
+    #[default]
+    LastHwt,
+    /// The first hardware thread of the mask.
+    FirstHwt,
+    /// A specific hardware thread OS index (the runtime option passed to
+    /// the `zerosum-mpi` wrapper script in §4).
+    Hwt(u32),
+    /// Unpinned: the whole process mask.
+    Unbound,
+}
+
+/// The CPU cost model of one monitor sample, used when the monitor runs
+/// as a simulated task. Reading `/proc` is kernel time; parsing and
+/// bookkeeping are user time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorCost {
+    /// Kernel-mode µs per sample.
+    pub sys_us: u64,
+    /// User-mode µs per sample.
+    pub user_us: u64,
+}
+
+impl Default for MonitorCost {
+    fn default() -> Self {
+        // ~5 ms/sample: reading stat+status for ~10 LWPs plus the 128-row
+        // /proc/stat and meminfo, then parsing. Produces the ≈0.5%
+        // overhead of Figure 8 when sharing a saturated core at 1 Hz.
+        MonitorCost {
+            sys_us: 3_500,
+            user_us: 1_500,
+        }
+    }
+}
+
+impl MonitorCost {
+    /// Total µs per sample.
+    pub fn total_us(&self) -> u64 {
+        self.sys_us + self.user_us
+    }
+}
+
+/// Top-level ZeroSum configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZeroSumConfig {
+    /// Sampling period, µs (paper default: once per second).
+    pub period_us: u64,
+    /// Monitor thread placement.
+    pub placement: MonitorPlacement,
+    /// Monitor thread CPU cost per sample (simulation mode).
+    pub cost: MonitorCost,
+    /// Install the abnormal-exit (signal) reporter.
+    pub signal_handler: bool,
+    /// Emit a periodic heartbeat line (§3.3 progress detection).
+    pub heartbeat: bool,
+    /// Number of consecutive no-progress windows before flagging a
+    /// possible deadlock.
+    pub deadlock_windows: u32,
+    /// Directory for per-process log files; `None` keeps logs in memory.
+    pub log_dir: Option<PathBuf>,
+}
+
+impl Default for ZeroSumConfig {
+    fn default() -> Self {
+        ZeroSumConfig {
+            period_us: 1_000_000,
+            placement: MonitorPlacement::LastHwt,
+            cost: MonitorCost::default(),
+            signal_handler: true,
+            heartbeat: false,
+            deadlock_windows: 5,
+            log_dir: None,
+        }
+    }
+}
+
+impl ZeroSumConfig {
+    /// Builder: sets the sampling period in milliseconds.
+    pub fn with_period_ms(mut self, ms: u64) -> Self {
+        self.period_us = ms * 1_000;
+        self
+    }
+
+    /// Builder: sets the monitor placement.
+    pub fn with_placement(mut self, p: MonitorPlacement) -> Self {
+        self.placement = p;
+        self
+    }
+
+    /// Builder: sets the per-sample cost model.
+    pub fn with_cost(mut self, c: MonitorCost) -> Self {
+        self.cost = c;
+        self
+    }
+
+    /// A configuration for workloads scaled down by `scale`: the sampling
+    /// period *and* the per-sample cost shrink proportionally, so a
+    /// scaled experiment sees the same number of samples per block and
+    /// the same relative monitor overhead as the full-size run.
+    pub fn scaled(scale: u32) -> Self {
+        let scale = scale.max(1) as u64;
+        ZeroSumConfig {
+            period_us: (1_000_000 / scale).max(10_000),
+            cost: MonitorCost {
+                sys_us: (3_500 / scale).max(50),
+                user_us: (1_500 / scale).max(50),
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Resolves the monitor thread's affinity for a process mask.
+    pub fn monitor_affinity(
+        &self,
+        process_mask: &zerosum_topology::CpuSet,
+    ) -> zerosum_topology::CpuSet {
+        use zerosum_topology::CpuSet;
+        match &self.placement {
+            MonitorPlacement::LastHwt => process_mask
+                .last()
+                .map(CpuSet::single)
+                .unwrap_or_else(|| process_mask.clone()),
+            MonitorPlacement::FirstHwt => process_mask
+                .first()
+                .map(CpuSet::single)
+                .unwrap_or_else(|| process_mask.clone()),
+            MonitorPlacement::Hwt(h) => CpuSet::single(*h),
+            MonitorPlacement::Unbound => process_mask.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerosum_topology::CpuSet;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = ZeroSumConfig::default();
+        assert_eq!(c.period_us, 1_000_000); // 1 Hz
+        assert_eq!(c.placement, MonitorPlacement::LastHwt);
+        assert!(c.signal_handler);
+    }
+
+    #[test]
+    fn monitor_affinity_last_hwt() {
+        let c = ZeroSumConfig::default();
+        let mask = CpuSet::parse_list("1-7").unwrap();
+        assert_eq!(c.monitor_affinity(&mask).to_list_string(), "7");
+    }
+
+    #[test]
+    fn monitor_affinity_variants() {
+        let mask = CpuSet::parse_list("1-7").unwrap();
+        let c = ZeroSumConfig::default().with_placement(MonitorPlacement::FirstHwt);
+        assert_eq!(c.monitor_affinity(&mask).to_list_string(), "1");
+        let c = ZeroSumConfig::default().with_placement(MonitorPlacement::Hwt(71));
+        assert_eq!(c.monitor_affinity(&mask).to_list_string(), "71");
+        let c = ZeroSumConfig::default().with_placement(MonitorPlacement::Unbound);
+        assert_eq!(c.monitor_affinity(&mask).to_list_string(), "1-7");
+    }
+
+    #[test]
+    fn builders() {
+        let c = ZeroSumConfig::default()
+            .with_period_ms(250)
+            .with_cost(MonitorCost {
+                sys_us: 100,
+                user_us: 50,
+            });
+        assert_eq!(c.period_us, 250_000);
+        assert_eq!(c.cost.total_us(), 150);
+    }
+}

@@ -1,0 +1,237 @@
+//! Data exportation (§3.6).
+//!
+//! Every monitored process gets a log containing the human-readable
+//! report plus a detailed CSV dump of all periodic data — LWP series
+//! (state, faults, swap pages, last CPU, context switches) and HWT
+//! series — "allowing for time-series analysis of the periodic data".
+
+use crate::monitor::{Monitor, ProcessWatch};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use zerosum_proc::Pid;
+
+/// The per-LWP CSV dump for one process. Columns follow §3.6: state,
+/// minor/major faults, pages swapped, and the CPU the LWP last ran on,
+/// plus times and context switches.
+pub fn lwp_csv(watch: &ProcessWatch) -> String {
+    let mut out = String::from(
+        "time,tid,type,state,utime,stime,minflt,majflt,nswap,processor,vcsw,nvcsw,wait_ns\n",
+    );
+    let mut tracks: Vec<_> = watch.lwps.tracks().collect();
+    tracks.sort_by_key(|t| t.tid);
+    for t in tracks {
+        let label = t.kind.label(t.is_openmp).replace(", ", "+");
+        for s in &t.samples {
+            writeln!(
+                out,
+                "{:.3},{},{},{},{},{},{},{},{},{},{},{},{}",
+                s.t_s,
+                t.tid,
+                label,
+                s.state.code(),
+                s.utime,
+                s.stime,
+                s.minflt,
+                s.majflt,
+                s.nswap,
+                s.processor,
+                s.vcsw,
+                s.nvcsw,
+                s.wait_ns.map(|w| w.to_string()).unwrap_or_default()
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// The per-HWT utilization CSV (Figure 7's data): one row per CPU per
+/// interval.
+pub fn hwt_csv(monitor: &Monitor) -> String {
+    let mut out = String::from("time,cpu,idle_pct,system_pct,user_pct\n");
+    for cpu in monitor.hwt.cpu_indices() {
+        if let Some(samples) = monitor.hwt.samples(cpu) {
+            for s in samples {
+                writeln!(
+                    out,
+                    "{:.3},{},{:.4},{:.4},{:.4}",
+                    s.t_s, cpu, s.idle_pct, s.system_pct, s.user_pct
+                )
+                .unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// The node memory CSV.
+pub fn memory_csv(monitor: &Monitor) -> String {
+    let mut out = String::from("time,total_kib,available_kib,watched_rss_kib\n");
+    for s in monitor.mem.samples() {
+        writeln!(
+            out,
+            "{:.3},{},{},{}",
+            s.t_s, s.total_kib, s.available_kib, s.watched_rss_kib
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// The full log-file content for one process: report + CSV sections, the
+/// §3.6 layout.
+pub fn log_content(monitor: &Monitor, pid: Pid, duration_s: f64, report: &str) -> String {
+    log_content_with_comm(monitor, pid, duration_s, report, None)
+}
+
+/// Like [`log_content`], additionally appending the MPI point-to-point
+/// matrix — "the log file also contains the MPI point-to-point data
+/// collected between all ranks, which can be post-processed to produce a
+/// heatmap" (§3.6).
+pub fn log_content_with_comm(
+    monitor: &Monitor,
+    pid: Pid,
+    duration_s: f64,
+    report: &str,
+    comm: Option<&zerosum_mpi::CommMatrix>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(report);
+    out.push('\n');
+    let _ = duration_s;
+    if let Some(watch) = monitor.process(pid) {
+        out.push_str("=== LWP time series (CSV) ===\n");
+        out.push_str(&lwp_csv(watch));
+        out.push_str("=== HWT time series (CSV) ===\n");
+        out.push_str(&hwt_csv(monitor));
+        out.push_str("=== Memory time series (CSV) ===\n");
+        out.push_str(&memory_csv(monitor));
+        if let Some(m) = comm {
+            out.push_str("=== MPI point-to-point (CSV) ===\n");
+            out.push_str(&zerosum_mpi::heatmap::to_csv(m));
+        }
+    }
+    out
+}
+
+/// Writes per-process logs to `dir` as `zerosum.<rank-or-pid>.log`.
+/// Returns the written paths.
+pub fn write_logs(
+    monitor: &Monitor,
+    dir: &Path,
+    duration_s: f64,
+    mut report_for: impl FnMut(Pid) -> String,
+) -> io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for w in monitor.processes() {
+        let tag = w
+            .info
+            .rank
+            .map(|r| format!("{r:05}"))
+            .unwrap_or_else(|| w.info.pid.to_string());
+        let path = dir.join(format!("zerosum.{tag}.log"));
+        let content = log_content(monitor, w.info.pid, duration_s, &report_for(w.info.pid));
+        std::fs::write(&path, content)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ZeroSumConfig;
+    use crate::monitor::ProcessInfo;
+    use crate::report;
+    use zerosum_sched::{Behavior, NodeSim, SchedParams, SimProcSource};
+    use zerosum_topology::{presets, CpuSet};
+
+    fn monitored() -> (Monitor, Pid) {
+        let mut sim = NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
+        let pid = sim.spawn_process(
+            "app",
+            CpuSet::single(0),
+            256,
+            Behavior::FiniteCompute {
+                remaining_us: 5_000_000,
+                chunk_us: 10_000,
+            },
+        );
+        let mut mon = Monitor::new(ZeroSumConfig::default());
+        mon.watch_process(ProcessInfo {
+            pid,
+            rank: Some(0),
+            hostname: "n".into(),
+            gpus: vec![],
+            cpus_allowed: Default::default(),
+        });
+        for i in 1..=3u64 {
+            sim.run_for(1_000_000);
+            mon.sample(i as f64, &SimProcSource::new(&sim));
+        }
+        (mon, pid)
+    }
+
+    #[test]
+    fn lwp_csv_rows_per_sample() {
+        let (mon, pid) = monitored();
+        let csv = lwp_csv(mon.process(pid).unwrap());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "time,tid,type,state,utime,stime,minflt,majflt,nswap,processor,vcsw,nvcsw,wait_ns"
+        );
+        assert_eq!(lines.len(), 1 + 3); // header + 3 samples of 1 LWP
+        assert!(lines[1].contains(",Main,"));
+        assert!(lines[1].ends_with(",0,0") || lines[1].contains(",R,"));
+    }
+
+    #[test]
+    fn hwt_csv_covers_all_cpus() {
+        let (mon, _) = monitored();
+        let csv = hwt_csv(&mon);
+        // 8 CPUs × 2 delta samples + header.
+        assert_eq!(csv.lines().count(), 1 + 8 * 2);
+        assert!(csv.lines().nth(1).unwrap().starts_with("2.000,0,"));
+    }
+
+    #[test]
+    fn memory_csv_has_samples() {
+        let (mon, _) = monitored();
+        let csv = memory_csv(&mon);
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn comm_matrix_appended_when_provided() {
+        let (mon, pid) = monitored();
+        let mut m = zerosum_mpi::CommMatrix::new(4);
+        m.record(0, 1, 1234);
+        let rep = crate::report::render_process_report(&mon, pid, 3.0, None);
+        let log = log_content_with_comm(&mon, pid, 3.0, &rep, Some(&m));
+        assert!(log.contains("=== MPI point-to-point (CSV) ==="));
+        assert!(log.contains("0,1,1234,1"));
+        // Without a matrix the section is absent.
+        let log = log_content(&mon, pid, 3.0, &rep);
+        assert!(!log.contains("MPI point-to-point"));
+    }
+
+    #[test]
+    fn logs_written_to_disk() {
+        let (mon, pid) = monitored();
+        let dir = std::env::temp_dir().join(format!("zs-logs-{}", std::process::id()));
+        let paths = write_logs(&mon, &dir, 3.0, |p| {
+            report::render_process_report(&mon, p, 3.0, None)
+        })
+        .unwrap();
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].ends_with("zerosum.00000.log"));
+        let content = std::fs::read_to_string(&paths[0]).unwrap();
+        assert!(content.contains("Duration of execution"));
+        assert!(content.contains("=== LWP time series (CSV) ==="));
+        assert!(content.contains(&format!("LWP {pid}: Main")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

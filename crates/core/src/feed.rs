@@ -1,0 +1,249 @@
+//! Live data exportation (§3.3/§3.6 future work).
+//!
+//! The paper proposes that "ZeroSum could potentially be integrated with
+//! data services, providing a continuous stream of data reporting the
+//! current state of the application" — feeding tools like LDMS, TAU, or
+//! a computational-steering loop. [`SampleFeed`] is that stream: any
+//! number of subscribers receive an immutable snapshot after every
+//! monitor sample over a bounded lock-free channel; slow consumers lose
+//! samples rather than ever stalling the monitor (the monitor's <0.5%
+//! budget must not depend on downstream readers).
+
+use crate::lwp::LwpKind;
+use crate::monitor::Monitor;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::sync::Arc;
+use zerosum_proc::{Pid, TaskState, Tid};
+
+/// One thread's state in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LwpSnapshot {
+    /// Thread id.
+    pub tid: Tid,
+    /// Classification.
+    pub kind: LwpKind,
+    /// Scheduler state at the sample.
+    pub state: TaskState,
+    /// Cumulative user jiffies.
+    pub utime: u64,
+    /// Cumulative system jiffies.
+    pub stime: u64,
+    /// Cumulative non-voluntary context switches.
+    pub nvcsw: u64,
+    /// Cumulative voluntary context switches.
+    pub vcsw: u64,
+    /// CPU the thread last ran on.
+    pub processor: u32,
+}
+
+/// One process's state in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessSnapshot {
+    /// Process id.
+    pub pid: Pid,
+    /// MPI rank, if any.
+    pub rank: Option<u32>,
+    /// Resident set size, KiB.
+    pub rss_kib: u64,
+    /// Live threads at the sample.
+    pub lwps: Vec<LwpSnapshot>,
+}
+
+/// A full monitoring snapshot, published once per sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleSnapshot {
+    /// Sample time, seconds since monitoring start.
+    pub t_s: f64,
+    /// Sample ordinal.
+    pub round: u64,
+    /// Node memory available, KiB.
+    pub mem_available_kib: u64,
+    /// Per-process state.
+    pub processes: Vec<ProcessSnapshot>,
+}
+
+/// Fan-out publisher of [`SampleSnapshot`]s.
+#[derive(Default)]
+pub struct SampleFeed {
+    subscribers: Vec<Sender<Arc<SampleSnapshot>>>,
+    /// Snapshots dropped because a subscriber's channel was full.
+    pub dropped: u64,
+}
+
+impl SampleFeed {
+    /// An empty feed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a subscriber with a buffer of `capacity` snapshots.
+    pub fn subscribe(&mut self, capacity: usize) -> Receiver<Arc<SampleSnapshot>> {
+        let (tx, rx) = bounded(capacity.max(1));
+        self.subscribers.push(tx);
+        rx
+    }
+
+    /// Number of live subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Publishes a snapshot to every subscriber. Never blocks: full
+    /// channels drop the snapshot, disconnected subscribers are removed.
+    pub fn publish(&mut self, snap: SampleSnapshot) {
+        if self.subscribers.is_empty() {
+            return;
+        }
+        let snap = Arc::new(snap);
+        let mut dropped = 0u64;
+        self.subscribers.retain(|tx| match tx.try_send(Arc::clone(&snap)) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => {
+                dropped += 1;
+                true
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        });
+        self.dropped += dropped;
+    }
+}
+
+impl std::fmt::Debug for SampleFeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SampleFeed")
+            .field("subscribers", &self.subscribers.len())
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+/// Builds a snapshot from the monitor's current state.
+pub fn snapshot_of(monitor: &Monitor) -> SampleSnapshot {
+    let processes = monitor
+        .processes()
+        .iter()
+        .map(|w| ProcessSnapshot {
+            pid: w.info.pid,
+            rank: w.info.rank,
+            rss_kib: w.rss_kib(),
+            lwps: w
+                .lwps
+                .tracks()
+                .filter(|t| !t.exited)
+                .filter_map(|t| {
+                    t.last().map(|s| LwpSnapshot {
+                        tid: t.tid,
+                        kind: t.kind,
+                        state: s.state,
+                        utime: s.utime,
+                        stime: s.stime,
+                        nvcsw: s.nvcsw,
+                        vcsw: s.vcsw,
+                        processor: s.processor,
+                    })
+                })
+                .collect(),
+        })
+        .collect();
+    SampleSnapshot {
+        t_s: monitor.last_t_s,
+        round: monitor.stats.rounds,
+        mem_available_kib: monitor
+            .mem
+            .samples()
+            .last()
+            .map(|s| s.available_kib)
+            .unwrap_or(0),
+        processes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ZeroSumConfig;
+    use crate::monitor::ProcessInfo;
+    use zerosum_sched::{Behavior, NodeSim, SchedParams, SimProcSource};
+    use zerosum_topology::{presets, CpuSet};
+
+    fn sampled_monitor() -> Monitor {
+        let mut sim = NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
+        let pid = sim.spawn_process(
+            "app",
+            CpuSet::single(0),
+            256,
+            Behavior::FiniteCompute {
+                remaining_us: 5_000_000,
+                chunk_us: 10_000,
+            },
+        );
+        let mut mon = Monitor::new(ZeroSumConfig::default());
+        mon.watch_process(ProcessInfo {
+            pid,
+            rank: Some(0),
+            hostname: "n".into(),
+            gpus: vec![],
+            cpus_allowed: CpuSet::single(0),
+        });
+        for i in 1..=3u64 {
+            sim.run_for(1_000_000);
+            mon.sample(i as f64, &SimProcSource::new(&sim));
+        }
+        mon
+    }
+
+    #[test]
+    fn snapshot_reflects_monitor_state() {
+        let mon = sampled_monitor();
+        let snap = snapshot_of(&mon);
+        assert_eq!(snap.round, 3);
+        assert_eq!(snap.t_s, 3.0);
+        assert_eq!(snap.processes.len(), 1);
+        let p = &snap.processes[0];
+        assert_eq!(p.rank, Some(0));
+        assert_eq!(p.lwps.len(), 1);
+        assert!(p.lwps[0].utime > 100);
+        assert!(snap.mem_available_kib > 0);
+    }
+
+    #[test]
+    fn feed_fans_out_to_all_subscribers() {
+        let mon = sampled_monitor();
+        let mut feed = SampleFeed::new();
+        let rx1 = feed.subscribe(4);
+        let rx2 = feed.subscribe(4);
+        feed.publish(snapshot_of(&mon));
+        assert_eq!(rx1.recv().unwrap().round, 3);
+        assert_eq!(rx2.recv().unwrap().round, 3);
+        assert_eq!(feed.dropped, 0);
+    }
+
+    #[test]
+    fn full_subscriber_drops_without_blocking() {
+        let mon = sampled_monitor();
+        let mut feed = SampleFeed::new();
+        let rx = feed.subscribe(1);
+        feed.publish(snapshot_of(&mon));
+        feed.publish(snapshot_of(&mon)); // channel full → dropped
+        assert_eq!(feed.dropped, 1);
+        assert_eq!(rx.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn disconnected_subscribers_are_pruned() {
+        let mon = sampled_monitor();
+        let mut feed = SampleFeed::new();
+        let rx = feed.subscribe(2);
+        drop(rx);
+        feed.publish(snapshot_of(&mon));
+        assert_eq!(feed.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn no_subscribers_is_free() {
+        let mon = sampled_monitor();
+        let mut feed = SampleFeed::new();
+        feed.publish(snapshot_of(&mon));
+        assert_eq!(feed.dropped, 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Progress detection and heartbeats (§3.3).
+//!
+//! ZeroSum "has the ability to periodically write data to stdout
+//! indicating that at a minimum, the application is viable", and the
+//! paper sketches deadlock detection from the per-LWP idle/user/system
+//! counters and states as future work. Both are implemented here: a
+//! heartbeat line per sample, and a stall detector that flags windows in
+//! which no application thread consumed CPU.
+
+use crate::lwp::LwpKind;
+use crate::monitor::Monitor;
+use zerosum_proc::TaskState;
+
+/// The liveness classification of the application at a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// At least one application thread consumed CPU recently.
+    Progressing,
+    /// No CPU consumed for fewer windows than the deadlock threshold.
+    Stalled {
+        /// Consecutive no-progress windows so far.
+        windows: u32,
+    },
+    /// No progress for at least the configured number of windows while
+    /// threads still exist — a possible deadlock.
+    PossibleDeadlock {
+        /// Consecutive no-progress windows.
+        windows: u32,
+        /// Number of threads blocked in sleep states.
+        blocked_threads: usize,
+    },
+    /// Every application thread has exited.
+    Finished,
+}
+
+/// Tracks progress across samples.
+#[derive(Debug, Default)]
+pub struct ProgressTracker {
+    stall_windows: u32,
+}
+
+impl ProgressTracker {
+    /// A fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classifies liveness from the monitor's latest state and updates
+    /// the stall counter. Call once per sample.
+    pub fn assess(&mut self, monitor: &Monitor) -> Liveness {
+        let mut any_live_thread = false;
+        let mut any_progress = false;
+        let mut blocked = 0usize;
+        for w in monitor.processes() {
+            for t in w.lwps.tracks() {
+                if t.exited || t.kind == LwpKind::ZeroSum || t.kind == LwpKind::Other {
+                    continue;
+                }
+                any_live_thread = true;
+                if t.progressed_recently(1) {
+                    any_progress = true;
+                }
+                if let Some(s) = t.last() {
+                    if matches!(s.state, TaskState::Sleeping | TaskState::DiskSleep) {
+                        blocked += 1;
+                    }
+                }
+            }
+        }
+        if !any_live_thread {
+            self.stall_windows = 0;
+            return Liveness::Finished;
+        }
+        if any_progress {
+            self.stall_windows = 0;
+            return Liveness::Progressing;
+        }
+        self.stall_windows += 1;
+        if self.stall_windows >= monitor.config.deadlock_windows {
+            Liveness::PossibleDeadlock {
+                windows: self.stall_windows,
+                blocked_threads: blocked,
+            }
+        } else {
+            Liveness::Stalled {
+                windows: self.stall_windows,
+            }
+        }
+    }
+
+    /// The heartbeat line written to stdout each period.
+    pub fn heartbeat_line(&self, monitor: &Monitor, t_s: f64) -> String {
+        let threads: usize = monitor
+            .processes()
+            .iter()
+            .map(|w| w.lwps.tracks().filter(|t| !t.exited).count())
+            .sum();
+        format!(
+            "ZeroSum: t={t_s:.0}s, {} process(es), {} live thread(s), sample {}",
+            monitor.processes().len(),
+            threads,
+            monitor.stats.rounds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ZeroSumConfig;
+    use crate::monitor::ProcessInfo;
+    use zerosum_proc::Pid;
+    use zerosum_sched::{Behavior, NodeSim, SchedParams, SimProcSource};
+    use zerosum_topology::{presets, CpuSet};
+
+    fn setup(behavior: Behavior) -> (NodeSim, Monitor, Pid) {
+        let mut sim = NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
+        let pid = sim.spawn_process("app", CpuSet::single(0), 64, behavior);
+        let mut mon = Monitor::new(ZeroSumConfig {
+            deadlock_windows: 3,
+            ..Default::default()
+        });
+        mon.watch_process(ProcessInfo {
+            pid,
+            rank: None,
+            hostname: "n".into(),
+            gpus: vec![],
+            cpus_allowed: Default::default(),
+        });
+        (sim, mon, pid)
+    }
+
+    #[test]
+    fn busy_app_is_progressing() {
+        let (mut sim, mut mon, _) = setup(Behavior::FiniteCompute {
+            remaining_us: 10_000_000,
+            chunk_us: 10_000,
+        });
+        let mut tracker = ProgressTracker::new();
+        for i in 1..=3u64 {
+            sim.run_for(1_000_000);
+            mon.sample(i as f64, &SimProcSource::new(&sim));
+        }
+        assert_eq!(tracker.assess(&mon), Liveness::Progressing);
+        let hb = tracker.heartbeat_line(&mon, 3.0);
+        assert!(hb.contains("1 process(es)"));
+        assert!(hb.contains("1 live thread(s)"));
+    }
+
+    #[test]
+    fn sleeping_app_escalates_to_deadlock() {
+        let (mut sim, mut mon, _) = setup(Behavior::Sleeper);
+        let mut tracker = ProgressTracker::new();
+        let mut last = Liveness::Progressing;
+        for i in 1..=6u64 {
+            sim.run_for(1_000_000);
+            mon.sample(i as f64, &SimProcSource::new(&sim));
+            last = tracker.assess(&mon);
+        }
+        match last {
+            Liveness::PossibleDeadlock {
+                windows,
+                blocked_threads,
+            } => {
+                assert!(windows >= 3);
+                assert_eq!(blocked_threads, 1);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finished_app_reports_finished() {
+        let (mut sim, mut mon, _) = setup(Behavior::FiniteCompute {
+            remaining_us: 100_000,
+            chunk_us: 10_000,
+        });
+        let mut tracker = ProgressTracker::new();
+        sim.run_until_apps_done(100_000, 60_000_000).unwrap();
+        mon.sample(1.0, &SimProcSource::new(&sim));
+        assert_eq!(tracker.assess(&mon), Liveness::Finished);
+    }
+
+    #[test]
+    fn stall_counter_resets_on_progress() {
+        let (mut sim, mut mon, _) = setup(Behavior::FiniteCompute {
+            remaining_us: 10_000_000,
+            chunk_us: 10_000,
+        });
+        let mut tracker = ProgressTracker::new();
+        sim.run_for(1_000_000);
+        mon.sample(1.0, &SimProcSource::new(&sim));
+        // Two samples with no intervening sim time: no progress.
+        mon.sample(2.0, &SimProcSource::new(&sim));
+        assert!(matches!(tracker.assess(&mon), Liveness::Stalled { .. }));
+        sim.run_for(1_000_000);
+        mon.sample(3.0, &SimProcSource::new(&sim));
+        assert_eq!(tracker.assess(&mon), Liveness::Progressing);
+    }
+}

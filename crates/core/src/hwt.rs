@@ -1,0 +1,221 @@
+//! Hardware-thread (CPU) utilization tracking from `/proc/stat` deltas.
+//!
+//! §3.4 of the paper: the HWT report lists, for every hardware thread in
+//! the process affinity list, the percentage of time idle, in system
+//! calls, and executing user code. Percentages are computed from
+//! consecutive jiffy-counter snapshots.
+
+use zerosum_proc::SystemStat;
+
+/// One per-interval utilization observation for one CPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HwtSample {
+    /// Sample time, seconds from start.
+    pub t_s: f64,
+    /// Fraction of the interval idle, percent.
+    pub idle_pct: f64,
+    /// Fraction in kernel mode, percent.
+    pub system_pct: f64,
+    /// Fraction in user mode, percent.
+    pub user_pct: f64,
+}
+
+/// Utilization history for every CPU on the node.
+#[derive(Debug, Default)]
+pub struct HwtTracker {
+    prev: Option<SystemStat>,
+    /// `(os_index, samples)` per CPU, in `/proc/stat` order.
+    cpus: Vec<(u32, Vec<HwtSample>)>,
+    /// Cumulative totals from the first to the latest snapshot.
+    first: Option<SystemStat>,
+}
+
+impl HwtTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds a `/proc/stat` snapshot taken at `t_s` seconds.
+    pub fn observe(&mut self, t_s: f64, stat: &SystemStat) {
+        if self.first.is_none() {
+            self.first = Some(stat.clone());
+        }
+        if let Some(prev) = &self.prev {
+            for (idx, times) in &stat.cpus {
+                let Some((_, prev_times)) = prev.cpus.iter().find(|(i, _)| i == idx) else {
+                    continue;
+                };
+                let d = times.delta(prev_times);
+                let total = d.total();
+                let entry = match self.cpus.iter_mut().find(|(i, _)| i == idx) {
+                    Some((_, v)) => v,
+                    None => {
+                        self.cpus.push((*idx, Vec::new()));
+                        &mut self.cpus.last_mut().unwrap().1
+                    }
+                };
+                let pct = |x: u64| {
+                    if total == 0 {
+                        0.0
+                    } else {
+                        x as f64 * 100.0 / total as f64
+                    }
+                };
+                entry.push(HwtSample {
+                    t_s,
+                    idle_pct: pct(d.idle + d.iowait),
+                    system_pct: pct(d.system + d.irq + d.softirq),
+                    user_pct: pct(d.user + d.nice),
+                });
+            }
+        } else {
+            for (idx, _) in &stat.cpus {
+                self.cpus.push((*idx, Vec::new()));
+            }
+        }
+        self.prev = Some(stat.clone());
+    }
+
+    /// Overall utilization of one CPU across the whole run:
+    /// `(idle%, system%, user%)` — the HWT report row.
+    pub fn overall(&self, os_index: u32) -> Option<(f64, f64, f64)> {
+        let first = self.first.as_ref()?;
+        let last = self.prev.as_ref()?;
+        let f = first.cpus.iter().find(|(i, _)| *i == os_index)?;
+        let l = last.cpus.iter().find(|(i, _)| *i == os_index)?;
+        let d = l.1.delta(&f.1);
+        let total = d.total();
+        if total == 0 {
+            return Some((100.0, 0.0, 0.0));
+        }
+        let pct = |x: u64| x as f64 * 100.0 / total as f64;
+        Some((
+            pct(d.idle + d.iowait),
+            pct(d.system + d.irq + d.softirq),
+            pct(d.user + d.nice),
+        ))
+    }
+
+    /// Per-interval history of one CPU (Figure 7's series).
+    pub fn samples(&self, os_index: u32) -> Option<&[HwtSample]> {
+        self.cpus
+            .iter()
+            .find(|(i, _)| *i == os_index)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// All tracked CPU OS indices.
+    pub fn cpu_indices(&self) -> Vec<u32> {
+        self.cpus.iter().map(|(i, _)| *i).collect()
+    }
+
+    /// Number of delta samples per CPU (0 before two snapshots).
+    pub fn sample_count(&self) -> usize {
+        self.cpus.first().map(|(_, v)| v.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerosum_proc::CpuTimes;
+
+    fn stat(rows: &[(u32, u64, u64, u64)]) -> SystemStat {
+        let cpus: Vec<(u32, CpuTimes)> = rows
+            .iter()
+            .map(|&(i, u, s, idle)| {
+                (
+                    i,
+                    CpuTimes {
+                        user: u,
+                        system: s,
+                        idle,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        let total = cpus
+            .iter()
+            .fold(CpuTimes::default(), |acc, (_, t)| acc.add(t));
+        SystemStat {
+            total,
+            cpus,
+            ctxt: 0,
+            processes: 0,
+        }
+    }
+
+    #[test]
+    fn percentages_from_deltas() {
+        let mut tr = HwtTracker::new();
+        tr.observe(0.0, &stat(&[(0, 0, 0, 0), (1, 0, 0, 0)]));
+        tr.observe(1.0, &stat(&[(0, 64, 12, 24), (1, 0, 0, 100)]));
+        let s0 = tr.samples(0).unwrap();
+        assert_eq!(s0.len(), 1);
+        assert!((s0[0].user_pct - 64.0).abs() < 1e-9);
+        assert!((s0[0].system_pct - 12.0).abs() < 1e-9);
+        assert!((s0[0].idle_pct - 24.0).abs() < 1e-9);
+        let s1 = tr.samples(1).unwrap();
+        assert!((s1[0].idle_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overall_spans_whole_run() {
+        let mut tr = HwtTracker::new();
+        tr.observe(0.0, &stat(&[(0, 0, 0, 0)]));
+        tr.observe(1.0, &stat(&[(0, 100, 0, 0)]));
+        tr.observe(2.0, &stat(&[(0, 100, 0, 100)]));
+        let (idle, system, user) = tr.overall(0).unwrap();
+        assert!((user - 50.0).abs() < 1e-9);
+        assert!((idle - 50.0).abs() < 1e-9);
+        assert_eq!(system, 0.0);
+    }
+
+    #[test]
+    fn unknown_cpu_is_none() {
+        let mut tr = HwtTracker::new();
+        tr.observe(0.0, &stat(&[(0, 0, 0, 0)]));
+        tr.observe(1.0, &stat(&[(0, 1, 0, 9)]));
+        assert!(tr.overall(7).is_none());
+        assert!(tr.samples(7).is_none());
+    }
+
+    #[test]
+    fn single_snapshot_has_no_samples() {
+        let mut tr = HwtTracker::new();
+        tr.observe(0.0, &stat(&[(0, 5, 5, 5)]));
+        assert_eq!(tr.sample_count(), 0);
+        // overall with first == last: zero delta ⇒ treated as fully idle.
+        assert_eq!(tr.overall(0), Some((100.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn idle_includes_iowait_and_system_includes_irq() {
+        let mut tr = HwtTracker::new();
+        let mk = |io: u64, irq: u64| {
+            let mut t = CpuTimes {
+                user: 10,
+                system: 10,
+                idle: 10,
+                ..Default::default()
+            };
+            t.iowait = io;
+            t.irq = irq;
+            SystemStat {
+                total: t,
+                cpus: vec![(0, t)],
+                ctxt: 0,
+                processes: 0,
+            }
+        };
+        tr.observe(0.0, &mk(0, 0));
+        tr.observe(1.0, &mk(10, 10));
+        let s = tr.samples(0).unwrap()[0];
+        // Delta: iowait 10 (idle bucket), irq 10 (system bucket).
+        assert!((s.idle_pct - 50.0).abs() < 1e-9);
+        assert!((s.system_pct - 50.0).abs() < 1e-9);
+        assert_eq!(s.user_pct, 0.0);
+    }
+}

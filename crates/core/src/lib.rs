@@ -1,0 +1,57 @@
+//! # zerosum-core
+//!
+//! The ZeroSum monitor — the paper's primary contribution, as a library.
+//!
+//! ZeroSum (Huck & Malony, HUST-23) provides user-space monitoring of
+//! application processes, threads, and hardware resources on
+//! heterogeneous HPC systems: configuration detection through `/proc`,
+//! periodic sampling by an asynchronous thread, utilization and
+//! contention reports, and CSV export for time-series analysis — all at
+//! under 0.5% overhead. This crate implements the tool:
+//!
+//! * [`config`] — sampling period, monitor-thread placement, cost model.
+//! * [`monitor`] — the periodic sampler over any
+//!   [`zerosum_proc::ProcSource`] (live Linux or the node simulation).
+//! * [`lwp`], [`hwt`], [`memory`] — per-thread, per-CPU, and memory
+//!   tracking (§3.1, §3.4, §3.5).
+//! * [`report`] — the Listing 2 utilization report.
+//! * [`contention`] — the §3.5 contention report.
+//! * [`evaluator`] — configuration evaluation rules (the §3.2 extension).
+//! * [`heartbeat`] — progress detection and deadlock heuristics (§3.3).
+//! * [`export`] — CSV/log exportation (§3.6).
+//! * [`signal`] — abnormal-exit reporting (§3.1).
+//! * [`gpu_link`], [`runner`] — the virtual-time driver coupling the
+//!   monitor to `zerosum-sched`'s node simulation.
+//! * [`attach`] — live self-monitoring of a real process on Linux.
+
+#![warn(missing_docs)]
+
+pub mod attach;
+pub mod cluster;
+pub mod config;
+pub mod contention;
+pub mod evaluator;
+pub mod export;
+pub mod feed;
+pub mod gpu_link;
+pub mod heartbeat;
+pub mod hwt;
+pub mod lwp;
+pub mod memory;
+pub mod monitor;
+pub mod report;
+pub mod runner;
+pub mod signal;
+
+pub use attach::SelfMonitor;
+pub use cluster::{ClusterMonitor, NodeAggregate};
+pub use config::{MonitorCost, MonitorPlacement, ZeroSumConfig};
+pub use contention::{analyze, ContentionReport};
+pub use evaluator::{evaluate, evaluate_gpu_memory, render_findings, Finding, Severity};
+pub use feed::{LwpSnapshot, ProcessSnapshot, SampleFeed, SampleSnapshot};
+pub use gpu_link::{GpuStack, SimGpuLink};
+pub use heartbeat::{Liveness, ProgressTracker};
+pub use lwp::{LwpKind, LwpRegistry, LwpTrack};
+pub use monitor::{Monitor, ProcessInfo, ProcessWatch};
+pub use report::{render_process_report, render_summary, GpuReportContext};
+pub use runner::{attach_monitor_threads, run_baseline, run_monitored, RunOutcome};

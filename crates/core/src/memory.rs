@@ -1,0 +1,168 @@
+//! Memory-subsystem monitoring (§3.5).
+//!
+//! ZeroSum watches `/proc/meminfo` together with per-process RSS from
+//! `/proc/<pid>/status`, so that an out-of-memory event can be attributed
+//! either to the monitored application or to something else on the node
+//! (a noisy neighbour, a leaking system service).
+
+use zerosum_proc::{MemInfo, Pid};
+
+/// One memory observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemSample {
+    /// Sample time, seconds.
+    pub t_s: f64,
+    /// Node total memory, KiB.
+    pub total_kib: u64,
+    /// Node available memory, KiB.
+    pub available_kib: u64,
+    /// Sum of monitored processes' RSS, KiB.
+    pub watched_rss_kib: u64,
+}
+
+impl MemSample {
+    /// Memory used by anything that is not a monitored process, KiB.
+    pub fn other_usage_kib(&self) -> u64 {
+        self.total_kib
+            .saturating_sub(self.available_kib)
+            .saturating_sub(self.watched_rss_kib)
+    }
+}
+
+/// Who is responsible for memory pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemPressureSource {
+    /// No pressure: available memory above the warning threshold.
+    None,
+    /// The monitored application dominates usage.
+    Application,
+    /// Unmonitored consumers dominate usage — the "another system
+    /// process is consuming large amounts of memory" case of §3.5.
+    External,
+}
+
+/// Tracks node + per-process memory over time.
+#[derive(Debug, Default)]
+pub struct MemoryTracker {
+    samples: Vec<MemSample>,
+    /// Peak RSS seen per watched process.
+    peaks: Vec<(Pid, u64)>,
+    /// Warn when available memory falls below this fraction of total.
+    pub warn_available_frac: f64,
+}
+
+impl MemoryTracker {
+    /// A tracker with the default 10% available-memory warning level.
+    pub fn new() -> Self {
+        MemoryTracker {
+            samples: Vec::new(),
+            peaks: Vec::new(),
+            warn_available_frac: 0.10,
+        }
+    }
+
+    /// Folds one observation.
+    pub fn observe(&mut self, t_s: f64, meminfo: &MemInfo, watched: &[(Pid, u64)]) {
+        let rss: u64 = watched.iter().map(|(_, r)| r).sum();
+        self.samples.push(MemSample {
+            t_s,
+            total_kib: meminfo.mem_total_kib,
+            available_kib: meminfo.mem_available_kib,
+            watched_rss_kib: rss,
+        });
+        for &(pid, r) in watched {
+            match self.peaks.iter_mut().find(|(p, _)| *p == pid) {
+                Some((_, peak)) => *peak = (*peak).max(r),
+                None => self.peaks.push((pid, r)),
+            }
+        }
+    }
+
+    /// The sample history.
+    pub fn samples(&self) -> &[MemSample] {
+        &self.samples
+    }
+
+    /// Peak RSS of a watched process, KiB.
+    pub fn peak_rss_kib(&self, pid: Pid) -> Option<u64> {
+        self.peaks.iter().find(|(p, _)| *p == pid).map(|(_, r)| *r)
+    }
+
+    /// Diagnoses the current memory-pressure source.
+    pub fn pressure(&self) -> MemPressureSource {
+        let Some(last) = self.samples.last() else {
+            return MemPressureSource::None;
+        };
+        let threshold = (last.total_kib as f64 * self.warn_available_frac) as u64;
+        if last.available_kib >= threshold {
+            return MemPressureSource::None;
+        }
+        if last.watched_rss_kib >= last.other_usage_kib() {
+            MemPressureSource::Application
+        } else {
+            MemPressureSource::External
+        }
+    }
+
+    /// Minimum available memory over the run, KiB.
+    pub fn min_available_kib(&self) -> Option<u64> {
+        self.samples.iter().map(|s| s.available_kib).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mi(total: u64, avail: u64) -> MemInfo {
+        MemInfo {
+            mem_total_kib: total,
+            mem_available_kib: avail,
+            mem_free_kib: avail,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn no_pressure_when_plenty_available() {
+        let mut tr = MemoryTracker::new();
+        tr.observe(0.0, &mi(1000, 800), &[(1, 100)]);
+        assert_eq!(tr.pressure(), MemPressureSource::None);
+    }
+
+    #[test]
+    fn application_pressure_attribution() {
+        let mut tr = MemoryTracker::new();
+        // 5% available, app holds most of the used memory.
+        tr.observe(0.0, &mi(1000, 50), &[(1, 800)]);
+        assert_eq!(tr.pressure(), MemPressureSource::Application);
+    }
+
+    #[test]
+    fn external_pressure_attribution() {
+        let mut tr = MemoryTracker::new();
+        // 5% available but the app only uses 100 of the 950 used.
+        tr.observe(0.0, &mi(1000, 50), &[(1, 100)]);
+        assert_eq!(tr.pressure(), MemPressureSource::External);
+        assert_eq!(tr.samples()[0].other_usage_kib(), 850);
+    }
+
+    #[test]
+    fn peaks_and_min_available() {
+        let mut tr = MemoryTracker::new();
+        tr.observe(0.0, &mi(1000, 900), &[(1, 50), (2, 10)]);
+        tr.observe(1.0, &mi(1000, 700), &[(1, 250), (2, 5)]);
+        tr.observe(2.0, &mi(1000, 800), &[(1, 150), (2, 8)]);
+        assert_eq!(tr.peak_rss_kib(1), Some(250));
+        assert_eq!(tr.peak_rss_kib(2), Some(10));
+        assert_eq!(tr.peak_rss_kib(3), None);
+        assert_eq!(tr.min_available_kib(), Some(700));
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let tr = MemoryTracker::new();
+        assert_eq!(tr.pressure(), MemPressureSource::None);
+        assert_eq!(tr.min_available_kib(), None);
+    }
+}

@@ -1,0 +1,347 @@
+//! The ZeroSum monitor: periodic observation of processes, threads,
+//! hardware threads, and memory through a [`ProcSource`].
+//!
+//! This is the paper's asynchronous monitor thread (§3.1) as a library:
+//! each call to [`Monitor::sample`] performs one periodic observation —
+//! discover LWPs from the task list, read each one's `stat`/`status`,
+//! snapshot `/proc/stat` and `/proc/meminfo` — tolerating races with
+//! exiting threads exactly as a live `/proc` consumer must. The same
+//! code drives the live-Linux backend and the node simulation.
+
+use crate::config::ZeroSumConfig;
+use crate::hwt::HwtTracker;
+use crate::lwp::LwpRegistry;
+use crate::memory::MemoryTracker;
+use zerosum_proc::{Pid, ProcSource, SourceError, Tid};
+use zerosum_topology::CpuSet;
+
+/// Static identity of a monitored process.
+#[derive(Debug, Clone)]
+pub struct ProcessInfo {
+    /// Process id.
+    pub pid: Pid,
+    /// MPI rank, if the process is part of a parallel job.
+    pub rank: Option<u32>,
+    /// Hostname of the node the process runs on.
+    pub hostname: String,
+    /// GPU physical indices assigned to this process (via
+    /// `--gpu-bind=closest` or visible-devices).
+    pub gpus: Vec<u32>,
+    /// The process affinity mask captured at initialization — ZeroSum
+    /// reads it while wrapping `main()`, *before* any runtime rebinding.
+    /// When empty, the monitor falls back to the main thread's mask at
+    /// the first sample.
+    pub cpus_allowed: CpuSet,
+}
+
+/// Monitoring state for one process.
+#[derive(Debug)]
+pub struct ProcessWatch {
+    /// Identity.
+    pub info: ProcessInfo,
+    /// Per-thread registry.
+    pub lwps: LwpRegistry,
+    /// The process affinity mask (from the first status read).
+    pub cpus_allowed: CpuSet,
+    /// RSS history `(t_s, kib)`.
+    pub rss_series: Vec<(f64, u64)>,
+    /// True once the process has disappeared.
+    pub gone: bool,
+}
+
+impl ProcessWatch {
+    /// Latest RSS, KiB.
+    pub fn rss_kib(&self) -> u64 {
+        self.rss_series.last().map(|&(_, r)| r).unwrap_or(0)
+    }
+}
+
+/// Counters describing how sampling went (exposed for overhead studies
+/// and error-tolerance tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Completed sampling rounds.
+    pub rounds: u64,
+    /// Individual record reads that failed with `NotFound` (normal
+    /// thread-exit races).
+    pub vanished: u64,
+    /// Other read errors.
+    pub errors: u64,
+}
+
+/// The ZeroSum monitor.
+#[derive(Debug)]
+pub struct Monitor {
+    /// Configuration.
+    pub config: ZeroSumConfig,
+    processes: Vec<ProcessWatch>,
+    /// Node-wide hardware-thread utilization.
+    pub hwt: HwtTracker,
+    /// Node-wide memory tracking.
+    pub mem: MemoryTracker,
+    /// Sampling health counters.
+    pub stats: SampleStats,
+    /// Time of the last sample, seconds.
+    pub last_t_s: f64,
+    /// Live snapshot feed (§3.6): subscribers receive a
+    /// [`crate::feed::SampleSnapshot`] after every sample.
+    pub feed: crate::feed::SampleFeed,
+}
+
+impl Monitor {
+    /// Creates a monitor with the given configuration.
+    pub fn new(config: ZeroSumConfig) -> Self {
+        Monitor {
+            config,
+            processes: Vec::new(),
+            hwt: HwtTracker::new(),
+            mem: MemoryTracker::new(),
+            stats: SampleStats::default(),
+            last_t_s: 0.0,
+            feed: crate::feed::SampleFeed::new(),
+        }
+    }
+
+    /// Registers a process to monitor.
+    pub fn watch_process(&mut self, info: ProcessInfo) {
+        let cpus_allowed = info.cpus_allowed.clone();
+        self.processes.push(ProcessWatch {
+            info,
+            lwps: LwpRegistry::new(),
+            cpus_allowed,
+            rss_series: Vec::new(),
+            gone: false,
+        });
+    }
+
+    /// Marks `tid` of process `pid` as an OpenMP thread (OMPT callback
+    /// path).
+    pub fn register_omp_thread(&mut self, pid: Pid, tid: Tid) {
+        if let Some(w) = self.processes.iter_mut().find(|w| w.info.pid == pid) {
+            w.lwps.register_omp_thread(tid);
+        }
+    }
+
+    /// The monitored processes.
+    pub fn processes(&self) -> &[ProcessWatch] {
+        &self.processes
+    }
+
+    /// Finds a watch by pid.
+    pub fn process(&self, pid: Pid) -> Option<&ProcessWatch> {
+        self.processes.iter().find(|w| w.info.pid == pid)
+    }
+
+    /// Union of all monitored processes' affinity masks — the CPU set the
+    /// HWT report covers.
+    pub fn watched_cpuset(&self) -> CpuSet {
+        let mut out = CpuSet::new();
+        for w in &self.processes {
+            out.union_with(&w.cpus_allowed);
+        }
+        out
+    }
+
+    /// Performs one periodic observation at time `t_s` (seconds since
+    /// monitoring began).
+    pub fn sample(&mut self, t_s: f64, src: &dyn ProcSource) {
+        self.stats.rounds += 1;
+        self.last_t_s = t_s;
+        match src.system_stat() {
+            Ok(stat) => self.hwt.observe(t_s, &stat),
+            Err(_) => self.stats.errors += 1,
+        }
+        let mut watched_rss: Vec<(Pid, u64)> = Vec::new();
+        for w in &mut self.processes {
+            if w.gone {
+                continue;
+            }
+            let pid = w.info.pid;
+            let tids = match src.list_tasks(pid) {
+                Ok(t) => t,
+                Err(SourceError::NotFound) => {
+                    w.gone = true;
+                    self.stats.vanished += 1;
+                    continue;
+                }
+                Err(_) => {
+                    self.stats.errors += 1;
+                    continue;
+                }
+            };
+            for &tid in &tids {
+                let stat = match src.task_stat(pid, tid) {
+                    Ok(s) => s,
+                    Err(SourceError::NotFound) => {
+                        // Thread exited between the directory listing and
+                        // the read: the normal race of §3.1.1.
+                        self.stats.vanished += 1;
+                        continue;
+                    }
+                    Err(_) => {
+                        self.stats.errors += 1;
+                        continue;
+                    }
+                };
+                let status = match src.task_status(pid, tid) {
+                    Ok(s) => s,
+                    Err(SourceError::NotFound) => {
+                        self.stats.vanished += 1;
+                        continue;
+                    }
+                    Err(_) => {
+                        self.stats.errors += 1;
+                        continue;
+                    }
+                };
+                if tid == pid {
+                    if w.cpus_allowed.is_empty() {
+                        w.cpus_allowed = status.cpus_allowed.clone();
+                    }
+                    w.rss_series.push((t_s, status.vm_rss_kib));
+                    watched_rss.push((pid, status.vm_rss_kib));
+                }
+                // schedstat is optional (CONFIG_SCHED_INFO); absence is
+                // not an error.
+                let schedstat = src.task_schedstat(pid, tid).ok();
+                w.lwps
+                    .observe_with_schedstat(pid, t_s, &stat, &status, schedstat);
+            }
+            w.lwps.mark_exited(&tids);
+        }
+        match src.meminfo() {
+            Ok(mi) => self.mem.observe(t_s, &mi, &watched_rss),
+            Err(_) => self.stats.errors += 1,
+        }
+        if self.feed.subscriber_count() > 0 {
+            let snap = crate::feed::snapshot_of(self);
+            self.feed.publish(snap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerosum_sched::{Behavior, NodeSim, SchedParams, SimProcSource};
+    use zerosum_topology::presets;
+
+    fn sim_and_monitor() -> (NodeSim, Monitor, Pid) {
+        let mut sim = NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
+        let pid = sim.spawn_process(
+            "app",
+            CpuSet::from_indices([0u32, 1]),
+            8_192,
+            Behavior::FiniteCompute {
+                remaining_us: 7_000_000,
+                chunk_us: 10_000,
+            },
+        );
+        sim.spawn_task(
+            pid,
+            "OpenMP",
+            None,
+            Behavior::FiniteCompute {
+                remaining_us: 7_000_000,
+                chunk_us: 10_000,
+            },
+            false,
+        );
+        let mut mon = Monitor::new(ZeroSumConfig::default());
+        mon.watch_process(ProcessInfo {
+            pid,
+            rank: Some(0),
+            hostname: "simnode0001".into(),
+            gpus: vec![],
+            cpus_allowed: Default::default(),
+        });
+        (sim, mon, pid)
+    }
+
+    #[test]
+    fn periodic_sampling_builds_history() {
+        let (mut sim, mut mon, pid) = sim_and_monitor();
+        for i in 1..=5u64 {
+            sim.run_for(1_000_000);
+            mon.sample(i as f64, &SimProcSource::new(&sim));
+        }
+        assert_eq!(mon.stats.rounds, 5);
+        assert_eq!(mon.stats.errors, 0);
+        let w = mon.process(pid).unwrap();
+        assert_eq!(w.cpus_allowed.to_list_string(), "0-1");
+        assert_eq!(w.lwps.len(), 2);
+        let main = w.lwps.track(pid).unwrap();
+        assert_eq!(main.samples.len(), 5);
+        // Both CPU-bound threads on two CPUs: ~100 jiffies/period each.
+        assert!(main.avg_utime_per_period() > 50.0);
+        assert!(w.rss_kib() > 0);
+        assert_eq!(mon.watched_cpuset().to_list_string(), "0-1");
+    }
+
+    #[test]
+    fn omp_registration_reclassifies() {
+        let (mut sim, mut mon, pid) = sim_and_monitor();
+        sim.run_for(1_000_000);
+        mon.sample(1.0, &SimProcSource::new(&sim));
+        let w = mon.process(pid).unwrap();
+        let worker_tid = w
+            .lwps
+            .tracks()
+            .find(|t| t.tid != pid)
+            .map(|t| t.tid)
+            .unwrap();
+        // Named "OpenMP" ⇒ classified by name already.
+        assert_eq!(
+            w.lwps.track(worker_tid).unwrap().kind,
+            crate::lwp::LwpKind::OpenMp
+        );
+        // Registering the main thread as OpenMP makes it Main, OpenMP.
+        mon.register_omp_thread(pid, pid);
+        sim.run_for(1_000_000);
+        mon.sample(2.0, &SimProcSource::new(&sim));
+        let w = mon.process(pid).unwrap();
+        assert!(w.lwps.track(pid).unwrap().is_openmp);
+    }
+
+    #[test]
+    fn exited_threads_marked_not_errors() {
+        let (mut sim, mut mon, pid) = sim_and_monitor();
+        sim.run_for(1_000_000);
+        mon.sample(1.0, &SimProcSource::new(&sim));
+        // Let the app finish; its threads leave /proc/<pid>/task.
+        sim.run_until_apps_done(100_000, 60_000_000).unwrap();
+        mon.sample(10.0, &SimProcSource::new(&sim));
+        let w = mon.process(pid).unwrap();
+        assert!(w.lwps.tracks().all(|t| t.exited));
+        assert_eq!(mon.stats.errors, 0);
+    }
+
+    #[test]
+    fn unknown_process_is_tolerated() {
+        let (mut sim, mut mon, _) = sim_and_monitor();
+        mon.watch_process(ProcessInfo {
+            pid: 99_999,
+            rank: None,
+            hostname: "simnode0001".into(),
+            gpus: vec![],
+            cpus_allowed: Default::default(),
+        });
+        sim.run_for(1_000_000);
+        mon.sample(1.0, &SimProcSource::new(&sim));
+        assert!(mon.process(99_999).unwrap().gone);
+        assert!(mon.stats.vanished >= 1);
+    }
+
+    #[test]
+    fn memory_tracking_follows_rss() {
+        let (mut sim, mut mon, pid) = sim_and_monitor();
+        for i in 1..=3u64 {
+            sim.run_for(1_000_000);
+            mon.sample(i as f64, &SimProcSource::new(&sim));
+        }
+        let samples = mon.mem.samples();
+        assert_eq!(samples.len(), 3);
+        assert!(samples[2].watched_rss_kib >= 8_192 - 64);
+        assert!(mon.mem.peak_rss_kib(pid).unwrap() >= 8_000);
+    }
+}

@@ -1,0 +1,248 @@
+//! The end-of-execution utilization report (§3.4, Listing 2).
+//!
+//! Rank 0 writes a summary to stdout; every rank writes a detailed report
+//! to its log file. The format reproduces the paper's Listing 2: run
+//! duration, process summary, the LWP table, the HWT table (restricted to
+//! the process affinity list), and the per-GPU min/avg/max metric block.
+
+use crate::monitor::{Monitor, ProcessWatch};
+use std::fmt::Write as _;
+use zerosum_gpu::GpuMonitor;
+use zerosum_proc::Pid;
+
+/// GPU context for the report: the monitor holding device statistics plus
+/// `(slot, physical, visible)` index mappings per monitored device.
+pub struct GpuReportContext<'a> {
+    /// The accumulated statistics.
+    pub monitor: &'a GpuMonitor,
+    /// `(slot in monitor, physical index, visible index)` rows to print.
+    pub devices: Vec<(u32, u32, u32)>,
+}
+
+/// Renders the complete report for one process (the per-rank log
+/// content).
+pub fn render_process_report(
+    monitor: &Monitor,
+    pid: Pid,
+    duration_s: f64,
+    gpu: Option<&GpuReportContext<'_>>,
+) -> String {
+    let mut out = String::new();
+    let Some(watch) = monitor.process(pid) else {
+        return format!("ZeroSum: process {pid} was never observed\n");
+    };
+    writeln!(out, "Duration of execution: {duration_s:.3}s").unwrap();
+    writeln!(out).unwrap();
+    render_process_summary(&mut out, watch);
+    writeln!(out).unwrap();
+    render_lwp_summary(&mut out, watch);
+    writeln!(out).unwrap();
+    render_hardware_summary(&mut out, monitor, watch);
+    if let Some(g) = gpu {
+        writeln!(out).unwrap();
+        for &(slot, _phys, visible) in &g.devices {
+            out.push_str(&g.monitor.render_report(slot, visible));
+        }
+    }
+    out
+}
+
+/// Renders the rank-0 stdout summary: the rank-0 process report followed
+/// by one-line process summaries for the other ranks.
+pub fn render_summary(
+    monitor: &Monitor,
+    duration_s: f64,
+    gpu: Option<&GpuReportContext<'_>>,
+) -> String {
+    let Some(first) = monitor.processes().first() else {
+        return "ZeroSum: no processes were monitored\n".to_string();
+    };
+    let mut out = render_process_report(monitor, first.info.pid, duration_s, gpu);
+    if monitor.processes().len() > 1 {
+        out.push('\n');
+        out.push_str("Other ranks:\n");
+        for w in &monitor.processes()[1..] {
+            writeln!(
+                out,
+                "MPI {:03} - PID {} - Node {} - CPUs allowed: [{}]",
+                w.info.rank.unwrap_or(0),
+                w.info.pid,
+                w.info.hostname,
+                w.cpus_allowed.to_list_string()
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+fn render_process_summary(out: &mut String, w: &ProcessWatch) {
+    writeln!(out, "Process Summary:").unwrap();
+    match w.info.rank {
+        Some(r) => writeln!(
+            out,
+            "MPI {:03} - PID {} - Node {} - CPUs allowed: [{}]",
+            r,
+            w.info.pid,
+            w.info.hostname,
+            w.cpus_allowed.to_list_string()
+        )
+        .unwrap(),
+        None => writeln!(
+            out,
+            "PID {} - Node {} - CPUs allowed: [{}]",
+            w.info.pid,
+            w.info.hostname,
+            w.cpus_allowed.to_list_string()
+        )
+        .unwrap(),
+    }
+}
+
+fn render_lwp_summary(out: &mut String, w: &ProcessWatch) {
+    writeln!(out, "LWP (thread) Summary:").unwrap();
+    let mut tracks: Vec<_> = w.lwps.tracks().collect();
+    tracks.sort_by_key(|t| t.tid);
+    for t in tracks {
+        writeln!(
+            out,
+            "LWP {}: {} - stime: {:>6.2}, utime: {:>6.2}, nv_ctx: {}, ctx: {}, CPUs: [{}]",
+            t.tid,
+            t.kind.label(t.is_openmp),
+            t.avg_stime_per_period(),
+            t.avg_utime_per_period(),
+            t.total_nvcsw(),
+            t.total_vcsw(),
+            t.affinity.to_list_string()
+        )
+        .unwrap();
+    }
+}
+
+fn render_hardware_summary(out: &mut String, monitor: &Monitor, w: &ProcessWatch) {
+    writeln!(out, "Hardware Summary:").unwrap();
+    for cpu in w.cpus_allowed.iter() {
+        if let Some((idle, system, user)) = monitor.hwt.overall(cpu) {
+            writeln!(
+                out,
+                "CPU {cpu:03} - idle: {idle:>6.2}, system: {system:>6.2}, user: {user:>6.2}"
+            )
+            .unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ZeroSumConfig;
+    use crate::monitor::ProcessInfo;
+    use zerosum_sched::{Behavior, NodeSim, SchedParams, SimProcSource};
+    use zerosum_topology::{presets, CpuSet};
+
+    fn monitored_run() -> (Monitor, Pid, f64) {
+        let mut sim = NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
+        let pid = sim.spawn_process(
+            "miniqmc",
+            CpuSet::from_indices([0u32, 1]),
+            4_096,
+            Behavior::FiniteCompute {
+                remaining_us: 2_500_000,
+                chunk_us: 10_000,
+            },
+        );
+        sim.spawn_task(
+            pid,
+            "OpenMP",
+            Some(CpuSet::single(1)),
+            Behavior::FiniteCompute {
+                remaining_us: 2_500_000,
+                chunk_us: 10_000,
+            },
+            false,
+        );
+        let mut mon = Monitor::new(ZeroSumConfig::default());
+        mon.watch_process(ProcessInfo {
+            pid,
+            rank: Some(0),
+            hostname: "simnode0001".into(),
+            gpus: vec![],
+            cpus_allowed: Default::default(),
+        });
+        for i in 1..=4u64 {
+            sim.run_for(1_000_000);
+            mon.sample(i as f64, &SimProcSource::new(&sim));
+        }
+        (mon, pid, 4.0)
+    }
+
+    #[test]
+    fn report_has_all_sections_in_listing2_shape() {
+        let (mon, pid, dur) = monitored_run();
+        let rep = render_process_report(&mon, pid, dur, None);
+        assert!(rep.starts_with("Duration of execution: 4.000s"));
+        assert!(rep.contains("Process Summary:"));
+        assert!(rep.contains(&format!(
+            "MPI 000 - PID {pid} - Node simnode0001 - CPUs allowed: [0-1]"
+        )));
+        assert!(rep.contains("LWP (thread) Summary:"));
+        assert!(rep.contains(&format!("LWP {pid}: Main - ")));
+        assert!(rep.contains("OpenMP - "));
+        assert!(rep.contains("Hardware Summary:"));
+        assert!(rep.contains("CPU 000 - idle:"));
+        assert!(rep.contains("CPU 001 - idle:"));
+        // The HWT table is limited to the process mask.
+        assert!(!rep.contains("CPU 002"));
+    }
+
+    #[test]
+    fn busy_threads_show_high_utime() {
+        let (mon, pid, dur) = monitored_run();
+        let rep = render_process_report(&mon, pid, dur, None);
+        // Both threads are CPU-bound on dedicated CPUs: utime ≈ 100
+        // jiffies/period.
+        let lwp_line = rep
+            .lines()
+            .find(|l| l.starts_with(&format!("LWP {pid}:")))
+            .unwrap();
+        let utime: f64 = lwp_line
+            .split("utime:")
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(utime > 80.0, "utime {utime} in {lwp_line}");
+    }
+
+    #[test]
+    fn unknown_pid_report() {
+        let (mon, _, _) = monitored_run();
+        let rep = render_process_report(&mon, 424242, 1.0, None);
+        assert!(rep.contains("never observed"));
+    }
+
+    #[test]
+    fn summary_lists_other_ranks() {
+        let (mut mon, _, dur) = monitored_run();
+        mon.watch_process(ProcessInfo {
+            pid: 777,
+            rank: Some(1),
+            hostname: "simnode0001".into(),
+            gpus: vec![],
+            cpus_allowed: Default::default(),
+        });
+        let s = render_summary(&mon, dur, None);
+        assert!(s.contains("Other ranks:"));
+        assert!(s.contains("MPI 001 - PID 777"));
+    }
+
+    #[test]
+    fn empty_monitor_summary() {
+        let mon = Monitor::new(ZeroSumConfig::default());
+        assert!(render_summary(&mon, 0.0, None).contains("no processes"));
+    }
+}

@@ -1,0 +1,275 @@
+//! The virtual-time monitoring driver.
+//!
+//! Couples a [`NodeSim`] with a [`Monitor`]: ZeroSum's asynchronous
+//! thread is spawned *into the simulation* as a real scheduled task (so
+//! its CPU cost perturbs the application exactly as in §4.1's overhead
+//! study), while the sampling itself executes at the same virtual
+//! instants against the simulated `/proc`.
+
+use crate::gpu_link::SimGpuLink;
+use crate::heartbeat::{Liveness, ProgressTracker};
+use crate::monitor::Monitor;
+use zerosum_proc::Tid;
+use zerosum_sched::{Behavior, NodeSim, SimProcSource};
+
+/// Result of a monitored virtual run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Application duration in virtual seconds (exact completion time).
+    pub duration_s: f64,
+    /// False if the run hit `max_us` before the application finished.
+    pub completed: bool,
+    /// Number of monitor samples taken.
+    pub samples: u64,
+    /// Liveness classification per sample (§3.3).
+    pub liveness: Vec<Liveness>,
+    /// Heartbeat lines, when enabled in the config.
+    pub heartbeats: Vec<String>,
+}
+
+/// Spawns the ZeroSum monitor thread into every watched process.
+///
+/// Each thread is pinned per the config (default: the last hardware
+/// thread of the process mask) and modeled as a periodic task costing
+/// `config.cost` per sample — the §3.1 asynchronous thread.
+pub fn attach_monitor_threads(sim: &mut NodeSim, monitor: &Monitor) -> Vec<Tid> {
+    let mut tids = Vec::new();
+    for w in monitor.processes() {
+        let pid = w.info.pid;
+        let Some(p) = sim.process(pid) else { continue };
+        let mask = p.cpus_allowed.clone();
+        let affinity = monitor.config.monitor_affinity(&mask);
+        let tid = sim.spawn_task(
+            pid,
+            "ZeroSum",
+            Some(affinity),
+            Behavior::Periodic {
+                period_us: monitor.config.period_us,
+                sys_us: monitor.config.cost.sys_us,
+                user_us: monitor.config.cost.user_us,
+            },
+            true,
+        );
+        tids.push(tid);
+    }
+    tids
+}
+
+/// Runs the simulation to application completion (or `max_us`) while
+/// sampling every `monitor.config.period_us`.
+pub fn run_monitored(
+    sim: &mut NodeSim,
+    monitor: &mut Monitor,
+    mut gpu: Option<&mut SimGpuLink>,
+    max_us: u64,
+) -> RunOutcome {
+    let start_us = sim.now_us();
+    let period = monitor.config.period_us.max(1_000);
+    let deadline = start_us + max_us;
+    let mut tracker = ProgressTracker::new();
+    let mut liveness = Vec::new();
+    let mut heartbeats = Vec::new();
+    let mut completed = false;
+    // Initial configuration detection (§3, phase 1): observe the process
+    // and thread state immediately at startup.
+    {
+        let src = SimProcSource::new(sim);
+        monitor.sample(0.0, &src);
+    }
+    while sim.now_us() < deadline {
+        let budget = period.min(deadline - sim.now_us());
+        // Advance up to one period, stopping exactly when the app exits.
+        if sim.run_until_apps_done(200, budget).is_some() {
+            completed = true;
+        }
+        let t_s = (sim.now_us() - start_us) as f64 / 1e6;
+        {
+            let src = SimProcSource::new(sim);
+            monitor.sample(t_s, &src);
+        }
+        if let Some(link) = gpu.as_deref_mut() {
+            link.poll(sim, budget as f64 / 1e6);
+        }
+        liveness.push(tracker.assess(monitor));
+        if monitor.config.heartbeat {
+            heartbeats.push(tracker.heartbeat_line(monitor, t_s));
+        }
+        if completed {
+            break;
+        }
+    }
+    RunOutcome {
+        duration_s: (sim.now_us() - start_us) as f64 / 1e6,
+        completed,
+        samples: monitor.stats.rounds,
+        liveness,
+        heartbeats,
+    }
+}
+
+/// Runs the same application *without* any monitor — the §4.1 baseline.
+/// Returns the duration in seconds, or `None` on timeout.
+pub fn run_baseline(sim: &mut NodeSim, max_us: u64) -> Option<f64> {
+    let start = sim.now_us();
+    // Same 200 µs completion-detection granularity as the monitored path,
+    // so overhead comparisons are unbiased.
+    sim.run_until_apps_done(200, max_us)
+        .map(|done| (done - start) as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MonitorCost, MonitorPlacement, ZeroSumConfig};
+    use crate::monitor::ProcessInfo;
+    use zerosum_sched::SchedParams;
+    use zerosum_topology::{presets, CpuSet};
+
+    fn app_sim(work_ms: u64) -> (NodeSim, u32) {
+        let mut sim = NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
+        let pid = sim.spawn_process(
+            "app",
+            CpuSet::from_indices([0u32, 1]),
+            1_024,
+            Behavior::FiniteCompute {
+                remaining_us: work_ms * 1_000,
+                chunk_us: 10_000,
+            },
+        );
+        (sim, pid)
+    }
+
+    #[test]
+    fn monitored_run_completes_and_samples() {
+        let (mut sim, pid) = app_sim(3_500);
+        let mut mon = Monitor::new(ZeroSumConfig::default().with_period_ms(1_000));
+        mon.watch_process(ProcessInfo {
+            pid,
+            rank: Some(0),
+            hostname: "n".into(),
+            gpus: vec![],
+            cpus_allowed: Default::default(),
+        });
+        let tids = attach_monitor_threads(&mut sim, &mon);
+        assert_eq!(tids.len(), 1);
+        // Monitor pinned to the last HWT of the mask (CPU 1).
+        assert_eq!(
+            sim.task_by_tid(tids[0]).unwrap().affinity.to_list_string(),
+            "1"
+        );
+        let out = run_monitored(&mut sim, &mut mon, None, 60_000_000);
+        assert!(out.completed);
+        assert!((3.4..4.2).contains(&out.duration_s), "{}", out.duration_s);
+        assert!(out.samples >= 3);
+        // The monitor thread shows up in the LWP registry as ZeroSum.
+        let w = mon.process(pid).unwrap();
+        assert!(w
+            .lwps
+            .tracks()
+            .any(|t| t.kind == crate::lwp::LwpKind::ZeroSum));
+        assert!(out
+            .liveness
+            .iter()
+            .all(|l| matches!(l, Liveness::Progressing | Liveness::Finished)));
+    }
+
+    #[test]
+    fn timeout_reports_incomplete() {
+        let (mut sim, pid) = app_sim(50_000);
+        let mut mon = Monitor::new(ZeroSumConfig::default());
+        mon.watch_process(ProcessInfo {
+            pid,
+            rank: None,
+            hostname: "n".into(),
+            gpus: vec![],
+            cpus_allowed: Default::default(),
+        });
+        let out = run_monitored(&mut sim, &mut mon, None, 2_000_000);
+        assert!(!out.completed);
+        assert!((1.9..2.1).contains(&out.duration_s));
+    }
+
+    #[test]
+    fn heartbeats_collected_when_enabled() {
+        let (mut sim, pid) = app_sim(2_500);
+        let mut mon = Monitor::new(ZeroSumConfig {
+            heartbeat: true,
+            ..Default::default()
+        });
+        mon.watch_process(ProcessInfo {
+            pid,
+            rank: None,
+            hostname: "n".into(),
+            gpus: vec![],
+            cpus_allowed: Default::default(),
+        });
+        let out = run_monitored(&mut sim, &mut mon, None, 60_000_000);
+        assert!(!out.heartbeats.is_empty());
+        assert!(out.heartbeats[0].starts_with("ZeroSum: t="));
+    }
+
+    #[test]
+    fn baseline_matches_unperturbed_runtime() {
+        let (mut sim, _) = app_sim(2_000);
+        let d = run_baseline(&mut sim, 60_000_000).unwrap();
+        assert!((1.9..2.3).contains(&d), "{d}");
+    }
+
+    #[test]
+    fn monitor_cost_perturbs_saturated_core() {
+        // Two busy threads on one core + monitor on the same core: the
+        // monitored run must be measurably slower than baseline — the
+        // Figure 8 two-threads-per-core mechanism.
+        let mk = || {
+            let mut sim =
+                NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
+            let pid = sim.spawn_process(
+                "app",
+                CpuSet::single(0),
+                64,
+                Behavior::FiniteCompute {
+                    remaining_us: 5_000_000,
+                    chunk_us: 10_000,
+                },
+            );
+            sim.spawn_task(
+                pid,
+                "w2",
+                None,
+                Behavior::FiniteCompute {
+                    remaining_us: 5_000_000,
+                    chunk_us: 10_000,
+                },
+                false,
+            );
+            (sim, pid)
+        };
+        let (mut base_sim, _) = mk();
+        let base = run_baseline(&mut base_sim, 120_000_000).unwrap();
+        let (mut mon_sim, pid) = mk();
+        let mut mon = Monitor::new(
+            ZeroSumConfig::default()
+                .with_placement(MonitorPlacement::Hwt(0))
+                .with_cost(MonitorCost {
+                    sys_us: 35_000,
+                    user_us: 15_000,
+                }),
+        );
+        mon.watch_process(ProcessInfo {
+            pid,
+            rank: None,
+            hostname: "n".into(),
+            gpus: vec![],
+            cpus_allowed: Default::default(),
+        });
+        attach_monitor_threads(&mut mon_sim, &mon);
+        let out = run_monitored(&mut mon_sim, &mut mon, None, 120_000_000);
+        assert!(out.completed);
+        // 50 ms of monitor CPU per second stolen from the saturated core.
+        assert!(
+            out.duration_s > base * 1.02,
+            "base {base}, monitored {}",
+            out.duration_s
+        );
+    }
+}

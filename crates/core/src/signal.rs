@@ -1,0 +1,101 @@
+//! Abnormal-exit reporting (§3.1).
+//!
+//! The paper's ZeroSum optionally installs a signal handler to report a
+//! backtrace on segmentation violations, bus errors, and other abnormal
+//! exits. Installing real signal handlers requires `unsafe` libc
+//! interop; this reproduction provides the reporting half as a safe
+//! library — capture a backtrace and format the crash report — plus a
+//! Rust-native hook for panics, which are the analogous abnormal-exit
+//! path in a Rust application.
+
+use std::backtrace::Backtrace;
+use std::fmt::Write as _;
+
+/// The abnormal-exit causes ZeroSum reports on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbnormalExit {
+    /// SIGSEGV — invalid memory reference.
+    SegmentationViolation,
+    /// SIGBUS — bus error.
+    BusError,
+    /// SIGFPE — arithmetic fault.
+    FloatingPointException,
+    /// SIGILL — illegal instruction.
+    IllegalInstruction,
+    /// SIGABRT / Rust panic.
+    Abort,
+}
+
+impl AbnormalExit {
+    /// The conventional signal name.
+    pub fn signal_name(self) -> &'static str {
+        match self {
+            AbnormalExit::SegmentationViolation => "SIGSEGV",
+            AbnormalExit::BusError => "SIGBUS",
+            AbnormalExit::FloatingPointException => "SIGFPE",
+            AbnormalExit::IllegalInstruction => "SIGILL",
+            AbnormalExit::Abort => "SIGABRT",
+        }
+    }
+}
+
+/// Formats the crash report ZeroSum writes before the process dies:
+/// cause, process identity, and a captured backtrace.
+pub fn crash_report(cause: AbnormalExit, pid: u32, rank: Option<u32>) -> String {
+    let bt = Backtrace::force_capture();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "ZeroSum: abnormal exit — {} ({:?})",
+        cause.signal_name(),
+        cause
+    )
+    .unwrap();
+    match rank {
+        Some(r) => writeln!(out, "ZeroSum: MPI {r:03} - PID {pid}").unwrap(),
+        None => writeln!(out, "ZeroSum: PID {pid}").unwrap(),
+    }
+    writeln!(out, "ZeroSum: backtrace follows").unwrap();
+    writeln!(out, "{bt}").unwrap();
+    out
+}
+
+/// Installs a Rust panic hook that prints a ZeroSum crash report to
+/// stderr before delegating to the previous hook — the Rust-native
+/// equivalent of the paper's signal handler. Returns nothing; safe to
+/// call once at startup.
+pub fn install_panic_hook(rank: Option<u32>) {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let report = crash_report(AbnormalExit::Abort, std::process::id(), rank);
+        eprintln!("{report}");
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_names() {
+        assert_eq!(AbnormalExit::SegmentationViolation.signal_name(), "SIGSEGV");
+        assert_eq!(AbnormalExit::BusError.signal_name(), "SIGBUS");
+        assert_eq!(AbnormalExit::Abort.signal_name(), "SIGABRT");
+    }
+
+    #[test]
+    fn crash_report_contains_identity_and_backtrace_header() {
+        let rep = crash_report(AbnormalExit::SegmentationViolation, 4242, Some(3));
+        assert!(rep.contains("SIGSEGV"));
+        assert!(rep.contains("MPI 003 - PID 4242"));
+        assert!(rep.contains("backtrace follows"));
+    }
+
+    #[test]
+    fn crash_report_without_rank() {
+        let rep = crash_report(AbnormalExit::FloatingPointException, 7, None);
+        assert!(rep.contains("PID 7"));
+        assert!(!rep.contains("MPI"));
+    }
+}

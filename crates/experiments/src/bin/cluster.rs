@@ -1,0 +1,11 @@
+//! The allocation-wide view: 4 Frontier nodes, one misconfigured — the
+//! "htop for all nodes in the allocation" the paper's §2 asks for.
+
+fn main() {
+    let (scale, seed) = zerosum_experiments::cli_scale_seed(20);
+    let cluster = zerosum_experiments::cluster_demo::run_allocation(scale, seed);
+    print!("{}", cluster.render_summary());
+    if let Some(s) = cluster.straggler() {
+        println!("\nstraggler: {} (mean user {:.1}%)", s.hostname, s.mean_user_pct);
+    }
+}

@@ -1,0 +1,12 @@
+//! Node diagrams in the spirit of the paper's Figures 1–3, for every
+//! built-in platform — including the GPU↔NUMA associations the official
+//! diagrams omit.
+
+use zerosum_topology::{presets, render_node_diagram};
+
+fn main() {
+    for name in ["frontier", "summit", "perlmutter", "aurora", "laptop"] {
+        let topo = presets::by_name(name).unwrap();
+        println!("{}", render_node_diagram(&topo));
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates Figure 5: the MPI point-to-point heatmap of the 512-rank
+//! PIC proxy.
+
+use zerosum_apps::PicConfig;
+use zerosum_experiments::figures::{fig5, fig5_ascii};
+use zerosum_mpi::heatmap;
+
+fn main() {
+    let (scale, _) = zerosum_experiments::cli_scale_seed(1);
+    let mut cfg = PicConfig::figure5();
+    cfg.steps = (cfg.steps / scale as usize).max(10);
+    let run = fig5(&cfg);
+    println!(
+        "Figure 5: {} ranks, diagonal fraction {:.4}, peak pair bytes {:.3e}",
+        run.matrix.size(),
+        run.diagonal_fraction,
+        run.max_pair_bytes as f64
+    );
+    println!("{}", fig5_ascii(&run, 48));
+    let path = zerosum_experiments::results_dir().join("fig5_heatmap.csv");
+    std::fs::write(&path, heatmap::to_csv(&run.matrix)).expect("write csv");
+    eprintln!("[fig5] wrote {}", path.display());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 6: per-LWP user/system time series of the Table 3
+//! run (CSV output; the paper's chart is a stacked rendering of this).
+
+fn main() {
+    let (scale, seed) = zerosum_experiments::cli_scale_seed(10);
+    let run = zerosum_experiments::figures::fig67(scale, seed);
+    let path = zerosum_experiments::results_dir().join("fig6_lwp_series.csv");
+    std::fs::write(&path, &run.lwp_csv).expect("write csv");
+    println!("Figure 6: {} samples of rank-0 LWP counters", run.samples);
+    println!("{}", run.lwp_bundle.render_stacked_ascii(72, 12));
+    eprintln!("[fig6] wrote {}", path.display());
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 7: per-hardware-thread utilization time series of
+//! the Table 3 run.
+
+fn main() {
+    let (scale, seed) = zerosum_experiments::cli_scale_seed(10);
+    let run = zerosum_experiments::figures::fig67(scale, seed);
+    let path = zerosum_experiments::results_dir().join("fig7_hwt_series.csv");
+    std::fs::write(&path, &run.hwt_csv).expect("write csv");
+    println!("Figure 7: core 1 utilization over {} samples", run.samples);
+    println!("{}", run.hwt_bundle.render_stacked_ascii(72, 12));
+    eprintln!("[fig7] wrote {}", path.display());
+}

@@ -1,0 +1,61 @@
+//! Regenerates Figure 8: the ZeroSum overhead study — 10 runs with and
+//! without the monitor, at one and two OpenMP threads per core.
+
+use zerosum_experiments::figures::fig8;
+use zerosum_stats::{quartiles, Summary};
+
+fn print_case(name: &str, run: &zerosum_experiments::figures::Fig8Run) {
+    let b = Summary::from_slice(&run.baseline);
+    let z = Summary::from_slice(&run.with_zerosum);
+    println!("== {name} ==");
+    println!(
+        "  baseline     : {:.4} ± {:.4} s   {:?}",
+        b.mean(),
+        b.stddev(),
+        quartiles(&run.baseline).unwrap()
+    );
+    println!(
+        "  with ZeroSum : {:.4} ± {:.4} s   {:?}",
+        z.mean(),
+        z.stddev(),
+        quartiles(&run.with_zerosum).unwrap()
+    );
+    match &run.ttest {
+        Some(t) => println!(
+            "  Welch t-test : t={:.3}, df={:.1}, p={:.4}  ({})",
+            t.t,
+            t.df,
+            t.p_value,
+            if t.significant(0.05) {
+                "SIGNIFICANT"
+            } else {
+                "not significant"
+            }
+        ),
+        None => println!("  Welch t-test : insufficient samples"),
+    }
+    println!(
+        "  overhead     : {:+.4} s = {:+.3}%",
+        run.mean_overhead_s,
+        run.overhead_frac * 100.0
+    );
+}
+
+fn main() {
+    let (scale, seed) = zerosum_experiments::cli_scale_seed(10);
+    let one = fig8(false, 10, scale, seed);
+    print_case("one OpenMP thread per core", &one);
+    let two = fig8(true, 10, scale, seed + 1);
+    print_case("two OpenMP threads per core", &two);
+    let dir = zerosum_experiments::results_dir();
+    let mut csv = String::from("case,run,baseline_s,with_zerosum_s\n");
+    for (i, (b, z)) in one.baseline.iter().zip(&one.with_zerosum).enumerate() {
+        csv.push_str(&format!("1tpc,{i},{b},{z}\n"));
+    }
+    for (i, (b, z)) in two.baseline.iter().zip(&two.with_zerosum).enumerate() {
+        csv.push_str(&format!("2tpc,{i},{b},{z}\n"));
+    }
+    let path = dir.join("fig8_overhead.csv");
+    std::fs::write(&path, csv).expect("write csv");
+    eprintln!("[fig8] wrote {}", path.display());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Listing 1: the lstopo-style topology of the i7-1165G7
+//! test node.
+
+fn main() {
+    print!("{}", zerosum_experiments::listings::listing1());
+}

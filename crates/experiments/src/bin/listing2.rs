@@ -1,0 +1,12 @@
+//! Regenerates Listing 2: the full ZeroSum utilization report for the
+//! miniQMC GPU-offload run on the simulated Frontier node.
+
+fn main() {
+    let (scale, seed) = zerosum_experiments::cli_scale_seed(10);
+    let run = zerosum_experiments::listings::listing2(scale, seed);
+    print!("{}", run.report);
+    eprintln!(
+        "\n[listing2] duration {:.3}s, rank-0 GCD busy avg {:.2}%, VRAM peak {:.3e} B",
+        run.duration_s, run.gpu_busy_avg, run.vram_peak
+    );
+}

@@ -1,0 +1,12 @@
+//! Cross-platform sweep: the §4 "collection of machines" — run the same
+//! monitored GPU-offload workload on the Frontier, Summit, Perlmutter
+//! and Aurora node models.
+
+fn main() {
+    let (scale, seed) = zerosum_experiments::cli_scale_seed(10);
+    let blocks = (200 / scale).max(4);
+    print!(
+        "{}",
+        zerosum_experiments::platforms::run_all_platforms(blocks, seed)
+    );
+}

@@ -1,0 +1,102 @@
+//! Runs every paper artifact in sequence and prints a compact
+//! paper-vs-measured comparison (the EXPERIMENTS.md data source).
+
+use zerosum_apps::PicConfig;
+use zerosum_experiments::figures::{fig5, fig67, fig8};
+use zerosum_experiments::listings;
+use zerosum_experiments::tables::{run_table, TableConfig};
+use zerosum_stats::Summary;
+
+fn main() {
+    let (scale, seed) = zerosum_experiments::cli_scale_seed(10);
+    println!("ZeroSum-rs: full evaluation sweep (scale {scale}, seed {seed})\n");
+
+    println!("--- Listing 1 ---");
+    print!("{}", listings::listing1());
+
+    println!("\n--- Tables 1-3 ---");
+    let t1 = run_table(TableConfig::Table1, scale, seed);
+    let t2 = run_table(TableConfig::Table2, scale, seed);
+    let t3 = run_table(TableConfig::Table3, scale, seed);
+    let nv = |r: &zerosum_experiments::tables::TableRun| -> u64 {
+        r.rows
+            .iter()
+            .filter(|x| x.label.contains("OpenMP"))
+            .map(|x| x.nvctx)
+            .sum()
+    };
+    println!(
+        "runtime:    T1 {:.2}s  T2 {:.2}s  T3 {:.2}s   (paper: 63.67 / 27.33 / 27.40)",
+        t1.duration_s, t2.duration_s, t3.duration_s
+    );
+    println!(
+        "team nvctx: T1 {}  T2 {}  T3 {}   (paper: ~2e6 total / ~50 / ~210)",
+        nv(&t1),
+        nv(&t2),
+        nv(&t3)
+    );
+    println!(
+        "migrations: T2 {}  T3 {}   (paper: all threads ≥1 / none)",
+        t2.team_migrations, t3.team_migrations
+    );
+
+    println!("\n--- Listing 2 ---");
+    let l2 = listings::listing2(scale, seed);
+    println!(
+        "duration {:.2}s, GCD busy avg {:.1}% (paper: 14.6%), VRAM peak {:.3e} B (paper: 4.84e9)",
+        l2.duration_s, l2.gpu_busy_avg, l2.vram_peak
+    );
+
+    println!("\n--- Figure 5 ---");
+    let mut pic = PicConfig::figure5();
+    pic.steps = (pic.steps / scale as usize).max(10);
+    let f5 = fig5(&pic);
+    println!(
+        "{} ranks, diagonal fraction {:.4}, peak pair {:.3e} B (paper: diagonal band, ~1.75e10)",
+        f5.matrix.size(),
+        f5.diagonal_fraction,
+        f5.max_pair_bytes as f64
+    );
+
+    println!("\n--- Figures 6/7 ---");
+    let f67 = fig67(scale, seed);
+    println!(
+        "exported {} samples; LWP rows {}, HWT rows {}",
+        f67.samples,
+        f67.lwp_csv.lines().count() - 1,
+        f67.hwt_csv.lines().count() - 1
+    );
+
+    println!("\n--- Figure 8 ---");
+    for (name, two) in [("1 thread/core", false), ("2 threads/core", true)] {
+        let run = fig8(two, 10, scale, seed);
+        let b = Summary::from_slice(&run.baseline);
+        let z = Summary::from_slice(&run.with_zerosum);
+        let p = run.ttest.map(|t| t.p_value).unwrap_or(f64::NAN);
+        println!(
+            "{name}: baseline {:.3}±{:.3}s, zerosum {:.3}±{:.3}s, p={:.4}, overhead {:+.3}%",
+            b.mean(),
+            b.stddev(),
+            z.mean(),
+            z.stddev(),
+            p,
+            run.overhead_frac * 100.0
+        );
+    }
+    println!("\n(paper: 1tpc p=0.998 no diff; 2tpc p=0.0006, +0.5% ≈ 0.275s)");
+
+    println!("\n--- Extension: configuration sweep (srun -c N) ---");
+    let pts = zerosum_experiments::sweep::sweep_cpus_per_task(&[1, 2, 4, 7], scale, seed);
+    print!("{}", zerosum_experiments::sweep::render_sweep(&pts));
+
+    println!("\n--- Extension: cross-platform sweep ---");
+    let blocks = (200 / scale).max(4);
+    print!(
+        "{}",
+        zerosum_experiments::platforms::run_all_platforms(blocks, seed)
+    );
+
+    println!("\n--- Extension: allocation summary (one node misconfigured) ---");
+    let cluster = zerosum_experiments::cluster_demo::run_allocation(scale.max(10), seed);
+    print!("{}", cluster.render_summary());
+}

@@ -1,0 +1,10 @@
+//! The configuration-optimization sweep: runtime and contention vs
+//! `srun -c N` (the Tables 1→2 curve).
+
+use zerosum_experiments::sweep::{render_sweep, sweep_cpus_per_task};
+
+fn main() {
+    let (scale, seed) = zerosum_experiments::cli_scale_seed(10);
+    let pts = sweep_cpus_per_task(&[1, 2, 3, 4, 5, 6, 7], scale, seed);
+    print!("{}", render_sweep(&pts));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 1: the default `srun -n8` misconfiguration.
+
+use zerosum_experiments::tables::{render_rows, run_table, TableConfig};
+
+fn main() {
+    let (scale, seed) = zerosum_experiments::cli_scale_seed(10);
+    let run = run_table(TableConfig::Table1, scale, seed);
+    print!("{}", render_rows(&run));
+    println!();
+    print!("{}", zerosum_core::render_findings(&run.findings));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table 2: `srun -n8 -c7` with unbound OpenMP threads.
+
+use zerosum_experiments::tables::{render_rows, run_table, TableConfig};
+
+fn main() {
+    let (scale, seed) = zerosum_experiments::cli_scale_seed(10);
+    let run = run_table(TableConfig::Table2, scale, seed);
+    print!("{}", render_rows(&run));
+    println!("team migrations observed: {}", run.team_migrations);
+    println!();
+    print!("{}", zerosum_core::render_findings(&run.findings));
+}

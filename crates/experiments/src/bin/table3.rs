@@ -1,0 +1,13 @@
+//! Regenerates Table 3: `srun -n8 -c7` with `OMP_PROC_BIND=spread
+//! OMP_PLACES=cores`.
+
+use zerosum_experiments::tables::{render_rows, run_table, TableConfig};
+
+fn main() {
+    let (scale, seed) = zerosum_experiments::cli_scale_seed(10);
+    let run = run_table(TableConfig::Table3, scale, seed);
+    print!("{}", render_rows(&run));
+    println!("team migrations observed: {}", run.team_migrations);
+    println!();
+    print!("{}", zerosum_core::render_findings(&run.findings));
+}

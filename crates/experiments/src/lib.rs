@@ -1,0 +1,70 @@
+//! # zerosum-experiments
+//!
+//! Regeneration harnesses for every table and figure in the paper's
+//! evaluation (§4), plus the two listings:
+//!
+//! | Artifact | Module / binary |
+//! |---|---|
+//! | Listing 1 (lstopo output) | [`listings::listing1`], `bin/listing1` |
+//! | Listing 2 (utilization report) | [`listings::listing2`], `bin/listing2` |
+//! | Table 1 (default srun) | [`tables::run_table`], `bin/table1` |
+//! | Table 2 (`-c7`) | [`tables::run_table`], `bin/table2` |
+//! | Table 3 (`-c7` + spread/cores) | [`tables::run_table`], `bin/table3` |
+//! | Figure 5 (p2p heatmap) | [`figures::fig5`], `bin/fig5` |
+//! | Figure 6 (LWP series) | [`figures::fig67`], `bin/fig6` |
+//! | Figure 7 (HWT series) | [`figures::fig67`], `bin/fig7` |
+//! | Figure 8 (overhead) | [`figures::fig8`], `bin/fig8` |
+//!
+//! Binaries accept `--scale N` (divide the workload for quick runs) and
+//! write CSV artifacts under `results/`.
+
+#![warn(missing_docs)]
+
+pub mod cluster_demo;
+pub mod figures;
+pub mod listings;
+pub mod platforms;
+pub mod sweep;
+pub mod tables;
+
+use std::path::PathBuf;
+
+/// Parses `--scale N` and `--seed N` from argv, with defaults.
+pub fn cli_scale_seed(default_scale: u32) -> (u32, u64) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = default_scale;
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    scale = v;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    seed = v;
+                }
+            }
+            _ => {}
+        }
+    }
+    (scale.max(1), seed)
+}
+
+/// The `results/` output directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = super::results_dir();
+        assert!(d.exists());
+    }
+}

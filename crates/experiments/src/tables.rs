@@ -1,0 +1,302 @@
+//! Tables 1–3: the three Frontier launch configurations of §4.
+//!
+//! All three run the same CPU-only miniQMC-sim (8 ranks, 7 OpenMP
+//! threads); they differ only in the `srun` arguments and OpenMP binding
+//! environment, exactly as in the paper:
+//!
+//! * **Table 1** — `srun -n8` (default: one core per process; every
+//!   thread lands on the rank's single core).
+//! * **Table 2** — `srun -n8 -c7` (7 cores per rank, threads unbound).
+//! * **Table 3** — `srun -n8 -c7` + `OMP_PROC_BIND=spread
+//!   OMP_PLACES=cores` (one thread pinned per core).
+
+use std::sync::{Arc, Mutex};
+use zerosum_apps::{launch_miniqmc, MiniQmcConfig};
+use zerosum_core::{
+    attach_monitor_threads, evaluate, render_process_report, run_monitored, Finding, Monitor,
+    ProcessInfo, ZeroSumConfig,
+};
+use zerosum_omp::{OmpEnv, OmptRegistry};
+use zerosum_sched::{NodeSim, SchedParams, SrunConfig};
+use zerosum_topology::presets;
+
+/// Which table's configuration to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableConfig {
+    /// Default `srun -n8`.
+    Table1,
+    /// `srun -n8 -c7`, unbound threads.
+    Table2,
+    /// `srun -n8 -c7`, `spread`/`cores`.
+    Table3,
+}
+
+impl TableConfig {
+    /// Human label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TableConfig::Table1 => "Table 1: srun -n8 (default, 1 core/process)",
+            TableConfig::Table2 => "Table 2: srun -n8 -c7 (unbound threads)",
+            TableConfig::Table3 => {
+                "Table 3: srun -n8 -c7 + OMP_PROC_BIND=spread OMP_PLACES=cores"
+            }
+        }
+    }
+}
+
+/// One row of the paper's LWP table.
+#[derive(Debug, Clone)]
+pub struct LwpRow {
+    /// Thread id.
+    pub tid: u32,
+    /// Type label (`Main, OpenMP`, `ZeroSum`, `OpenMP`, `Other`).
+    pub label: String,
+    /// Average system jiffies per period.
+    pub stime: f64,
+    /// Average user jiffies per period.
+    pub utime: f64,
+    /// Non-voluntary context switches.
+    pub nvctx: u64,
+    /// Voluntary context switches.
+    pub ctx: u64,
+    /// Affinity list.
+    pub cpus: String,
+    /// Migrations observed through the `processor` field.
+    pub migrations: usize,
+}
+
+/// The result of one table run.
+#[derive(Debug)]
+pub struct TableRun {
+    /// Which configuration ran.
+    pub config: TableConfig,
+    /// Application duration, virtual seconds.
+    pub duration_s: f64,
+    /// Rank 0's LWP rows, tid-ascending.
+    pub rows: Vec<LwpRow>,
+    /// The full rank-0 report (Listing 2 format).
+    pub report: String,
+    /// Configuration-evaluator findings.
+    pub findings: Vec<Finding>,
+    /// Total migrations across rank 0's OpenMP team.
+    pub team_migrations: usize,
+}
+
+fn miniqmc_for(config: TableConfig, scale: u32) -> MiniQmcConfig {
+    let mut cfg = MiniQmcConfig::frontier_cpu().scaled_down(scale);
+    match config {
+        TableConfig::Table1 => {
+            cfg.srun = SrunConfig {
+                ntasks: 8,
+                cpus_per_task: None,
+                threads_per_core: 1,
+                reserve_first_core_per_l3: true,
+                gpu_bind_closest: false,
+            };
+            cfg.omp = OmpEnv::from_pairs([("OMP_NUM_THREADS", "7")]).unwrap();
+        }
+        TableConfig::Table2 => {
+            cfg.omp = OmpEnv::from_pairs([("OMP_NUM_THREADS", "7")]).unwrap();
+        }
+        TableConfig::Table3 => {
+            cfg.omp = OmpEnv::from_pairs([
+                ("OMP_NUM_THREADS", "7"),
+                ("OMP_PROC_BIND", "spread"),
+                ("OMP_PLACES", "cores"),
+            ])
+            .unwrap();
+        }
+    }
+    cfg
+}
+
+/// Runs one table configuration. `scale` divides the block count
+/// (1 = the full paper-calibrated workload; tests use 50–100).
+pub fn run_table(config: TableConfig, scale: u32, seed: u64) -> TableRun {
+    let topo = presets::frontier();
+    let mut sim = NodeSim::new(
+        topo.clone(),
+        SchedParams {
+            seed,
+            ..SchedParams::default()
+        },
+    );
+    let qmc = miniqmc_for(config, scale);
+    // OMPT: collect thread-begin events the way the real tool does.
+    let omp_tids: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut ompt = OmptRegistry::new();
+    {
+        let omp_tids = Arc::clone(&omp_tids);
+        ompt.on_thread_begin(move |ev| omp_tids.lock().unwrap().push(ev.tid));
+    }
+    let job = launch_miniqmc(&mut sim, &topo, &qmc, &mut ompt).expect("launch");
+    let mut monitor = Monitor::new(ZeroSumConfig::scaled(scale));
+    for team in &job.teams {
+        let rank = sim.process(team.pid).and_then(|p| p.rank);
+        monitor.watch_process(ProcessInfo {
+            pid: team.pid,
+            rank,
+            hostname: sim.hostname().to_string(),
+            gpus: vec![],
+            cpus_allowed: sim
+                .process(team.pid)
+                .map(|p| p.cpus_allowed.clone())
+                .unwrap_or_default(),
+        });
+    }
+    // Feed the OMPT-discovered tids to the monitor.
+    for &tid in omp_tids.lock().unwrap().iter() {
+        if let Some(task) = sim.task_by_tid(tid) {
+            let pid = task.pid;
+            monitor.register_omp_thread(pid, tid);
+        }
+    }
+    attach_monitor_threads(&mut sim, &monitor);
+    let out = run_monitored(&mut sim, &mut monitor, None, 3_600_000_000);
+    assert!(out.completed, "table run timed out");
+    let rank0 = job.teams[0].pid;
+    let report = render_process_report(&monitor, rank0, out.duration_s, None);
+    let findings = evaluate(&monitor, &topo);
+    let watch = monitor.process(rank0).expect("rank 0 watched");
+    let mut rows: Vec<LwpRow> = watch
+        .lwps
+        .tracks()
+        .map(|t| LwpRow {
+            tid: t.tid,
+            label: t.kind.label(t.is_openmp),
+            stime: t.avg_stime_per_period(),
+            utime: t.avg_utime_per_period(),
+            nvctx: t.total_nvcsw(),
+            ctx: t.total_vcsw(),
+            cpus: t.affinity.to_list_string(),
+            migrations: t.observed_migrations(),
+        })
+        .collect();
+    rows.sort_by_key(|r| r.tid);
+    let team_migrations = watch
+        .lwps
+        .tracks()
+        .filter(|t| t.is_openmp || t.kind == zerosum_core::LwpKind::Main)
+        .map(|t| t.observed_migrations())
+        .sum();
+    TableRun {
+        config,
+        duration_s: out.duration_s,
+        rows,
+        report,
+        findings,
+        team_migrations,
+    }
+}
+
+/// Formats the rows like the paper's tables.
+pub fn render_rows(run: &TableRun) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "{}", run.config.label()).unwrap();
+    writeln!(out, "Application runtime: {:.2} s", run.duration_s).unwrap();
+    writeln!(
+        out,
+        "{:>6}  {:<12} {:>7} {:>7} {:>9} {:>7}  CPUs",
+        "LWP", "Type", "stime", "utime", "nvctx", "ctx"
+    )
+    .unwrap();
+    for r in &run.rows {
+        writeln!(
+            out,
+            "{:>6}  {:<12} {:>7.2} {:>7.2} {:>9} {:>7}  {}",
+            r.tid, r.label, r.stime, r.utime, r.nvctx, r.ctx, r.cpus
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn openmp_rows(run: &TableRun) -> Vec<&LwpRow> {
+        run.rows
+            .iter()
+            .filter(|r| r.label.contains("OpenMP"))
+            .collect()
+    }
+
+    #[test]
+    fn table1_oversubscribes_single_core() {
+        let run = run_table(TableConfig::Table1, 100, 1);
+        // Every team thread bound to core 1 (the paper's observation).
+        for r in openmp_rows(&run) {
+            assert_eq!(r.cpus, "1", "row {r:?}");
+        }
+        // Massive involuntary churn, little voluntary.
+        let nv: u64 = openmp_rows(&run).iter().map(|r| r.nvctx).sum();
+        let v: u64 = openmp_rows(&run).iter().map(|r| r.ctx).sum();
+        assert!(nv > 500, "nvctx total {nv}");
+        assert!(v < nv / 5, "ctx {v} vs nvctx {nv}");
+        // Evaluator screams.
+        assert!(run
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::OversubscribedHwts { .. })));
+    }
+
+    #[test]
+    fn table2_spreads_and_migrates() {
+        let run = run_table(TableConfig::Table2, 100, 2);
+        for r in openmp_rows(&run) {
+            assert_eq!(r.cpus, "1-7", "unbound mask, row {r:?}");
+        }
+        let nv: u64 = openmp_rows(&run).iter().map(|r| r.nvctx).sum();
+        assert!(nv < 200, "nvctx total {nv}");
+        // Unbound threads flagged as an Info finding.
+        assert!(run
+            .findings
+            .iter()
+            .any(|f| matches!(f, Finding::UnboundThreads { .. })));
+    }
+
+    #[test]
+    fn table3_binds_and_eliminates_migrations() {
+        let run = run_table(TableConfig::Table3, 100, 3);
+        let rows = openmp_rows(&run);
+        // One thread per core: single-CPU masks.
+        for r in &rows {
+            assert_eq!(r.cpus.split(',').count(), 1);
+            assert!(!r.cpus.contains('-'), "row {r:?}");
+        }
+        assert_eq!(run.team_migrations, 0, "bound threads never migrate");
+    }
+
+    #[test]
+    fn runtime_ordering_matches_paper() {
+        let t1 = run_table(TableConfig::Table1, 100, 4);
+        let t2 = run_table(TableConfig::Table2, 100, 4);
+        let t3 = run_table(TableConfig::Table3, 100, 4);
+        assert!(
+            t1.duration_s > 2.0 * t2.duration_s,
+            "oversubscribed run must be much slower: t1 {} vs t2 {}",
+            t1.duration_s,
+            t2.duration_s
+        );
+        let ratio = t3.duration_s / t2.duration_s;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "t2 {} and t3 {} should be comparable",
+            t2.duration_s,
+            t3.duration_s
+        );
+    }
+
+    #[test]
+    fn reports_render_in_paper_format() {
+        let run = run_table(TableConfig::Table3, 200, 5);
+        assert!(run.report.contains("Duration of execution:"));
+        assert!(run.report.contains("MPI 000"));
+        assert!(run.report.contains("CPUs allowed: [1-7]"));
+        let rows = render_rows(&run);
+        assert!(rows.contains("Table 3"));
+        assert!(rows.contains("ZeroSum"));
+    }
+}

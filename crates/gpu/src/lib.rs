@@ -1,0 +1,85 @@
+//! # zerosum-gpu
+//!
+//! The GPU-monitoring substrate for ZeroSum-rs.
+//!
+//! §3.4–3.5 of the paper: ZeroSum periodically queries ROCm SMI (AMD),
+//! NVML (NVIDIA), or the Intel DPC++/SYCL API for device utilization,
+//! clocks, power, temperature and memory, reporting min/mean/max in the
+//! utilization report and watching GPU memory for exhaustion in the
+//! contention report. This crate provides:
+//!
+//! * [`metrics`] — the Listing 2 metric set with the paper's row labels.
+//! * [`device`] — the [`device::GpuBackend`] vendor abstraction and the
+//!   min/mean/max [`device::GpuMonitor`].
+//! * [`activity`] — the busy-fraction → metric-values physical model and
+//!   the [`activity::ActivityFeed`] ground-truth source trait.
+//! * [`backends`] — simulated ROCm SMI / NVML / Level Zero instances over
+//!   MI250X / A100 / V100 / PVC device models.
+//! * [`visible`] — `*_VISIBLE_DEVICES` visible↔physical index mapping
+//!   (the Frontier GCD-4-shown-as-0 trap).
+
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod backends;
+pub mod device;
+pub mod metrics;
+pub mod visible;
+
+pub use activity::{ActivityFeed, DeviceSpec, SyntheticFeed};
+pub use backends::SmiSim;
+pub use device::{GpuBackend, GpuMonitor};
+pub use metrics::{GpuMetricKind, GpuSample};
+pub use visible::VisibleDevices;
+
+#[cfg(test)]
+mod proptests {
+    use crate::activity::{synthesize, DeviceSpec, SynthState};
+    use crate::metrics::GpuMetricKind;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Synthesized metrics stay within the device's physical envelope
+        /// for any busy fraction and memory footprint.
+        #[test]
+        fn synthesis_respects_physical_envelope(
+            busy in 0.0f64..1.0,
+            mem in 0u64..(64u64 << 30),
+            dt in 0.1f64..5.0,
+        ) {
+            let spec = DeviceSpec::mi250x_gcd();
+            let mut st = SynthState::default();
+            let s = synthesize(&spec, &mut st, busy, mem, dt);
+            let clock = s.get(GpuMetricKind::ClockFrequencyGfx);
+            prop_assert!(clock >= spec.gfx_clock_mhz.0 - 1e-9);
+            prop_assert!(clock <= spec.gfx_clock_mhz.1 + 1e-9);
+            let power = s.get(GpuMetricKind::PowerAverage);
+            prop_assert!(power >= spec.power_w.0 - 1e-9 && power <= spec.power_w.1 + 1e-9);
+            let volt = s.get(GpuMetricKind::VoltageMv);
+            prop_assert!(volt >= spec.voltage_mv.0 - 1e-9 && volt <= spec.voltage_mv.1 + 1e-9);
+            prop_assert!(s.get(GpuMetricKind::DeviceBusyPct) <= 100.0);
+            prop_assert_eq!(s.get(GpuMetricKind::UsedVramBytes), mem as f64);
+        }
+
+        /// Visible-device roundtrip: physical_of ∘ visible_of = identity
+        /// on visible devices.
+        #[test]
+        fn visible_mapping_roundtrips(perm in Just(()).prop_perturb(|_, mut rng| {
+            use proptest::prelude::Rng as _;
+            let n = rng.random_range(1usize..8);
+            let mut v: Vec<u32> = (0..8u32).collect();
+            for i in (1..v.len()).rev() {
+                let j = rng.random_range(0..=i);
+                v.swap(i, j);
+            }
+            v.truncate(n);
+            v
+        })) {
+            let map = crate::visible::VisibleDevices::from_physical(perm.clone());
+            for (vis, &phys) in perm.iter().enumerate() {
+                prop_assert_eq!(map.physical_of(vis as u32), Some(phys));
+                prop_assert_eq!(map.visible_of(phys), Some(vis as u32));
+            }
+        }
+    }
+}

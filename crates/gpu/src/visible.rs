@@ -1,0 +1,136 @@
+//! Visible-device remapping (`ROCR_VISIBLE_DEVICES` /
+//! `CUDA_VISIBLE_DEVICES` / `HIP_VISIBLE_DEVICES`).
+//!
+//! §3.4 of the paper: *"The 'visible' HIP index (0) of the GCD/GPU is
+//! shown, even though the true GCD/GPU index (4) may be different."* On
+//! Frontier, `--gpu-bind=closest` gives the rank on NUMA 0 the physical
+//! GCD 4, which the application sees as device 0. This module implements
+//! that translation layer and the helpers ZeroSum's report uses to print
+//! both indices.
+
+use std::fmt;
+
+/// A visible→physical device mapping for one process.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VisibleDevices {
+    physical: Vec<u32>,
+}
+
+impl VisibleDevices {
+    /// All `n` physical devices visible, identity-mapped.
+    pub fn all(n: u32) -> Self {
+        VisibleDevices {
+            physical: (0..n).collect(),
+        }
+    }
+
+    /// A mapping from an explicit physical-index list: visible index `i`
+    /// is `physical[i]`.
+    pub fn from_physical(physical: Vec<u32>) -> Self {
+        VisibleDevices { physical }
+    }
+
+    /// Parses the environment-variable format, e.g. `"4"` or `"4,5"`.
+    /// An empty string means no devices are visible.
+    pub fn parse(s: &str) -> Result<Self, VisibleParseError> {
+        let t = s.trim();
+        if t.is_empty() {
+            return Ok(VisibleDevices::default());
+        }
+        let mut physical = Vec::new();
+        for tok in t.split(',') {
+            let v = tok
+                .trim()
+                .parse()
+                .map_err(|_| VisibleParseError(tok.trim().to_string()))?;
+            if physical.contains(&v) {
+                return Err(VisibleParseError(format!("duplicate device {v}")));
+            }
+            physical.push(v);
+        }
+        Ok(VisibleDevices { physical })
+    }
+
+    /// Number of visible devices.
+    pub fn len(&self) -> usize {
+        self.physical.len()
+    }
+
+    /// True if no devices are visible.
+    pub fn is_empty(&self) -> bool {
+        self.physical.is_empty()
+    }
+
+    /// The physical index behind visible index `v`.
+    pub fn physical_of(&self, v: u32) -> Option<u32> {
+        self.physical.get(v as usize).copied()
+    }
+
+    /// The visible index of physical device `p`, if it is visible.
+    pub fn visible_of(&self, p: u32) -> Option<u32> {
+        self.physical.iter().position(|&x| x == p).map(|i| i as u32)
+    }
+
+    /// The environment-variable encoding.
+    pub fn to_env_string(&self) -> String {
+        self.physical
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Error parsing a visible-devices list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VisibleParseError(pub String);
+
+impl fmt::Display for VisibleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid visible-devices entry: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for VisibleParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_closest_binding_case() {
+        // Rank on NUMA 0 gets physical GCD 4, visible as 0 — the exact
+        // situation called out under Listing 2.
+        let v = VisibleDevices::parse("4").unwrap();
+        assert_eq!(v.physical_of(0), Some(4));
+        assert_eq!(v.visible_of(4), Some(0));
+        assert_eq!(v.visible_of(0), None);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn multi_device_mapping() {
+        let v = VisibleDevices::parse("4,5,2").unwrap();
+        assert_eq!(v.physical_of(2), Some(2));
+        assert_eq!(v.visible_of(5), Some(1));
+        assert_eq!(v.to_env_string(), "4,5,2");
+    }
+
+    #[test]
+    fn identity_mapping() {
+        let v = VisibleDevices::all(8);
+        for i in 0..8 {
+            assert_eq!(v.physical_of(i), Some(i));
+            assert_eq!(v.visible_of(i), Some(i));
+        }
+    }
+
+    #[test]
+    fn parse_errors_and_empty() {
+        assert!(VisibleDevices::parse("x").is_err());
+        assert!(VisibleDevices::parse("1,1").is_err());
+        let v = VisibleDevices::parse("").unwrap();
+        assert!(v.is_empty());
+        assert_eq!(v.physical_of(0), None);
+    }
+}

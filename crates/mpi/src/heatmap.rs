@@ -1,0 +1,136 @@
+//! Heatmap rendering and export of the communication matrix.
+//!
+//! §3.6: ZeroSum's log contains the MPI point-to-point data "which can be
+//! post-processed to produce a heatmap like the one shown in Figure 5."
+//! This module is that post-processing: CSV export of the matrix and an
+//! ASCII intensity rendering with optional downsampling for large rank
+//! counts.
+
+use crate::comm::CommMatrix;
+use std::fmt::Write as _;
+
+/// CSV export: header `src,dst,bytes,messages`, one row per nonzero pair.
+pub fn to_csv(m: &CommMatrix) -> String {
+    let mut out = String::from("src,dst,bytes,messages\n");
+    for s in 0..m.size() {
+        for d in 0..m.size() {
+            let b = m.bytes(s, d);
+            if b > 0 {
+                writeln!(out, "{s},{d},{b},{}", m.messages(s, d)).unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// A dense downsampled intensity grid in `[0,1]`, `cells × cells`,
+/// averaging byte counts within each cell — what a plotting script would
+/// feed to `imshow` for Figure 5.
+pub fn intensity_grid(m: &CommMatrix, cells: usize) -> Vec<Vec<f64>> {
+    let cells = cells.min(m.size()).max(1);
+    let mut sums = vec![vec![0u64; cells]; cells];
+    let mut counts = vec![vec![0u64; cells]; cells];
+    for s in 0..m.size() {
+        for d in 0..m.size() {
+            let ci = s * cells / m.size();
+            let cj = d * cells / m.size();
+            sums[ci][cj] += m.bytes(s, d);
+            counts[ci][cj] += 1;
+        }
+    }
+    let mut maxavg = 0.0f64;
+    let mut grid = vec![vec![0.0f64; cells]; cells];
+    for i in 0..cells {
+        for j in 0..cells {
+            if counts[i][j] > 0 {
+                grid[i][j] = sums[i][j] as f64 / counts[i][j] as f64;
+                maxavg = maxavg.max(grid[i][j]);
+            }
+        }
+    }
+    if maxavg > 0.0 {
+        for row in &mut grid {
+            for v in row.iter_mut() {
+                *v /= maxavg;
+            }
+        }
+    }
+    grid
+}
+
+/// ASCII heatmap: darkness ramp ` .:-=+*#%@` over the downsampled grid.
+pub fn render_ascii(m: &CommMatrix, cells: usize) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let grid = intensity_grid(m, cells);
+    let mut out = String::new();
+    for row in &grid {
+        for &v in row {
+            let idx = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommWorld;
+    use crate::patterns::halo_1d;
+
+    #[test]
+    fn csv_has_only_nonzero_pairs() {
+        let w = CommWorld::new(4);
+        w.communicator(0).send(1, 42);
+        let csv = to_csv(&w.matrix());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "src,dst,bytes,messages");
+        assert_eq!(lines[1], "0,1,42,1");
+        assert_eq!(lines.len(), 2);
+    }
+
+    #[test]
+    fn intensity_grid_normalized() {
+        let w = CommWorld::new(64);
+        halo_1d(&w, 1, 1_000_000);
+        let grid = intensity_grid(&w.matrix(), 16);
+        assert_eq!(grid.len(), 16);
+        let max = grid
+            .iter()
+            .flatten()
+            .fold(0.0f64, |a, &b| a.max(b));
+        assert!((max - 1.0).abs() < 1e-12);
+        // Diagonal cells are the hot ones.
+        assert!(grid[5][5] > grid[5][12]);
+    }
+
+    #[test]
+    fn ascii_render_shows_diagonal() {
+        let w = CommWorld::new(128);
+        halo_1d(&w, 1, 1 << 20);
+        let art = render_ascii(&w.matrix(), 32);
+        let rows: Vec<&str> = art.lines().collect();
+        assert_eq!(rows.len(), 32);
+        // Diagonal characters are dark, off-diagonal blank.
+        let diag_char = rows[10].as_bytes()[10] as char;
+        let off_char = rows[10].as_bytes()[25] as char;
+        assert_ne!(diag_char, ' ');
+        assert_eq!(off_char, ' ');
+    }
+
+    #[test]
+    fn grid_smaller_than_cells() {
+        let w = CommWorld::new(4);
+        w.communicator(1).send(2, 5);
+        let grid = intensity_grid(&w.matrix(), 100);
+        assert_eq!(grid.len(), 4); // clamped to world size
+    }
+
+    #[test]
+    fn empty_matrix_renders_blank() {
+        let m = crate::comm::CommMatrix::new(8);
+        let art = render_ascii(&m, 8);
+        assert!(art.chars().all(|c| c == ' ' || c == '\n'));
+    }
+}

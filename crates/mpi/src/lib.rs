@@ -1,0 +1,119 @@
+//! # zerosum-mpi
+//!
+//! The MPI substrate for ZeroSum-rs.
+//!
+//! The paper's ZeroSum queries the hostname, communicator rank and size at
+//! startup and wraps the MPI point-to-point API to accumulate per-pair
+//! byte counts (§3.1.3), later post-processed into the Figure 5 heatmap
+//! (§3.6). With no MPI available here, this crate *is* the substrate
+//! being wrapped:
+//!
+//! * [`comm`] — the simulated world, per-rank communicators, and the
+//!   shared [`comm::CommMatrix`] traffic matrix.
+//! * [`patterns`] — workload traffic generators (1-D/2-D halo exchange,
+//!   all-to-all, random background).
+//! * [`collective`] — collectives expressed as their point-to-point
+//!   message flows.
+//! * [`heatmap`] — CSV export, downsampled intensity grids, and ASCII
+//!   rendering of the matrix.
+//! * [`mapping`] — rank→node placement strategies and the intra-node
+//!   traffic fraction they optimize.
+
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod comm;
+pub mod heatmap;
+pub mod mapping;
+pub mod patterns;
+
+pub use comm::{CommMatrix, CommWorld, Communicator};
+pub use mapping::{optimize_order, MapStrategy, RankMap, RankOrder};
+
+#[cfg(test)]
+mod proptests {
+    use crate::comm::{CommMatrix, CommWorld};
+    use crate::patterns;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Total bytes equal the sum of what each communicator sent.
+        #[test]
+        fn totals_add_up(
+            size in 2usize..32,
+            sends in proptest::collection::vec((0usize..32, 0usize..32, 1u64..10_000), 0..200),
+        ) {
+            let w = CommWorld::new(size);
+            let mut expect = 0u64;
+            for (s, d, b) in sends {
+                let (s, d) = (s % size, d % size);
+                if s != d {
+                    w.communicator(s).send(d, b);
+                    expect += b;
+                }
+            }
+            prop_assert_eq!(w.matrix().total_bytes(), expect);
+        }
+
+        /// Halo traffic is always fully within the band of its width.
+        #[test]
+        fn halo_band_containment(size in 4usize..128, width in 1usize..3) {
+            let w = CommWorld::new(size);
+            patterns::halo_1d(&w, width, 10_000);
+            let m = w.matrix();
+            prop_assert!((m.diagonal_fraction(width) - 1.0).abs() < 1e-12);
+        }
+
+        /// optimize_order always yields a valid permutation, and on halo
+        /// traffic it never does worse than identity.
+        #[test]
+        fn optimizer_is_a_permutation(
+            size in 2usize..40,
+            per_node in 1usize..9,
+            sends in proptest::collection::vec((0usize..40, 0usize..40, 1u64..10_000), 0..120),
+        ) {
+            let mut m = CommMatrix::new(size);
+            for (s, d, b) in sends {
+                let (s, d) = (s % size, d % size);
+                if s != d {
+                    m.record(s, d, b);
+                }
+            }
+            let order = crate::mapping::optimize_order(&m, per_node);
+            // Every node index is within bounds and slots form a
+            // permutation (each node holds at most per_node ranks and
+            // they partition the rank set).
+            let mut per_node_counts = std::collections::BTreeMap::new();
+            for r in 0..size {
+                *per_node_counts.entry(order.node_of(r)).or_insert(0usize) += 1;
+            }
+            for (_, c) in per_node_counts {
+                prop_assert!(c <= per_node);
+            }
+            let f = order.intra_node_fraction(&m);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        /// Merging partial matrices equals recording everything in one.
+        #[test]
+        fn merge_equals_union(
+            size in 2usize..16,
+            a in proptest::collection::vec((0usize..16, 0usize..16, 1u64..100), 0..50),
+            b in proptest::collection::vec((0usize..16, 0usize..16, 1u64..100), 0..50),
+        ) {
+            let mut m1 = CommMatrix::new(size);
+            let mut m2 = CommMatrix::new(size);
+            let mut whole = CommMatrix::new(size);
+            for (s, d, bytes) in &a {
+                m1.record(s % size, d % size, *bytes);
+                whole.record(s % size, d % size, *bytes);
+            }
+            for (s, d, bytes) in &b {
+                m2.record(s % size, d % size, *bytes);
+                whole.record(s % size, d % size, *bytes);
+            }
+            m1.merge(&m2);
+            prop_assert_eq!(m1, whole);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Communication-pattern generators.
+//!
+//! Figure 5 of the paper shows the point-to-point heatmap of a
+//! gyrokinetic particle-in-cell code (512 ranks on Frontier) with a
+//! strong nearest-neighbour diagonal. These generators drive the
+//! simulated communicators with the traffic classes HPC codes produce:
+//! 1-D/2-D halo exchange (the PIC pattern), all-to-all transposes, and a
+//! random-pairs background.
+
+use crate::comm::CommWorld;
+
+/// One step of 1-D halo exchange: every rank sends `bytes` to its ±1…±width
+/// neighbours, periodic at the ends (a field-line-following PIC mesh).
+pub fn halo_1d(world: &CommWorld, width: usize, bytes: u64) {
+    let n = world.size();
+    for r in 0..n {
+        let c = world.communicator(r);
+        for d in 1..=width {
+            // Traffic decays with neighbour distance, as halo widths do.
+            let b = bytes / d as u64;
+            c.send((r + d) % n, b);
+            c.send((r + n - d % n) % n, b);
+        }
+    }
+}
+
+/// One step of 2-D halo exchange on a `rows × cols` process grid
+/// (row-major rank order), non-periodic.
+pub fn halo_2d(world: &CommWorld, rows: usize, cols: usize, bytes: u64) {
+    assert_eq!(rows * cols, world.size(), "grid must cover the world");
+    for r in 0..rows {
+        for c in 0..cols {
+            let rank = r * cols + c;
+            let comm = world.communicator(rank);
+            if c + 1 < cols {
+                comm.send(rank + 1, bytes);
+            }
+            if c > 0 {
+                comm.send(rank - 1, bytes);
+            }
+            if r + 1 < rows {
+                comm.send(rank + cols, bytes);
+            }
+            if r > 0 {
+                comm.send(rank - cols, bytes);
+            }
+        }
+    }
+}
+
+/// One all-to-all step: every rank sends `bytes` to every other rank
+/// (spectral transpose / FFT shuffle traffic).
+pub fn all_to_all(world: &CommWorld, bytes: u64) {
+    let n = world.size();
+    for r in 0..n {
+        let c = world.communicator(r);
+        for d in 0..n {
+            if d != r {
+                c.send(d, bytes);
+            }
+        }
+    }
+}
+
+/// `count` random sender/receiver pairs of `bytes` each, from a seeded
+/// LCG (deterministic background noise for heatmap contrast tests).
+pub fn random_pairs(world: &CommWorld, count: usize, bytes: u64, seed: u64) {
+    let n = world.size() as u64;
+    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493) | 1;
+    let mut next = || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    for _ in 0..count {
+        let s = (next() % n) as usize;
+        let d = (next() % n) as usize;
+        if s != d {
+            world.communicator(s).send(d, bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halo_1d_is_diagonal_and_periodic() {
+        let w = CommWorld::new(16);
+        halo_1d(&w, 1, 4096);
+        let m = w.matrix();
+        assert_eq!(m.bytes(0, 1), 4096);
+        assert_eq!(m.bytes(0, 15), 4096); // periodic wrap
+        assert_eq!(m.bytes(0, 2), 0);
+        assert!((m.diagonal_fraction(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halo_1d_width_two_decays() {
+        let w = CommWorld::new(16);
+        halo_1d(&w, 2, 4096);
+        let m = w.matrix();
+        assert_eq!(m.bytes(3, 4), 4096);
+        assert_eq!(m.bytes(3, 5), 2048); // second-neighbour traffic halved
+    }
+
+    #[test]
+    fn halo_2d_edges_have_fewer_neighbors() {
+        let w = CommWorld::new(12);
+        halo_2d(&w, 3, 4, 100);
+        let m = w.matrix();
+        // Corner rank 0: right + down only.
+        assert_eq!(m.bytes(0, 1), 100);
+        assert_eq!(m.bytes(0, 4), 100);
+        assert_eq!(m.bytes(0, 3), 0);
+        // Interior rank 5: four neighbours.
+        let sent: u64 = (0..12).map(|d| m.bytes(5, d)).sum();
+        assert_eq!(sent, 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid must cover")]
+    fn halo_2d_bad_grid_panics() {
+        let w = CommWorld::new(10);
+        halo_2d(&w, 3, 4, 1);
+    }
+
+    #[test]
+    fn all_to_all_fills_off_diagonal() {
+        let w = CommWorld::new(5);
+        all_to_all(&w, 10);
+        let m = w.matrix();
+        assert_eq!(m.total_bytes(), 5 * 4 * 10);
+        for r in 0..5 {
+            assert_eq!(m.bytes(r, r), 0);
+        }
+    }
+
+    #[test]
+    fn random_pairs_deterministic() {
+        let w1 = CommWorld::new(32);
+        random_pairs(&w1, 500, 64, 42);
+        let w2 = CommWorld::new(32);
+        random_pairs(&w2, 500, 64, 42);
+        assert_eq!(w1.matrix(), w2.matrix());
+        assert!(w1.matrix().total_bytes() > 0);
+        // Different seed differs.
+        let w3 = CommWorld::new(32);
+        random_pairs(&w3, 500, 64, 43);
+        assert_ne!(w1.matrix(), w3.matrix());
+    }
+}

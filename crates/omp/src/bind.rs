@@ -1,0 +1,234 @@
+//! Thread-affinity assignment: OpenMP places × proc-bind policies.
+//!
+//! Given a topology, a process mask, and a parsed [`OmpEnv`], this module
+//! computes the affinity mask of every team member — the step that turns
+//! Table 2's free-floating threads into Table 3's one-thread-per-core
+//! binding when `OMP_PROC_BIND=spread OMP_PLACES=cores` is set.
+
+use crate::env::{OmpEnv, PlacesSpec, ProcBind};
+use zerosum_topology::query::{self, PlaceGrain};
+use zerosum_topology::{CpuSet, Topology};
+
+/// Expands [`PlacesSpec`] into concrete places, restricted to the process
+/// mask. Returns `None` when no places are defined (unbound execution).
+pub fn expand_places(
+    topo: &Topology,
+    spec: &PlacesSpec,
+    process_mask: &CpuSet,
+) -> Option<Vec<CpuSet>> {
+    match spec {
+        PlacesSpec::Undefined => None,
+        PlacesSpec::Threads => Some(query::places(topo, PlaceGrain::Threads, process_mask)),
+        PlacesSpec::Cores => Some(query::places(topo, PlaceGrain::Cores, process_mask)),
+        PlacesSpec::Sockets => Some(query::places(topo, PlaceGrain::Sockets, process_mask)),
+        PlacesSpec::NumaDomains => {
+            Some(query::places(topo, PlaceGrain::NumaDomains, process_mask))
+        }
+        PlacesSpec::LlCaches => Some(query::places(topo, PlaceGrain::L3Caches, process_mask)),
+        PlacesSpec::Explicit(groups) => {
+            let mut out = Vec::new();
+            for g in groups {
+                let cs = CpuSet::from_indices(g.iter().copied()).intersection(process_mask);
+                if !cs.is_empty() {
+                    out.push(cs);
+                }
+            }
+            Some(out)
+        }
+    }
+}
+
+/// The computed binding for a team.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TeamBinding {
+    /// Affinity mask per team member; index 0 is the master thread.
+    pub masks: Vec<CpuSet>,
+    /// Whether threads are actually pinned (false = every mask equals the
+    /// process mask and the OS is free to migrate).
+    pub bound: bool,
+}
+
+/// Computes per-thread affinity for a team of `team_size` threads.
+///
+/// Follows OpenMP 5.x semantics for the initial place partition: `spread`
+/// subdivides the place list into `team_size` sub-partitions and binds
+/// thread `i` to the first place of sub-partition `i`; `close` binds
+/// thread `i` to place `(master + i) mod nplaces`; `master` keeps every
+/// thread on the master's place; `false` leaves all threads on the
+/// process mask.
+pub fn bind_team(
+    topo: &Topology,
+    env: &OmpEnv,
+    process_mask: &CpuSet,
+    team_size: usize,
+) -> TeamBinding {
+    assert!(team_size > 0, "team must have at least one thread");
+    let places = expand_places(topo, &env.places, process_mask);
+    let effective_bind = match (&env.proc_bind, &places) {
+        // Binding requested but no places defined: bind over per-core
+        // places, the common runtime default.
+        (ProcBind::False, _) => ProcBind::False,
+        (b, None) => {
+            if matches!(b, ProcBind::False) {
+                ProcBind::False
+            } else {
+                *b
+            }
+        }
+        (b, Some(_)) => *b,
+    };
+    if effective_bind == ProcBind::False {
+        return TeamBinding {
+            masks: vec![process_mask.clone(); team_size],
+            bound: false,
+        };
+    }
+    let places = places
+        .unwrap_or_else(|| query::places(topo, PlaceGrain::Cores, process_mask));
+    if places.is_empty() {
+        return TeamBinding {
+            masks: vec![process_mask.clone(); team_size],
+            bound: false,
+        };
+    }
+    let nplaces = places.len();
+    let masks: Vec<CpuSet> = match effective_bind {
+        ProcBind::Master => vec![places[0].clone(); team_size],
+        ProcBind::Close | ProcBind::True => (0..team_size)
+            .map(|i| places[i % nplaces].clone())
+            .collect(),
+        ProcBind::Spread => {
+            if team_size >= nplaces {
+                // More threads than places: wrap like close.
+                (0..team_size).map(|i| places[i % nplaces].clone()).collect()
+            } else {
+                // Partition places into team_size contiguous groups; bind
+                // thread i to the first place of its group.
+                (0..team_size)
+                    .map(|i| {
+                        let start = i * nplaces / team_size;
+                        places[start].clone()
+                    })
+                    .collect()
+            }
+        }
+        ProcBind::False => unreachable!(),
+    };
+    TeamBinding { masks, bound: true }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::OmpEnv;
+    use zerosum_topology::presets;
+
+    fn frontier_rank0_mask() -> CpuSet {
+        CpuSet::parse_list("1-7").unwrap()
+    }
+
+    #[test]
+    fn unbound_gives_process_mask() {
+        let topo = presets::frontier();
+        let env = OmpEnv::from_pairs([("OMP_NUM_THREADS", "7")]).unwrap();
+        let b = bind_team(&topo, &env, &frontier_rank0_mask(), 7);
+        assert!(!b.bound);
+        assert_eq!(b.masks.len(), 7);
+        assert!(b.masks.iter().all(|m| m.to_list_string() == "1-7"));
+    }
+
+    #[test]
+    fn spread_cores_pins_one_thread_per_core() {
+        // Table 3: OMP_PROC_BIND=spread OMP_PLACES=cores, 7 threads on the
+        // 7-core mask ⇒ threads on cores 1..7 individually.
+        let topo = presets::frontier();
+        let env = OmpEnv::from_pairs([
+            ("OMP_NUM_THREADS", "7"),
+            ("OMP_PROC_BIND", "spread"),
+            ("OMP_PLACES", "cores"),
+        ])
+        .unwrap();
+        let b = bind_team(&topo, &env, &frontier_rank0_mask(), 7);
+        assert!(b.bound);
+        let lists: Vec<String> = b.masks.iter().map(|m| m.to_list_string()).collect();
+        assert_eq!(lists, vec!["1", "2", "3", "4", "5", "6", "7"]);
+    }
+
+    #[test]
+    fn spread_fewer_threads_than_places() {
+        // 4 threads over 7 core-places: sub-partitions start at 0,1,3,5.
+        let topo = presets::frontier();
+        let env = OmpEnv::from_pairs([
+            ("OMP_PROC_BIND", "spread"),
+            ("OMP_PLACES", "cores"),
+        ])
+        .unwrap();
+        let b = bind_team(&topo, &env, &frontier_rank0_mask(), 4);
+        let lists: Vec<String> = b.masks.iter().map(|m| m.to_list_string()).collect();
+        assert_eq!(lists, vec!["1", "2", "4", "6"]);
+    }
+
+    #[test]
+    fn close_wraps_places() {
+        let topo = presets::frontier();
+        let env = OmpEnv::from_pairs([
+            ("OMP_PROC_BIND", "close"),
+            ("OMP_PLACES", "cores"),
+        ])
+        .unwrap();
+        let b = bind_team(&topo, &env, &CpuSet::parse_list("1-3").unwrap(), 5);
+        let lists: Vec<String> = b.masks.iter().map(|m| m.to_list_string()).collect();
+        assert_eq!(lists, vec!["1", "2", "3", "1", "2"]);
+    }
+
+    #[test]
+    fn master_keeps_all_on_first_place() {
+        let topo = presets::frontier();
+        let env = OmpEnv::from_pairs([
+            ("OMP_PROC_BIND", "master"),
+            ("OMP_PLACES", "cores"),
+        ])
+        .unwrap();
+        let b = bind_team(&topo, &env, &frontier_rank0_mask(), 4);
+        assert!(b.masks.iter().all(|m| m.to_list_string() == "1"));
+    }
+
+    #[test]
+    fn threads_places_with_smt_mask() {
+        let topo = presets::frontier();
+        let env = OmpEnv::from_pairs([
+            ("OMP_PROC_BIND", "close"),
+            ("OMP_PLACES", "threads"),
+        ])
+        .unwrap();
+        let mask = CpuSet::parse_list("1-2,65-66").unwrap();
+        let b = bind_team(&topo, &env, &mask, 4);
+        let lists: Vec<String> = b.masks.iter().map(|m| m.to_list_string()).collect();
+        // Places in topology order: PU 1, PU 65 (core 1), PU 2, PU 66.
+        assert_eq!(lists, vec!["1", "65", "2", "66"]);
+    }
+
+    #[test]
+    fn explicit_places_respected() {
+        let topo = presets::frontier();
+        let env = OmpEnv::from_pairs([
+            ("OMP_PROC_BIND", "close"),
+            ("OMP_PLACES", "{1,65},{2,66}"),
+        ])
+        .unwrap();
+        let mask = CpuSet::parse_list("1-7,65-71").unwrap();
+        let b = bind_team(&topo, &env, &mask, 2);
+        assert_eq!(b.masks[0].to_list_string(), "1,65");
+        assert_eq!(b.masks[1].to_list_string(), "2,66");
+    }
+
+    #[test]
+    fn bind_true_without_places_uses_cores() {
+        let topo = presets::frontier();
+        let env = OmpEnv::from_pairs([("OMP_PROC_BIND", "true")]).unwrap();
+        let b = bind_team(&topo, &env, &frontier_rank0_mask(), 3);
+        assert!(b.bound);
+        let lists: Vec<String> = b.masks.iter().map(|m| m.to_list_string()).collect();
+        assert_eq!(lists, vec!["1", "2", "3"]);
+    }
+}

@@ -1,0 +1,253 @@
+//! OpenMP environment-variable parsing.
+//!
+//! The paper's Tables 1–3 differ only in `OMP_NUM_THREADS`,
+//! `OMP_PROC_BIND`, and `OMP_PLACES`. This module parses those variables
+//! (from an explicit map, so experiments are hermetic) with OpenMP 5.x
+//! semantics for the subset ZeroSum's workloads exercise.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The `OMP_PROC_BIND` policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProcBind {
+    /// `false` — threads are not bound (the OS schedules freely within
+    /// the process mask). Table 2's configuration.
+    #[default]
+    False,
+    /// `true` — implementation-defined binding; treated as `close`.
+    True,
+    /// `master` — all threads bound to the master thread's place.
+    Master,
+    /// `close` — threads packed onto places near the master.
+    Close,
+    /// `spread` — threads spread across the place partition. Table 3's
+    /// configuration.
+    Spread,
+}
+
+impl ProcBind {
+    /// Parses the `OMP_PROC_BIND` value (case-insensitive).
+    pub fn parse(s: &str) -> Result<Self, EnvError> {
+        Ok(match s.trim().to_ascii_lowercase().as_str() {
+            "false" => ProcBind::False,
+            "true" => ProcBind::True,
+            "master" | "primary" => ProcBind::Master,
+            "close" => ProcBind::Close,
+            "spread" => ProcBind::Spread,
+            other => return Err(EnvError::BadProcBind(other.to_string())),
+        })
+    }
+}
+
+/// The `OMP_PLACES` value.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum PlacesSpec {
+    /// No places defined (unbound default).
+    #[default]
+    Undefined,
+    /// `threads` — one place per hardware thread.
+    Threads,
+    /// `cores` — one place per core.
+    Cores,
+    /// `sockets` — one place per package.
+    Sockets,
+    /// `numa_domains` — one place per NUMA domain (OpenMP 5.1).
+    NumaDomains,
+    /// `ll_caches` — one place per last-level cache (OpenMP 5.1).
+    LlCaches,
+    /// An explicit list like `{0,4},{1,5}` — each brace group is a place
+    /// of hardware-thread OS indices.
+    Explicit(Vec<Vec<u32>>),
+}
+
+impl PlacesSpec {
+    /// Parses the `OMP_PLACES` value.
+    pub fn parse(s: &str) -> Result<Self, EnvError> {
+        let t = s.trim();
+        if t.is_empty() {
+            return Ok(PlacesSpec::Undefined);
+        }
+        match t.to_ascii_lowercase().as_str() {
+            "threads" => return Ok(PlacesSpec::Threads),
+            "cores" => return Ok(PlacesSpec::Cores),
+            "sockets" => return Ok(PlacesSpec::Sockets),
+            "numa_domains" => return Ok(PlacesSpec::NumaDomains),
+            "ll_caches" => return Ok(PlacesSpec::LlCaches),
+            _ => {}
+        }
+        if !t.starts_with('{') {
+            return Err(EnvError::BadPlaces(t.to_string()));
+        }
+        let mut places = Vec::new();
+        for group in t.split('}') {
+            let group = group.trim().trim_start_matches(',').trim();
+            if group.is_empty() {
+                continue;
+            }
+            let inner = group
+                .strip_prefix('{')
+                .ok_or_else(|| EnvError::BadPlaces(t.to_string()))?;
+            let mut ids = Vec::new();
+            for tok in inner.split(',') {
+                let tok = tok.trim();
+                if tok.is_empty() {
+                    continue;
+                }
+                if let Some((lo, hi)) = tok.split_once(':') {
+                    // OpenMP interval notation {lo:len}.
+                    let lo: u32 = lo.trim().parse().map_err(|_| EnvError::BadPlaces(t.into()))?;
+                    let len: u32 = hi.trim().parse().map_err(|_| EnvError::BadPlaces(t.into()))?;
+                    ids.extend(lo..lo + len);
+                } else {
+                    ids.push(tok.parse().map_err(|_| EnvError::BadPlaces(t.into()))?);
+                }
+            }
+            if ids.is_empty() {
+                return Err(EnvError::BadPlaces(t.to_string()));
+            }
+            places.push(ids);
+        }
+        if places.is_empty() {
+            return Err(EnvError::BadPlaces(t.to_string()));
+        }
+        Ok(PlacesSpec::Explicit(places))
+    }
+}
+
+/// A parsed OpenMP environment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OmpEnv {
+    /// `OMP_NUM_THREADS`; `None` means "one per available processor".
+    pub num_threads: Option<usize>,
+    /// `OMP_PROC_BIND`.
+    pub proc_bind: ProcBind,
+    /// `OMP_PLACES`.
+    pub places: PlacesSpec,
+}
+
+impl OmpEnv {
+    /// Parses the relevant variables from a map (e.g. captured environment
+    /// or an experiment's explicit settings).
+    pub fn from_map(vars: &BTreeMap<String, String>) -> Result<Self, EnvError> {
+        let mut env = OmpEnv::default();
+        if let Some(v) = vars.get("OMP_NUM_THREADS") {
+            let n: usize = v
+                .trim()
+                .parse()
+                .map_err(|_| EnvError::BadNumThreads(v.clone()))?;
+            if n == 0 {
+                return Err(EnvError::BadNumThreads(v.clone()));
+            }
+            env.num_threads = Some(n);
+        }
+        if let Some(v) = vars.get("OMP_PROC_BIND") {
+            env.proc_bind = ProcBind::parse(v)?;
+        }
+        if let Some(v) = vars.get("OMP_PLACES") {
+            env.places = PlacesSpec::parse(v)?;
+            // Per the spec: OMP_PLACES set without OMP_PROC_BIND implies
+            // proc_bind=true.
+            if !vars.contains_key("OMP_PROC_BIND") {
+                env.proc_bind = ProcBind::True;
+            }
+        }
+        Ok(env)
+    }
+
+    /// Convenience constructor from `(key, value)` pairs.
+    pub fn from_pairs<'a, I: IntoIterator<Item = (&'a str, &'a str)>>(
+        pairs: I,
+    ) -> Result<Self, EnvError> {
+        let map = pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        Self::from_map(&map)
+    }
+}
+
+/// OpenMP environment parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvError {
+    /// Invalid `OMP_NUM_THREADS`.
+    BadNumThreads(String),
+    /// Invalid `OMP_PROC_BIND`.
+    BadProcBind(String),
+    /// Invalid `OMP_PLACES`.
+    BadPlaces(String),
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::BadNumThreads(v) => write!(f, "invalid OMP_NUM_THREADS: {v:?}"),
+            EnvError::BadProcBind(v) => write!(f, "invalid OMP_PROC_BIND: {v:?}"),
+            EnvError::BadPlaces(v) => write!(f, "invalid OMP_PLACES: {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table3_environment() {
+        let env = OmpEnv::from_pairs([
+            ("OMP_NUM_THREADS", "4"),
+            ("OMP_PROC_BIND", "spread"),
+            ("OMP_PLACES", "cores"),
+        ])
+        .unwrap();
+        assert_eq!(env.num_threads, Some(4));
+        assert_eq!(env.proc_bind, ProcBind::Spread);
+        assert_eq!(env.places, PlacesSpec::Cores);
+    }
+
+    #[test]
+    fn default_is_unbound() {
+        let env = OmpEnv::from_pairs([("OMP_NUM_THREADS", "7")]).unwrap();
+        assert_eq!(env.proc_bind, ProcBind::False);
+        assert_eq!(env.places, PlacesSpec::Undefined);
+    }
+
+    #[test]
+    fn places_without_bind_implies_true() {
+        let env = OmpEnv::from_pairs([("OMP_PLACES", "threads")]).unwrap();
+        assert_eq!(env.proc_bind, ProcBind::True);
+    }
+
+    #[test]
+    fn explicit_places_with_ranges() {
+        let p = PlacesSpec::parse("{0,4},{1,5},{2:2}").unwrap();
+        assert_eq!(
+            p,
+            PlacesSpec::Explicit(vec![vec![0, 4], vec![1, 5], vec![2, 3]])
+        );
+    }
+
+    #[test]
+    fn proc_bind_aliases() {
+        assert_eq!(ProcBind::parse("PRIMARY").unwrap(), ProcBind::Master);
+        assert_eq!(ProcBind::parse("TRUE").unwrap(), ProcBind::True);
+        assert!(ProcBind::parse("sideways").is_err());
+    }
+
+    #[test]
+    fn bad_values_error() {
+        assert!(OmpEnv::from_pairs([("OMP_NUM_THREADS", "0")]).is_err());
+        assert!(OmpEnv::from_pairs([("OMP_NUM_THREADS", "x")]).is_err());
+        assert!(PlacesSpec::parse("cubes").is_err());
+        assert!(PlacesSpec::parse("{}").is_err());
+        assert!(PlacesSpec::parse("{a}").is_err());
+    }
+
+    #[test]
+    fn numa_and_llc_places() {
+        assert_eq!(PlacesSpec::parse("numa_domains").unwrap(), PlacesSpec::NumaDomains);
+        assert_eq!(PlacesSpec::parse("ll_caches").unwrap(), PlacesSpec::LlCaches);
+    }
+}

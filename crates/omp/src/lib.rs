@@ -1,0 +1,97 @@
+//! # zerosum-omp
+//!
+//! The OpenMP-runtime substrate for ZeroSum-rs.
+//!
+//! The paper's experiments are driven by three OpenMP environment
+//! variables (`OMP_NUM_THREADS`, `OMP_PROC_BIND`, `OMP_PLACES`) and by the
+//! OMPT tool interface through which ZeroSum learns which LWPs are OpenMP
+//! threads (§3.1.2). This crate implements:
+//!
+//! * [`mod@env`] — environment parsing with OpenMP 5.x semantics.
+//! * [`bind`] — the places/proc-bind affinity algorithm (`spread`,
+//!   `close`, `master`, unbound).
+//! * [`team`] — launching a thread team into the scheduler simulation.
+//! * [`ompt`] — the tool-callback registry (`thread-begin`/`thread-end`).
+
+#![warn(missing_docs)]
+
+pub mod bind;
+pub mod env;
+pub mod ompt;
+pub mod team;
+
+pub use bind::{bind_team, expand_places, TeamBinding};
+pub use env::{EnvError, OmpEnv, PlacesSpec, ProcBind};
+pub use ompt::{OmpThreadType, OmptRegistry, ThreadBegin};
+pub use team::{launch_team_process, TeamInfo};
+
+#[cfg(test)]
+mod proptests {
+    use crate::bind::bind_team;
+    use crate::env::{OmpEnv, PlacesSpec, ProcBind};
+    use proptest::prelude::*;
+    use zerosum_topology::{presets, CpuSet};
+
+    fn arb_bind() -> impl Strategy<Value = ProcBind> {
+        prop_oneof![
+            Just(ProcBind::False),
+            Just(ProcBind::True),
+            Just(ProcBind::Master),
+            Just(ProcBind::Close),
+            Just(ProcBind::Spread),
+        ]
+    }
+
+    fn arb_places() -> impl Strategy<Value = PlacesSpec> {
+        prop_oneof![
+            Just(PlacesSpec::Undefined),
+            Just(PlacesSpec::Threads),
+            Just(PlacesSpec::Cores),
+            Just(PlacesSpec::Sockets),
+            Just(PlacesSpec::NumaDomains),
+            Just(PlacesSpec::LlCaches),
+        ]
+    }
+
+    proptest! {
+        /// Every thread's mask is a non-empty subset of the process mask,
+        /// for every policy/places/team-size combination.
+        #[test]
+        fn binding_stays_within_process_mask(
+            bind in arb_bind(),
+            places in arb_places(),
+            team in 1usize..16,
+            lo in 0u32..30,
+            width in 1u32..40,
+        ) {
+            let topo = presets::frontier();
+            let mask = CpuSet::range(lo, lo + width);
+            let env = OmpEnv { num_threads: Some(team), proc_bind: bind, places };
+            let b = bind_team(&topo, &env, &mask, team);
+            prop_assert_eq!(b.masks.len(), team);
+            for m in &b.masks {
+                prop_assert!(!m.is_empty());
+                prop_assert!(m.is_subset_of(&mask));
+            }
+        }
+
+        /// Spread with team_size ≤ places gives pairwise-disjoint masks.
+        #[test]
+        fn spread_is_disjoint_when_places_suffice(team in 1usize..7) {
+            let topo = presets::frontier();
+            let mask = CpuSet::range(1, 7);
+            let env = OmpEnv {
+                num_threads: Some(team),
+                proc_bind: ProcBind::Spread,
+                places: PlacesSpec::Cores,
+            };
+            let b = bind_team(&topo, &env, &mask, team);
+            for i in 0..team {
+                for j in (i + 1)..team {
+                    prop_assert!(!b.masks[i].intersects(&b.masks[j]),
+                        "threads {} and {} overlap", i, j);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! OMPT-style tool callbacks.
+//!
+//! §3.1.2 of the paper: for OpenMP 5.1+ runtimes, ZeroSum registers an
+//! OMPT callback so the runtime notifies the tool when an OpenMP thread
+//! is created, letting ZeroSum identify which POSIX threads back OpenMP
+//! threads. This module is the callback registry of our simulated
+//! runtime; `zerosum-core` registers against it exactly as the real tool
+//! registers against OMPT.
+
+use zerosum_proc::Tid;
+
+/// The type of an OpenMP thread, as reported in `thread-begin`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OmpThreadType {
+    /// The initial (master) thread of the team.
+    Initial,
+    /// A worker thread.
+    Worker,
+}
+
+/// Data passed to a `thread-begin` callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadBegin {
+    /// OpenMP thread number within the team (0 = master).
+    pub thread_num: usize,
+    /// The backing LWP id.
+    pub tid: Tid,
+    /// Initial or worker.
+    pub thread_type: OmpThreadType,
+}
+
+/// A registry of tool callbacks, like `ompt_set_callback`.
+#[derive(Default)]
+pub struct OmptRegistry {
+    thread_begin: Vec<Box<dyn FnMut(ThreadBegin) + Send>>,
+    thread_end: Vec<Box<dyn FnMut(Tid) + Send>>,
+}
+
+impl OmptRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a `thread-begin` callback.
+    pub fn on_thread_begin(&mut self, cb: impl FnMut(ThreadBegin) + Send + 'static) {
+        self.thread_begin.push(Box::new(cb));
+    }
+
+    /// Registers a `thread-end` callback.
+    pub fn on_thread_end(&mut self, cb: impl FnMut(Tid) + Send + 'static) {
+        self.thread_end.push(Box::new(cb));
+    }
+
+    /// Fires `thread-begin` to every registered tool.
+    pub fn emit_thread_begin(&mut self, ev: ThreadBegin) {
+        for cb in &mut self.thread_begin {
+            cb(ev);
+        }
+    }
+
+    /// Fires `thread-end`.
+    pub fn emit_thread_end(&mut self, tid: Tid) {
+        for cb in &mut self.thread_end {
+            cb(tid);
+        }
+    }
+
+    /// Number of registered thread-begin callbacks.
+    pub fn tool_count(&self) -> usize {
+        self.thread_begin.len()
+    }
+}
+
+impl std::fmt::Debug for OmptRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OmptRegistry")
+            .field("thread_begin_callbacks", &self.thread_begin.len())
+            .field("thread_end_callbacks", &self.thread_end.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn callbacks_fire_in_registration_order() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut reg = OmptRegistry::new();
+        for tag in ["a", "b"] {
+            let seen = Arc::clone(&seen);
+            reg.on_thread_begin(move |ev| {
+                seen.lock().unwrap().push((tag, ev.thread_num, ev.tid));
+            });
+        }
+        reg.emit_thread_begin(ThreadBegin {
+            thread_num: 2,
+            tid: 77,
+            thread_type: OmpThreadType::Worker,
+        });
+        assert_eq!(&*seen.lock().unwrap(), &[("a", 2, 77), ("b", 2, 77)]);
+        assert_eq!(reg.tool_count(), 2);
+    }
+
+    #[test]
+    fn thread_end_fires() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut reg = OmptRegistry::new();
+        {
+            let seen = Arc::clone(&seen);
+            reg.on_thread_end(move |tid| seen.lock().unwrap().push(tid));
+        }
+        reg.emit_thread_end(42);
+        assert_eq!(&*seen.lock().unwrap(), &[42]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Generators of `/proc`-style text from the typed records.
+//!
+//! The simulated node (in `zerosum-sched`) emits *text* in the kernel's
+//! formats, and the monitor re-parses it with [`crate::parse`]. Feeding the
+//! real parsers keeps the simulation honest: the monitor exercises exactly
+//! the code path it uses against a live `/proc`.
+
+use crate::types::{CpuTimes, MemInfo, SystemStat, TaskStat, TaskStatus};
+use std::fmt::Write;
+
+/// Renders a [`SystemStat`] in `/proc/stat` format.
+pub fn format_system_stat(s: &SystemStat) -> String {
+    let mut out = String::new();
+    let row = |out: &mut String, name: &str, t: &CpuTimes| {
+        writeln!(
+            out,
+            "{name} {} {} {} {} {} {} {} {} 0 0",
+            t.user, t.nice, t.system, t.idle, t.iowait, t.irq, t.softirq, t.steal
+        )
+        .unwrap();
+    };
+    row(&mut out, "cpu", &s.total);
+    for (idx, t) in &s.cpus {
+        row(&mut out, &format!("cpu{idx}"), t);
+    }
+    writeln!(out, "ctxt {}", s.ctxt).unwrap();
+    writeln!(out, "btime 1700000000").unwrap();
+    writeln!(out, "processes {}", s.processes).unwrap();
+    out
+}
+
+/// Renders a [`MemInfo`] in `/proc/meminfo` format.
+pub fn format_meminfo(m: &MemInfo) -> String {
+    let mut out = String::new();
+    let row = |out: &mut String, k: &str, v: u64| {
+        writeln!(out, "{k}:{:>12} kB", v).unwrap();
+    };
+    row(&mut out, "MemTotal", m.mem_total_kib);
+    row(&mut out, "MemFree", m.mem_free_kib);
+    row(&mut out, "MemAvailable", m.mem_available_kib);
+    row(&mut out, "Buffers", m.buffers_kib);
+    row(&mut out, "Cached", m.cached_kib);
+    row(&mut out, "SwapTotal", m.swap_total_kib);
+    row(&mut out, "SwapFree", m.swap_free_kib);
+    out
+}
+
+/// Renders a [`TaskStat`] as one `/proc/<pid>/task/<tid>/stat` line.
+///
+/// Fields ZeroSum does not consume are emitted as zeros, at the correct
+/// positions, so any conformant parser can read the line.
+pub fn format_task_stat(t: &TaskStat) -> String {
+    // 52 fields per modern kernels; we fill the ones we model.
+    let mut fields: Vec<String> = vec!["0".to_string(); 52];
+    fields[0] = t.tid.to_string();
+    fields[1] = format!("({})", t.comm);
+    fields[2] = t.state.code().to_string();
+    fields[9] = t.minflt.to_string(); // field 10
+    fields[11] = t.majflt.to_string(); // field 12
+    fields[13] = t.utime.to_string(); // field 14
+    fields[14] = t.stime.to_string(); // field 15
+    fields[17] = "20".to_string(); // priority
+    fields[18] = t.nice.to_string(); // field 19
+    fields[19] = t.num_threads.to_string(); // field 20
+    fields[35] = t.nswap.to_string(); // field 36
+    fields[38] = t.processor.to_string(); // field 39
+    fields.join(" ")
+}
+
+/// Renders a [`crate::types::SchedStat`] in schedstat format.
+pub fn format_schedstat(s: &crate::types::SchedStat) -> String {
+    format!("{} {} {}\n", s.run_ns, s.wait_ns, s.timeslices)
+}
+
+/// Renders a [`TaskStatus`] in `/proc/<pid>/task/<tid>/status` format.
+pub fn format_task_status(s: &TaskStatus) -> String {
+    let mut out = String::new();
+    writeln!(out, "Name:\t{}", s.name).unwrap();
+    writeln!(out, "State:\t{} ({})", s.state.code(), s.state.long_name()).unwrap();
+    writeln!(out, "Tgid:\t{}", s.tgid).unwrap();
+    writeln!(out, "Pid:\t{}", s.tid).unwrap();
+    writeln!(out, "VmSize:\t{:>8} kB", s.vm_size_kib).unwrap();
+    writeln!(out, "VmHWM:\t{:>8} kB", s.vm_hwm_kib).unwrap();
+    writeln!(out, "VmRSS:\t{:>8} kB", s.vm_rss_kib).unwrap();
+    writeln!(out, "Cpus_allowed_list:\t{}", s.cpus_allowed.to_list_string()).unwrap();
+    writeln!(out, "voluntary_ctxt_switches:\t{}", s.voluntary_ctxt_switches).unwrap();
+    writeln!(
+        out,
+        "nonvoluntary_ctxt_switches:\t{}",
+        s.nonvoluntary_ctxt_switches
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crate::types::TaskState;
+    use zerosum_topology::CpuSet;
+
+    #[test]
+    fn system_stat_roundtrip() {
+        let s = SystemStat {
+            total: CpuTimes {
+                user: 100,
+                system: 50,
+                idle: 850,
+                ..Default::default()
+            },
+            cpus: vec![
+                (
+                    0,
+                    CpuTimes {
+                        user: 60,
+                        idle: 440,
+                        ..Default::default()
+                    },
+                ),
+                (
+                    1,
+                    CpuTimes {
+                        user: 40,
+                        idle: 410,
+                        ..Default::default()
+                    },
+                ),
+            ],
+            ctxt: 12345,
+            processes: 42,
+        };
+        let text = format_system_stat(&s);
+        let back = parse::parse_system_stat(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn meminfo_roundtrip() {
+        let m = MemInfo {
+            mem_total_kib: 527942792,
+            mem_free_kib: 4000,
+            mem_available_kib: 5000,
+            buffers_kib: 10,
+            cached_kib: 20,
+            swap_total_kib: 0,
+            swap_free_kib: 0,
+        };
+        let back = parse::parse_meminfo(&format_meminfo(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn task_stat_roundtrip() {
+        let t = TaskStat {
+            tid: 18385,
+            comm: "ZeroSum async".into(),
+            state: TaskState::Running,
+            minflt: 11,
+            majflt: 2,
+            utime: 264,
+            stime: 79,
+            nice: 0,
+            num_threads: 9,
+            processor: 7,
+            nswap: 0,
+        };
+        let back = parse::parse_task_stat(&format_task_stat(&t)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn task_status_roundtrip() {
+        let s = TaskStatus {
+            name: "miniqmc".into(),
+            tid: 18592,
+            tgid: 18552,
+            state: TaskState::Running,
+            vm_rss_kib: 120000,
+            vm_size_kib: 900000,
+            vm_hwm_kib: 130000,
+            cpus_allowed: CpuSet::parse_list("1-7").unwrap(),
+            voluntary_ctxt_switches: 766,
+            nonvoluntary_ctxt_switches: 14,
+        };
+        let back = parse::parse_task_status(&format_task_status(&s)).unwrap();
+        assert_eq!(back, s);
+    }
+}

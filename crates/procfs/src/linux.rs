@@ -1,0 +1,205 @@
+//! The live-Linux [`ProcSource`] backend.
+//!
+//! Reads a real `/proc` mount using only `std::fs` — no libc, no root, no
+//! daemons; exactly the user-space access model the paper argues for. The
+//! root directory is configurable so tests can point it at a fixture tree.
+
+use crate::parse;
+use crate::source::{ProcSource, SourceError, SourceResult};
+use crate::types::{MemInfo, Pid, SchedStat, SystemStat, TaskStat, TaskStatus, Tid};
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+
+/// A [`ProcSource`] reading a (real or fixture) procfs directory tree.
+#[derive(Debug, Clone)]
+pub struct LinuxProc {
+    root: PathBuf,
+}
+
+impl Default for LinuxProc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinuxProc {
+    /// Uses the system `/proc`.
+    pub fn new() -> Self {
+        LinuxProc {
+            root: PathBuf::from("/proc"),
+        }
+    }
+
+    /// Uses an alternate root (for tests / containers).
+    pub fn with_root(root: impl Into<PathBuf>) -> Self {
+        LinuxProc { root: root.into() }
+    }
+
+    /// The pid of the calling process, read from `/proc/self/status`
+    /// without libc.
+    pub fn self_pid(&self) -> SourceResult<Pid> {
+        let text = self.read(self.root.join("self/status"))?;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("Pid:") {
+                return rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| SourceError::Malformed("bad Pid in /proc/self/status".into()));
+            }
+        }
+        Err(SourceError::Malformed("no Pid line".into()))
+    }
+
+    fn read(&self, path: PathBuf) -> SourceResult<String> {
+        std::fs::read_to_string(&path).map_err(|e| match e.kind() {
+            ErrorKind::NotFound => SourceError::NotFound,
+            // A task exiting mid-read surfaces as ESRCH (InvalidInput-ish);
+            // treat every non-existence-like error as NotFound.
+            ErrorKind::PermissionDenied => SourceError::Io(format!("{}: {e}", path.display())),
+            _ => SourceError::Io(format!("{}: {e}", path.display())),
+        })
+    }
+
+    fn task_dir(&self, pid: Pid) -> PathBuf {
+        self.root.join(pid.to_string()).join("task")
+    }
+
+    /// The root this source reads from.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+fn malformed(e: impl std::fmt::Display) -> SourceError {
+    SourceError::Malformed(e.to_string())
+}
+
+impl ProcSource for LinuxProc {
+    fn system_stat(&self) -> SourceResult<SystemStat> {
+        let text = self.read(self.root.join("stat"))?;
+        parse::parse_system_stat(&text).map_err(malformed)
+    }
+
+    fn meminfo(&self) -> SourceResult<MemInfo> {
+        let text = self.read(self.root.join("meminfo"))?;
+        parse::parse_meminfo(&text).map_err(malformed)
+    }
+
+    fn list_tasks(&self, pid: Pid) -> SourceResult<Vec<Tid>> {
+        let dir = self.task_dir(pid);
+        let entries = std::fs::read_dir(&dir).map_err(|e| match e.kind() {
+            ErrorKind::NotFound => SourceError::NotFound,
+            _ => SourceError::Io(format!("{}: {e}", dir.display())),
+        })?;
+        let mut tids = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| SourceError::Io(e.to_string()))?;
+            if let Some(tid) = entry.file_name().to_str().and_then(|s| s.parse().ok()) {
+                tids.push(tid);
+            }
+        }
+        tids.sort_unstable();
+        Ok(tids)
+    }
+
+    fn task_stat(&self, pid: Pid, tid: Tid) -> SourceResult<TaskStat> {
+        let text = self.read(self.task_dir(pid).join(tid.to_string()).join("stat"))?;
+        parse::parse_task_stat(text.trim_end()).map_err(malformed)
+    }
+
+    fn task_status(&self, pid: Pid, tid: Tid) -> SourceResult<TaskStatus> {
+        let text = self.read(self.task_dir(pid).join(tid.to_string()).join("status"))?;
+        parse::parse_task_status(&text).map_err(malformed)
+    }
+
+    fn task_schedstat(&self, pid: Pid, tid: Tid) -> SourceResult<SchedStat> {
+        let text = self.read(self.task_dir(pid).join(tid.to_string()).join("schedstat"))?;
+        parse::parse_schedstat(&text).map_err(malformed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These tests run against the real /proc of the build machine — the
+    // same records ZeroSum reads on an HPC login/compute node.
+
+    #[test]
+    fn reads_real_system_stat() {
+        let src = LinuxProc::new();
+        let s = src.system_stat().expect("read /proc/stat");
+        assert!(!s.cpus.is_empty());
+        assert!(s.total.total() > 0);
+    }
+
+    #[test]
+    fn reads_real_meminfo() {
+        let src = LinuxProc::new();
+        let m = src.meminfo().expect("read /proc/meminfo");
+        assert!(m.mem_total_kib > 0);
+        assert!(m.mem_available_kib <= m.mem_total_kib);
+    }
+
+    #[test]
+    fn lists_and_reads_own_tasks() {
+        let src = LinuxProc::new();
+        let pid = src.self_pid().expect("self pid");
+        let tids = src.list_tasks(pid).expect("task list");
+        assert!(tids.contains(&pid), "main thread tid == pid");
+        let stat = src.task_stat(pid, pid).expect("task stat");
+        assert_eq!(stat.tid, pid);
+        let status = src.task_status(pid, pid).expect("task status");
+        assert_eq!(status.tgid, pid);
+        assert!(!status.cpus_allowed.is_empty());
+    }
+
+    #[test]
+    fn own_process_status_matches_main_task() {
+        let src = LinuxProc::new();
+        let pid = src.self_pid().unwrap();
+        let st = src.process_status(pid).unwrap();
+        assert_eq!(st.tid, pid);
+        assert!(st.vm_rss_kib > 0);
+    }
+
+    #[test]
+    fn schedstat_reads_when_kernel_exposes_it() {
+        let src = LinuxProc::new();
+        let pid = src.self_pid().unwrap();
+        match src.task_schedstat(pid, pid) {
+            Ok(ss) => assert!(ss.run_ns > 0, "self has run"),
+            // CONFIG_SCHED_INFO may be off; NotFound is acceptable.
+            Err(SourceError::NotFound) => {}
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_pid_is_not_found() {
+        let src = LinuxProc::new();
+        // pid 4294967 is vanishingly unlikely to exist (beyond pid_max).
+        match src.list_tasks(4_294_967) {
+            Err(SourceError::NotFound) => {}
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixture_root_works() {
+        let dir = std::env::temp_dir().join(format!("zs-procfix-{}", std::process::id()));
+        let task = dir.join("42/task/42");
+        std::fs::create_dir_all(&task).unwrap();
+        std::fs::write(dir.join("stat"), "cpu 1 0 1 7 0 0 0 0 0 0\ncpu0 1 0 1 7 0 0 0 0 0 0\nctxt 5\nprocesses 1\n").unwrap();
+        std::fs::write(dir.join("meminfo"), "MemTotal: 100 kB\nMemFree: 50 kB\nMemAvailable: 60 kB\n").unwrap();
+        std::fs::write(task.join("stat"), "42 (fix) S 1 42 42 0 -1 0 0 0 0 0 1 2 0 0 20 0 1 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3 0 0 0 0 0 0 0 0 0 0 0 0 0").unwrap();
+        std::fs::write(task.join("status"), "Name: fix\nTgid: 42\nPid: 42\nState: S (sleeping)\nCpus_allowed_list: 0\nvoluntary_ctxt_switches: 1\nnonvoluntary_ctxt_switches: 0\n").unwrap();
+        let src = LinuxProc::with_root(&dir);
+        assert_eq!(src.system_stat().unwrap().ctxt, 5);
+        assert_eq!(src.meminfo().unwrap().mem_total_kib, 100);
+        assert_eq!(src.list_tasks(42).unwrap(), vec![42]);
+        assert_eq!(src.task_stat(42, 42).unwrap().comm, "fix");
+        assert_eq!(src.task_status(42, 42).unwrap().tgid, 42);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

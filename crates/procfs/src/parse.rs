@@ -1,0 +1,400 @@
+//! Parsers for the `/proc` text formats.
+//!
+//! These accept the exact formats the Linux kernel emits (`man 5 proc`),
+//! including the awkward parenthesized-`comm` field of `stat` — a thread
+//! name may itself contain spaces and parentheses, so the parser scans for
+//! the *last* closing parenthesis, as every robust procfs consumer must.
+
+use crate::types::{CpuTimes, MemInfo, SystemStat, TaskStat, TaskState, TaskStatus};
+use std::fmt;
+use zerosum_topology::CpuSet;
+
+/// Error produced when a `/proc` record cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Which file/record kind failed.
+    pub what: &'static str,
+    /// Description of the failure.
+    pub detail: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to parse {}: {}", self.what, self.detail)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(what: &'static str, detail: impl Into<String>) -> ParseError {
+    ParseError {
+        what,
+        detail: detail.into(),
+    }
+}
+
+/// Parses the full text of `/proc/stat`.
+pub fn parse_system_stat(text: &str) -> Result<SystemStat, ParseError> {
+    let mut out = SystemStat::default();
+    let mut saw_total = false;
+    for line in text.lines() {
+        let mut it = line.split_ascii_whitespace();
+        let Some(key) = it.next() else { continue };
+        if key == "cpu" {
+            out.total = parse_cpu_times(&mut it)?;
+            saw_total = true;
+        } else if let Some(idx) = key.strip_prefix("cpu") {
+            let idx: u32 = idx
+                .parse()
+                .map_err(|_| err("/proc/stat", format!("bad cpu row {key:?}")))?;
+            out.cpus.push((idx, parse_cpu_times(&mut it)?));
+        } else if key == "ctxt" {
+            out.ctxt = next_u64(&mut it, "/proc/stat ctxt")?;
+        } else if key == "processes" {
+            out.processes = next_u64(&mut it, "/proc/stat processes")?;
+        }
+    }
+    if !saw_total {
+        return Err(err("/proc/stat", "missing aggregate cpu row"));
+    }
+    out.cpus.sort_by_key(|(i, _)| *i);
+    Ok(out)
+}
+
+fn next_u64<'a>(
+    it: &mut impl Iterator<Item = &'a str>,
+    what: &'static str,
+) -> Result<u64, ParseError> {
+    it.next()
+        .ok_or_else(|| err(what, "missing field"))?
+        .parse()
+        .map_err(|_| err(what, "non-numeric field"))
+}
+
+fn parse_cpu_times<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<CpuTimes, ParseError> {
+    let mut vals = [0u64; 8];
+    for (i, v) in vals.iter_mut().enumerate() {
+        // Kernels may omit trailing fields (steal etc.); treat as zero.
+        match it.next() {
+            Some(tok) => {
+                *v = tok
+                    .parse()
+                    .map_err(|_| err("/proc/stat", format!("bad jiffy field {i}")))?
+            }
+            None if i >= 4 => break,
+            None => return Err(err("/proc/stat", "cpu row too short")),
+        }
+    }
+    Ok(CpuTimes {
+        user: vals[0],
+        nice: vals[1],
+        system: vals[2],
+        idle: vals[3],
+        iowait: vals[4],
+        irq: vals[5],
+        softirq: vals[6],
+        steal: vals[7],
+    })
+}
+
+/// Parses `/proc/meminfo`.
+pub fn parse_meminfo(text: &str) -> Result<MemInfo, ParseError> {
+    let mut m = MemInfo::default();
+    let mut saw_total = false;
+    for line in text.lines() {
+        let Some((key, rest)) = line.split_once(':') else {
+            continue;
+        };
+        let value: u64 = rest
+            .trim()
+            .trim_end_matches("kB")
+            .trim()
+            .parse()
+            .unwrap_or(0);
+        match key.trim() {
+            "MemTotal" => {
+                m.mem_total_kib = value;
+                saw_total = true;
+            }
+            "MemFree" => m.mem_free_kib = value,
+            "MemAvailable" => m.mem_available_kib = value,
+            "Buffers" => m.buffers_kib = value,
+            "Cached" => m.cached_kib = value,
+            "SwapTotal" => m.swap_total_kib = value,
+            "SwapFree" => m.swap_free_kib = value,
+            _ => {}
+        }
+    }
+    if !saw_total {
+        return Err(err("/proc/meminfo", "missing MemTotal"));
+    }
+    Ok(m)
+}
+
+/// Parses one `/proc/<pid>/task/<tid>/stat` line.
+pub fn parse_task_stat(line: &str) -> Result<TaskStat, ParseError> {
+    // Format: "tid (comm) S field4 field5 ..." where comm may contain
+    // anything including ')' — find the *last* ')'.
+    let open = line
+        .find('(')
+        .ok_or_else(|| err("task stat", "missing '('"))?;
+    let close = line
+        .rfind(')')
+        .ok_or_else(|| err("task stat", "missing ')'"))?;
+    if close < open {
+        return Err(err("task stat", "mismatched parentheses"));
+    }
+    let tid: u32 = line[..open]
+        .trim()
+        .parse()
+        .map_err(|_| err("task stat", "bad tid"))?;
+    let comm = line[open + 1..close].to_string();
+    let rest: Vec<&str> = line[close + 1..].split_ascii_whitespace().collect();
+    // rest[0] is field 3 (state); field numbering per man 5 proc.
+    let get = |field: usize| -> Result<&str, ParseError> {
+        rest.get(field - 3)
+            .copied()
+            .ok_or_else(|| err("task stat", format!("missing field {field}")))
+    };
+    let state_ch = get(3)?
+        .chars()
+        .next()
+        .ok_or_else(|| err("task stat", "empty state"))?;
+    let state = TaskState::from_code(state_ch)
+        .ok_or_else(|| err("task stat", format!("unknown state {state_ch:?}")))?;
+    let num = |field: usize| -> Result<u64, ParseError> {
+        get(field)?
+            .parse()
+            .map_err(|_| err("task stat", format!("bad numeric field {field}")))
+    };
+    Ok(TaskStat {
+        tid,
+        comm,
+        state,
+        minflt: num(10)?,
+        majflt: num(12)?,
+        utime: num(14)?,
+        stime: num(15)?,
+        nice: get(19)?
+            .parse()
+            .map_err(|_| err("task stat", "bad nice"))?,
+        num_threads: num(20)? as u32,
+        processor: num(39)? as u32,
+        nswap: num(36)?,
+    })
+}
+
+/// Parses `/proc/<pid>/task/<tid>/schedstat` (three space-separated
+/// integers).
+pub fn parse_schedstat(text: &str) -> Result<crate::types::SchedStat, ParseError> {
+    let mut it = text.split_ascii_whitespace();
+    let mut next = |what: &'static str| -> Result<u64, ParseError> {
+        it.next()
+            .ok_or_else(|| err("schedstat", format!("missing {what}")))?
+            .parse()
+            .map_err(|_| err("schedstat", format!("bad {what}")))
+    };
+    Ok(crate::types::SchedStat {
+        run_ns: next("run_ns")?,
+        wait_ns: next("wait_ns")?,
+        timeslices: next("timeslices")?,
+    })
+}
+
+/// Parses `/proc/<pid>/task/<tid>/status`.
+pub fn parse_task_status(text: &str) -> Result<TaskStatus, ParseError> {
+    let mut name = String::new();
+    let mut tid = None;
+    let mut tgid = None;
+    let mut state = TaskState::Sleeping;
+    let mut vm_rss = 0;
+    let mut vm_size = 0;
+    let mut vm_hwm = 0;
+    let mut cpus = CpuSet::new();
+    let mut vol = 0;
+    let mut nonvol = 0;
+    for line in text.lines() {
+        let Some((key, rest)) = line.split_once(':') else {
+            continue;
+        };
+        let rest = rest.trim();
+        match key.trim() {
+            "Name" => name = rest.to_string(),
+            "Pid" => tid = rest.parse().ok(),
+            "Tgid" => tgid = rest.parse().ok(),
+            "State" => {
+                if let Some(c) = rest.chars().next() {
+                    state = TaskState::from_code(c)
+                        .ok_or_else(|| err("task status", format!("unknown state {c:?}")))?;
+                }
+            }
+            "VmRSS" => vm_rss = kib_value(rest),
+            "VmSize" => vm_size = kib_value(rest),
+            "VmHWM" => vm_hwm = kib_value(rest),
+            "Cpus_allowed_list" => {
+                cpus = CpuSet::parse_list(rest)
+                    .map_err(|e| err("task status", format!("bad cpu list: {e}")))?;
+            }
+            "voluntary_ctxt_switches" => vol = rest.parse().unwrap_or(0),
+            "nonvoluntary_ctxt_switches" => nonvol = rest.parse().unwrap_or(0),
+            _ => {}
+        }
+    }
+    Ok(TaskStatus {
+        name,
+        tid: tid.ok_or_else(|| err("task status", "missing Pid"))?,
+        tgid: tgid.ok_or_else(|| err("task status", "missing Tgid"))?,
+        state,
+        vm_rss_kib: vm_rss,
+        vm_size_kib: vm_size,
+        vm_hwm_kib: vm_hwm,
+        cpus_allowed: cpus,
+        voluntary_ctxt_switches: vol,
+        nonvoluntary_ctxt_switches: nonvol,
+    })
+}
+
+fn kib_value(rest: &str) -> u64 {
+    rest.trim_end_matches("kB").trim().parse().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STAT: &str = "\
+cpu  100 2 50 840 5 1 2 0 0 0
+cpu0 60 1 30 400 3 1 1 0 0 0
+cpu1 40 1 20 440 2 0 1 0 0 0
+intr 12345 0 0
+ctxt 987654
+btime 1700000000
+processes 4242
+procs_running 2
+procs_blocked 0
+";
+
+    #[test]
+    fn system_stat_parses() {
+        let s = parse_system_stat(STAT).unwrap();
+        assert_eq!(s.total.user, 100);
+        assert_eq!(s.cpus.len(), 2);
+        assert_eq!(s.cpus[1].0, 1);
+        assert_eq!(s.cpus[1].1.idle, 440);
+        assert_eq!(s.ctxt, 987654);
+        assert_eq!(s.processes, 4242);
+    }
+
+    #[test]
+    fn system_stat_requires_total_row() {
+        assert!(parse_system_stat("cpu0 1 2 3 4\n").is_err());
+    }
+
+    #[test]
+    fn system_stat_short_rows_ok() {
+        // Ancient kernels emit only 4 fields.
+        let s = parse_system_stat("cpu 1 2 3 4\ncpu0 1 2 3 4\n").unwrap();
+        assert_eq!(s.total.idle, 4);
+        assert_eq!(s.total.iowait, 0);
+    }
+
+    #[test]
+    fn meminfo_parses() {
+        let text = "\
+MemTotal:       527942792 kB
+MemFree:        480000000 kB
+MemAvailable:   500000000 kB
+Buffers:          100000 kB
+Cached:          5000000 kB
+SwapCached:            0 kB
+SwapTotal:             0 kB
+SwapFree:              0 kB
+";
+        let m = parse_meminfo(text).unwrap();
+        assert_eq!(m.mem_total_kib, 527942792);
+        assert_eq!(m.mem_available_kib, 500000000);
+        assert_eq!(m.used_kib(), 27942792);
+    }
+
+    #[test]
+    fn meminfo_requires_total() {
+        assert!(parse_meminfo("MemFree: 5 kB\n").is_err());
+    }
+
+    #[test]
+    fn task_stat_parses_basic() {
+        let line = "51334 (miniqmc) R 51000 51334 51334 0 -1 4194304 \
+            1234 0 5 0 6394 1248 0 0 20 0 9 0 100 123456789 4321 \
+            18446744073709551615 1 1 0 0 0 0 0 0 0 0 0 0 17 1 0 0 0 0 0 0 0 0 0 0 0 0 0";
+        let t = parse_task_stat(line).unwrap();
+        assert_eq!(t.tid, 51334);
+        assert_eq!(t.comm, "miniqmc");
+        assert_eq!(t.state, TaskState::Running);
+        assert_eq!(t.minflt, 1234);
+        assert_eq!(t.majflt, 5);
+        assert_eq!(t.utime, 6394);
+        assert_eq!(t.stime, 1248);
+        assert_eq!(t.nice, 0);
+        assert_eq!(t.num_threads, 9);
+        assert_eq!(t.processor, 1);
+    }
+
+    #[test]
+    fn task_stat_handles_evil_comm() {
+        // comm containing spaces and a ')' — the classic procfs trap.
+        let line = "7 (evil) name)) S 1 7 7 0 -1 0 \
+            0 0 0 0 1 2 0 0 20 0 1 0 0 0 0 \
+            18446744073709551615 0 0 0 0 0 0 0 0 0 0 0 0 17 3 0 0 0 0 0 0 0 0 0 0 0 0 0";
+        let t = parse_task_stat(line).unwrap();
+        assert_eq!(t.comm, "evil) name)");
+        assert_eq!(t.state, TaskState::Sleeping);
+        assert_eq!(t.processor, 3);
+    }
+
+    #[test]
+    fn task_stat_rejects_garbage() {
+        assert!(parse_task_stat("no parens here").is_err());
+        assert!(parse_task_stat("1 (x) R 1").is_err()); // too short
+    }
+
+    #[test]
+    fn schedstat_parses() {
+        let ss = parse_schedstat("123456789 42000 77\n").unwrap();
+        assert_eq!(ss.run_ns, 123456789);
+        assert_eq!(ss.wait_ns, 42000);
+        assert_eq!(ss.timeslices, 77);
+        assert!(parse_schedstat("1 2").is_err());
+        assert!(parse_schedstat("a b c").is_err());
+    }
+
+    #[test]
+    fn task_status_parses() {
+        let text = "\
+Name:\tminiqmc
+State:\tR (running)
+Tgid:\t51334
+Pid:\t51384
+VmSize:\t  900000 kB
+VmHWM:\t  123456 kB
+VmRSS:\t  120000 kB
+Cpus_allowed:\tfe
+Cpus_allowed_list:\t1-7
+voluntary_ctxt_switches:\t365742
+nonvoluntary_ctxt_switches:\t3
+";
+        let s = parse_task_status(text).unwrap();
+        assert_eq!(s.name, "miniqmc");
+        assert_eq!(s.tid, 51384);
+        assert_eq!(s.tgid, 51334);
+        assert_eq!(s.state, TaskState::Running);
+        assert_eq!(s.vm_rss_kib, 120000);
+        assert_eq!(s.cpus_allowed.to_list_string(), "1-7");
+        assert_eq!(s.voluntary_ctxt_switches, 365742);
+        assert_eq!(s.nonvoluntary_ctxt_switches, 3);
+    }
+
+    #[test]
+    fn task_status_missing_pid_is_error() {
+        assert!(parse_task_status("Name: x\n").is_err());
+    }
+}

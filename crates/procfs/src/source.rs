@@ -1,0 +1,86 @@
+//! The `/proc`-shaped boundary between the monitor and the system.
+//!
+//! [`ProcSource`] is the only interface through which ZeroSum's monitor
+//! observes a machine. Two implementations exist: [`crate::linux::LinuxProc`]
+//! reads a live `/proc` filesystem; `zerosum-sched` provides a simulated
+//! source backed by its node model. Because the trait surface matches what
+//! `/proc` offers (and nothing more), the monitor cannot accidentally
+//! depend on simulator internals.
+
+use crate::types::{MemInfo, Pid, SystemStat, TaskStat, TaskStatus, Tid};
+use std::fmt;
+
+/// Errors returned by a [`ProcSource`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// The process or task does not exist (it may have exited between the
+    /// task-list read and the per-task read — a normal race the monitor
+    /// must tolerate, per §3.1.1 of the paper).
+    NotFound,
+    /// An I/O failure reading the backing store.
+    Io(String),
+    /// The record existed but could not be parsed.
+    Malformed(String),
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::NotFound => write!(f, "no such process or task"),
+            SourceError::Io(e) => write!(f, "procfs I/O error: {e}"),
+            SourceError::Malformed(e) => write!(f, "malformed procfs record: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// Result alias for source operations.
+pub type SourceResult<T> = Result<T, SourceError>;
+
+/// Read access to `/proc`-shaped system and per-task records.
+pub trait ProcSource {
+    /// Reads `/proc/stat` — system-wide and per-CPU jiffy counters.
+    fn system_stat(&self) -> SourceResult<SystemStat>;
+
+    /// Reads `/proc/meminfo`.
+    fn meminfo(&self) -> SourceResult<MemInfo>;
+
+    /// Lists the LWP ids under `/proc/<pid>/task`, ascending.
+    ///
+    /// This is the thread-discovery mechanism §3.1.1 of the paper prefers
+    /// over intercepting `pthread_create`.
+    fn list_tasks(&self, pid: Pid) -> SourceResult<Vec<Tid>>;
+
+    /// Reads `/proc/<pid>/task/<tid>/stat`.
+    fn task_stat(&self, pid: Pid, tid: Tid) -> SourceResult<TaskStat>;
+
+    /// Reads `/proc/<pid>/task/<tid>/status`.
+    fn task_status(&self, pid: Pid, tid: Tid) -> SourceResult<TaskStatus>;
+
+    /// Reads `/proc/<pid>/task/<tid>/schedstat` — on-CPU time, runqueue
+    /// wait time, and timeslices. Not every kernel exposes it
+    /// (`CONFIG_SCHED_INFO`); the default reports it missing, and
+    /// consumers must degrade gracefully.
+    fn task_schedstat(&self, _pid: Pid, _tid: Tid) -> SourceResult<crate::types::SchedStat> {
+        Err(SourceError::NotFound)
+    }
+
+    /// Reads `/proc/<pid>/status` (the process-level record; equivalent to
+    /// the main thread's task status).
+    fn process_status(&self, pid: Pid) -> SourceResult<TaskStatus> {
+        self.task_status(pid, pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(SourceError::NotFound.to_string(), "no such process or task");
+        assert!(SourceError::Io("x".into()).to_string().contains("x"));
+        assert!(SourceError::Malformed("y".into()).to_string().contains("y"));
+    }
+}

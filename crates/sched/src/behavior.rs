@@ -1,0 +1,535 @@
+//! Workload behavior models.
+//!
+//! A behavior is a deterministic generator of scheduler *operations*
+//! (compute, syscall, sleep, barrier, GPU offload) that models how a class
+//! of HPC threads uses the machine: OpenMP compute workers, MPI progress
+//! helpers, GPU-offloading walkers, and the ZeroSum monitor thread itself.
+//! The scheduler executes these operations; utilization, contention, and
+//! runtime all *emerge* from the interaction of behaviors with the
+//! scheduling model.
+
+/// One operation a task asks the scheduler to perform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Execute `us` of user-mode CPU work (walltime stretches if the CPU
+    /// is shared).
+    Compute {
+        /// CPU work in µs.
+        us: u64,
+    },
+    /// Execute `us` of kernel-mode CPU work (system calls, memory
+    /// registration, kernel launches, MPI progress).
+    Syscall {
+        /// CPU work in µs.
+        us: u64,
+    },
+    /// Block off-CPU for `us` of wall time (voluntary switch).
+    Sleep {
+        /// Wall time in µs.
+        us: u64,
+    },
+    /// Synchronize with the other members of the barrier group.
+    Barrier {
+        /// Barrier id, unique within the owning process.
+        id: u32,
+    },
+    /// Enqueue a kernel of `kernel_us` on GPU `device`, then block until
+    /// it completes (this is the post-launch synchronization wait).
+    OffloadWait {
+        /// GPU physical device index.
+        device: u32,
+        /// Kernel duration on the device, µs.
+        kernel_us: u64,
+        /// Device memory touched by this offload region, bytes.
+        bytes: u64,
+    },
+    /// Terminate the task.
+    Exit,
+}
+
+/// Per-iteration GPU offload pattern for [`WorkerSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadSpec {
+    /// Target GPU physical index.
+    pub device: u32,
+    /// Kernel-launch + transfer overhead executed as system time, µs.
+    pub launch_us: u64,
+    /// Kernel duration on the device, µs.
+    pub kernel_us: u64,
+    /// Synchronization/teardown system time after completion, µs.
+    pub sync_us: u64,
+    /// Device bytes touched per offload.
+    pub bytes: u64,
+}
+
+/// A compute worker: the model for miniQMC's OpenMP walker threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerSpec {
+    /// Number of outer iterations (e.g. QMC blocks).
+    pub iterations: u32,
+    /// Mean user-mode CPU work per iteration, µs.
+    pub work_per_iter_us: u64,
+    /// Uniform relative jitter on per-iteration work (0.05 = ±5%) —
+    /// models walker-population noise.
+    pub noise_frac: f64,
+    /// System-call time per iteration, µs (I/O, allocator, MPI calls).
+    pub sys_per_iter_us: u64,
+    /// Extra *serial* work done only by the team leader each iteration
+    /// (models Amdahl serial sections; other members wait at the barrier).
+    pub leader_extra_us: u64,
+    /// Every `checkpoint_every` iterations (0 = never) the leader
+    /// additionally performs `checkpoint_extra_us` of serial work —
+    /// modelling periodic I/O/diagnostics whose long barrier waits
+    /// exhaust the other members' spin budgets (the rare blocking events
+    /// behind the paper's Table 2 thread migrations).
+    pub checkpoint_every: u32,
+    /// Serial checkpoint work, µs.
+    pub checkpoint_extra_us: u64,
+    /// Whether this worker is the team leader.
+    pub is_leader: bool,
+    /// Barrier id joined at the end of every iteration; `None` for
+    /// unsynchronized workers.
+    pub barrier: Option<u32>,
+    /// GPU offload performed each iteration, if any.
+    pub offload: Option<OffloadSpec>,
+}
+
+impl WorkerSpec {
+    /// A CPU-bound worker with sensible defaults: `iterations` iterations
+    /// of `work_us` each, 1.2% system time, ±4% noise, no barrier.
+    pub fn cpu_bound(iterations: u32, work_us: u64) -> Self {
+        WorkerSpec {
+            iterations,
+            work_per_iter_us: work_us,
+            noise_frac: 0.04,
+            sys_per_iter_us: work_us / 80,
+            leader_extra_us: 0,
+            checkpoint_every: 0,
+            checkpoint_extra_us: 0,
+            is_leader: false,
+            barrier: None,
+            offload: None,
+        }
+    }
+}
+
+/// Phase of a [`WorkerSpec`] execution (internal state machine).
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkerPhase {
+    /// Leader-only serial section.
+    LeaderSerial,
+    /// Per-iteration system-call work.
+    Sys,
+    /// Main user-mode work.
+    Work,
+    /// Offload launch (if configured).
+    Offload,
+    /// Offload wait follows a launch syscall.
+    OffloadWaitPending,
+    /// Post-offload synchronization syscall.
+    OffloadSync,
+    /// End-of-iteration barrier.
+    Bar,
+}
+
+/// A behavior model attached to one task.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Behavior {
+    /// Iterative compute worker (OpenMP thread / main thread).
+    Worker {
+        /// The static description.
+        spec: WorkerSpec,
+        /// Current iteration (internal).
+        iter: u32,
+        /// Current phase within the iteration (internal).
+        phase: WorkerPhase2,
+    },
+    /// Sleeps `period_us`, then performs `busy_us` of kernel-mode polling
+    /// work; repeats forever. Models the MPI progress helper thread.
+    HelperPoll {
+        /// Sleep between polls, µs.
+        period_us: u64,
+        /// Kernel time per poll, µs.
+        busy_us: u64,
+    },
+    /// Internal: a [`Behavior::HelperPoll`] that has finished sleeping and
+    /// owes its poll syscall.
+    #[doc(hidden)]
+    HelperPollAwake {
+        /// Sleep between polls, µs.
+        period_us: u64,
+        /// Kernel time per poll, µs.
+        busy_us: u64,
+    },
+    /// Sleeps `period_us`, then performs sampling work split between
+    /// kernel (`sys_us`, reading `/proc`) and user (`user_us`, parsing /
+    /// bookkeeping) time; repeats forever. Models the ZeroSum async
+    /// monitor thread — its CPU cost is what produces the Figure 8
+    /// overhead.
+    Periodic {
+        /// Sleep between samples, µs.
+        period_us: u64,
+        /// Kernel time per sample, µs.
+        sys_us: u64,
+        /// User time per sample, µs.
+        user_us: u64,
+    },
+    /// Internal: a [`Behavior::Periodic`] mid-sample.
+    #[doc(hidden)]
+    PeriodicAwake {
+        /// Sleep between samples, µs.
+        period_us: u64,
+        /// Kernel time per sample, µs.
+        sys_us: u64,
+        /// User time per sample, µs.
+        user_us: u64,
+        /// Whether the kernel-time half has been emitted.
+        did_sys: bool,
+    },
+    /// Blocked forever (e.g. a parked runtime thread).
+    Sleeper,
+    /// A plain finite chunk of CPU work with no structure; useful in
+    /// tests and examples.
+    FiniteCompute {
+        /// Remaining user-mode work, µs.
+        remaining_us: u64,
+        /// Work chunk between scheduler interactions, µs.
+        chunk_us: u64,
+    },
+}
+
+#[doc(hidden)]
+pub use WorkerPhase as WorkerPhase2;
+
+impl Behavior {
+    /// Creates a worker behavior from a spec.
+    pub fn worker(spec: WorkerSpec) -> Behavior {
+        Behavior::Worker {
+            spec,
+            iter: 0,
+            phase: WorkerPhase::LeaderSerial,
+        }
+    }
+
+    /// The next operation. `jitter` must be a uniform draw in `[0,1)` from
+    /// the task's RNG stream.
+    pub fn next_op(&mut self, jitter: f64) -> Op {
+        match self {
+            Behavior::Worker { spec, iter, phase } => {
+                if *iter >= spec.iterations {
+                    return Op::Exit;
+                }
+                loop {
+                    match *phase {
+                        WorkerPhase::LeaderSerial => {
+                            *phase = WorkerPhase::Sys;
+                            if spec.is_leader {
+                                let mut us = spec.leader_extra_us;
+                                if spec.checkpoint_every > 0
+                                    && *iter % spec.checkpoint_every == 0
+                                    && *iter > 0
+                                {
+                                    us += spec.checkpoint_extra_us;
+                                }
+                                if us > 0 {
+                                    return Op::Compute { us };
+                                }
+                            }
+                        }
+                        WorkerPhase::Sys => {
+                            *phase = WorkerPhase::Work;
+                            if spec.sys_per_iter_us > 0 {
+                                return Op::Syscall {
+                                    us: spec.sys_per_iter_us,
+                                };
+                            }
+                        }
+                        WorkerPhase::Work => {
+                            *phase = WorkerPhase::Offload;
+                            let noise = 1.0 + spec.noise_frac * (2.0 * jitter - 1.0);
+                            let us = (spec.work_per_iter_us as f64 * noise).max(1.0) as u64;
+                            return Op::Compute { us };
+                        }
+                        WorkerPhase::Offload => {
+                            if let Some(ofl) = &spec.offload {
+                                if ofl.launch_us > 0 {
+                                    // Launch overhead first (system time);
+                                    // the device wait follows on the next
+                                    // fetch.
+                                    *phase = WorkerPhase::OffloadWaitPending;
+                                    return Op::Syscall { us: ofl.launch_us };
+                                }
+                                *phase = WorkerPhase::OffloadSync;
+                                return Op::OffloadWait {
+                                    device: ofl.device,
+                                    kernel_us: ofl.kernel_us,
+                                    bytes: ofl.bytes,
+                                };
+                            }
+                            *phase = WorkerPhase::Bar;
+                        }
+                        WorkerPhase::OffloadWaitPending => {
+                            *phase = WorkerPhase::OffloadSync;
+                            let ofl = spec.offload.as_ref().expect("offload spec");
+                            return Op::OffloadWait {
+                                device: ofl.device,
+                                kernel_us: ofl.kernel_us,
+                                bytes: ofl.bytes,
+                            };
+                        }
+                        WorkerPhase::OffloadSync => {
+                            *phase = WorkerPhase::Bar;
+                            let sync = spec.offload.as_ref().map(|o| o.sync_us).unwrap_or(0);
+                            if sync > 0 {
+                                return Op::Syscall { us: sync };
+                            }
+                        }
+                        WorkerPhase::Bar => {
+                            *iter += 1;
+                            *phase = WorkerPhase::LeaderSerial;
+                            if let Some(id) = spec.barrier {
+                                return Op::Barrier { id };
+                            }
+                            if *iter >= spec.iterations {
+                                return Op::Exit;
+                            }
+                        }
+                    }
+                }
+            }
+            Behavior::HelperPoll { period_us, busy_us } => {
+                let (p, b) = (*period_us, *busy_us);
+                *self = Behavior::HelperPollAwake {
+                    period_us: p,
+                    busy_us: b,
+                };
+                Op::Sleep { us: p }
+            }
+            Behavior::HelperPollAwake { period_us, busy_us } => {
+                let (p, b) = (*period_us, *busy_us);
+                *self = Behavior::HelperPoll {
+                    period_us: p,
+                    busy_us: b,
+                };
+                Op::Syscall { us: b }
+            }
+            Behavior::Periodic {
+                period_us,
+                sys_us,
+                user_us,
+            } => {
+                let (p, s, u) = (*period_us, *sys_us, *user_us);
+                *self = Behavior::PeriodicAwake {
+                    period_us: p,
+                    sys_us: s,
+                    user_us: u,
+                    did_sys: false,
+                };
+                Op::Sleep { us: p }
+            }
+            Behavior::PeriodicAwake {
+                period_us,
+                sys_us,
+                user_us,
+                did_sys,
+            } => {
+                if !*did_sys {
+                    *did_sys = true;
+                    let s = *sys_us;
+                    if s > 0 {
+                        return Op::Syscall { us: s };
+                    }
+                }
+                let (p, s, u) = (*period_us, *sys_us, *user_us);
+                *self = Behavior::Periodic {
+                    period_us: p,
+                    sys_us: s,
+                    user_us: u,
+                };
+                if u > 0 {
+                    Op::Compute { us: u }
+                } else {
+                    Op::Sleep { us: p }
+                }
+            }
+            Behavior::Sleeper => Op::Sleep { us: u64::MAX / 4 },
+            Behavior::FiniteCompute {
+                remaining_us,
+                chunk_us,
+            } => {
+                if *remaining_us == 0 {
+                    return Op::Exit;
+                }
+                let us = (*chunk_us).min(*remaining_us);
+                *remaining_us -= us;
+                Op::Compute { us }
+            }
+        }
+    }
+}
+
+// Hidden auxiliary variants used by the state machine above. They are part
+// of the enum but not intended for construction by users.
+#[doc(hidden)]
+#[allow(non_camel_case_types)]
+impl Behavior {
+    /// Internal.
+    pub fn helper_poll(period_us: u64, busy_us: u64) -> Behavior {
+        Behavior::HelperPoll { period_us, busy_us }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_compute_emits_chunks_then_exit() {
+        let mut b = Behavior::FiniteCompute {
+            remaining_us: 250,
+            chunk_us: 100,
+        };
+        assert_eq!(b.next_op(0.5), Op::Compute { us: 100 });
+        assert_eq!(b.next_op(0.5), Op::Compute { us: 100 });
+        assert_eq!(b.next_op(0.5), Op::Compute { us: 50 });
+        assert_eq!(b.next_op(0.5), Op::Exit);
+        assert_eq!(b.next_op(0.5), Op::Exit);
+    }
+
+    #[test]
+    fn worker_iterates_sys_work_barrier() {
+        let spec = WorkerSpec {
+            iterations: 2,
+            work_per_iter_us: 1000,
+            noise_frac: 0.0,
+            sys_per_iter_us: 10,
+            leader_extra_us: 0,
+            checkpoint_every: 0,
+            checkpoint_extra_us: 0,
+            is_leader: false,
+            barrier: Some(7),
+            offload: None,
+        };
+        let mut b = Behavior::worker(spec);
+        let ops: Vec<Op> = (0..6).map(|_| b.next_op(0.5)).collect();
+        assert_eq!(
+            ops,
+            vec![
+                Op::Syscall { us: 10 },
+                Op::Compute { us: 1000 },
+                Op::Barrier { id: 7 },
+                Op::Syscall { us: 10 },
+                Op::Compute { us: 1000 },
+                Op::Barrier { id: 7 },
+            ]
+        );
+        assert_eq!(b.next_op(0.5), Op::Exit);
+    }
+
+    #[test]
+    fn leader_gets_serial_section() {
+        let spec = WorkerSpec {
+            iterations: 1,
+            work_per_iter_us: 100,
+            noise_frac: 0.0,
+            sys_per_iter_us: 0,
+            leader_extra_us: 500,
+            checkpoint_every: 0,
+            checkpoint_extra_us: 0,
+            is_leader: true,
+            barrier: None,
+            offload: None,
+        };
+        let mut b = Behavior::worker(spec);
+        assert_eq!(b.next_op(0.5), Op::Compute { us: 500 });
+        assert_eq!(b.next_op(0.5), Op::Compute { us: 100 });
+        assert_eq!(b.next_op(0.5), Op::Exit);
+    }
+
+    #[test]
+    fn worker_noise_scales_work() {
+        let spec = WorkerSpec {
+            iterations: 1,
+            work_per_iter_us: 1000,
+            noise_frac: 0.10,
+            sys_per_iter_us: 0,
+            leader_extra_us: 0,
+            checkpoint_every: 0,
+            checkpoint_extra_us: 0,
+            is_leader: false,
+            barrier: None,
+            offload: None,
+        };
+        let mut b = Behavior::worker(spec.clone());
+        // jitter 0 → factor 0.9; jitter ~1 → factor ~1.1
+        assert_eq!(b.next_op(0.0), Op::Compute { us: 900 });
+        let mut b2 = Behavior::worker(spec);
+        assert_eq!(b2.next_op(0.9999999), Op::Compute { us: 1099 });
+    }
+
+    #[test]
+    fn offload_sequence() {
+        let spec = WorkerSpec {
+            iterations: 1,
+            work_per_iter_us: 100,
+            noise_frac: 0.0,
+            sys_per_iter_us: 0,
+            leader_extra_us: 0,
+            checkpoint_every: 0,
+            checkpoint_extra_us: 0,
+            is_leader: false,
+            barrier: None,
+            offload: Some(OffloadSpec {
+                device: 4,
+                launch_us: 20,
+                kernel_us: 300,
+                sync_us: 15,
+                bytes: 1 << 20,
+            }),
+        };
+        let mut b = Behavior::worker(spec);
+        assert_eq!(b.next_op(0.5), Op::Compute { us: 100 });
+        assert_eq!(b.next_op(0.5), Op::Syscall { us: 20 }); // launch
+        assert_eq!(
+            b.next_op(0.5),
+            Op::OffloadWait {
+                device: 4,
+                kernel_us: 300,
+                bytes: 1 << 20
+            }
+        );
+        assert_eq!(b.next_op(0.5), Op::Syscall { us: 15 }); // sync
+        assert_eq!(b.next_op(0.5), Op::Exit);
+    }
+
+    #[test]
+    fn helper_poll_alternates() {
+        let mut b = Behavior::helper_poll(500_000, 200);
+        assert_eq!(b.next_op(0.5), Op::Sleep { us: 500_000 });
+        assert_eq!(b.next_op(0.5), Op::Syscall { us: 200 });
+        assert_eq!(b.next_op(0.5), Op::Sleep { us: 500_000 });
+    }
+
+    #[test]
+    fn periodic_monitor_cycle() {
+        let mut b = Behavior::Periodic {
+            period_us: 1_000_000,
+            sys_us: 3000,
+            user_us: 2000,
+        };
+        assert_eq!(b.next_op(0.5), Op::Sleep { us: 1_000_000 });
+        assert_eq!(b.next_op(0.5), Op::Syscall { us: 3000 });
+        assert_eq!(b.next_op(0.5), Op::Compute { us: 2000 });
+        assert_eq!(b.next_op(0.5), Op::Sleep { us: 1_000_000 });
+    }
+
+    #[test]
+    fn sleeper_sleeps_long() {
+        let mut b = Behavior::Sleeper;
+        match b.next_op(0.5) {
+            Op::Sleep { us } => assert!(us > 1u64 << 60),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Per-hardware-thread scheduler state.
+
+use crate::task::TaskId;
+use std::collections::VecDeque;
+
+/// State of one schedulable hardware thread (PU).
+#[derive(Debug, Default)]
+pub struct CpuState {
+    /// OS index of this hardware thread.
+    pub os_index: u32,
+    /// OS index of the sibling hardware thread on the same core, if SMT.
+    pub smt_sibling: Option<u32>,
+    /// FIFO runqueue of waiting tasks.
+    pub runqueue: VecDeque<TaskId>,
+    /// The task currently executing, if any.
+    pub current: Option<TaskId>,
+    /// Cumulative idle time, µs.
+    pub idle_us: u64,
+    /// Cumulative user-mode time, µs.
+    pub user_us: u64,
+    /// Cumulative kernel-mode time, µs.
+    pub system_us: u64,
+}
+
+impl CpuState {
+    /// Creates the state for hardware thread `os_index`.
+    pub fn new(os_index: u32, smt_sibling: Option<u32>) -> Self {
+        CpuState {
+            os_index,
+            smt_sibling,
+            ..Default::default()
+        }
+    }
+
+    /// Number of runnable tasks including the one on CPU.
+    pub fn nr_running(&self) -> usize {
+        self.runqueue.len() + usize::from(self.current.is_some())
+    }
+
+    /// True if nothing is running or waiting here.
+    pub fn is_idle(&self) -> bool {
+        self.current.is_none() && self.runqueue.is_empty()
+    }
+
+    /// Total accounted time, µs.
+    pub fn total_us(&self) -> u64 {
+        self.idle_us + self.user_us + self.system_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_accounting() {
+        let mut c = CpuState::new(3, Some(67));
+        assert!(c.is_idle());
+        assert_eq!(c.nr_running(), 0);
+        c.current = Some(TaskId(0));
+        c.runqueue.push_back(TaskId(1));
+        assert_eq!(c.nr_running(), 2);
+        assert!(!c.is_idle());
+        c.idle_us = 10;
+        c.user_us = 20;
+        c.system_us = 5;
+        assert_eq!(c.total_us(), 35);
+    }
+}

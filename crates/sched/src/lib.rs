@@ -1,0 +1,164 @@
+//! # zerosum-sched
+//!
+//! The operating-system scheduler substrate for ZeroSum-rs.
+//!
+//! The paper's evaluation observes Linux CFS behaviour — context switches,
+//! thread migrations, per-CPU utilization, memory growth, GPU queueing —
+//! through `/proc`. Reproducing those experiments without a Frontier
+//! allocation requires a scheduler whose *mechanics* produce the same
+//! phenomena. [`node::NodeSim`] is that substrate: a deterministic,
+//! discrete-time, per-CPU-runqueue scheduler with timeslice preemption,
+//! spin-yield barriers, CPU-metered spin-before-block, SMT throughput
+//! sharing, new-idle stealing, a process memory model, and serialized GPU
+//! kernel queues.
+//!
+//! The monitor observes the simulation exclusively through
+//! [`proc_source::SimProcSource`], which renders kernel-format text and
+//! re-parses it with the real `zerosum-proc` parsers.
+//!
+//! [`launch`] computes Slurm-style placements (`srun -n8 -c7 …`), and
+//! [`behavior`] provides the workload models (compute workers, GPU
+//! offload, MPI helper, the ZeroSum monitor thread itself).
+
+#![warn(missing_docs)]
+
+pub mod behavior;
+pub mod cpu;
+pub mod devices;
+pub mod launch;
+pub mod memory;
+pub mod node;
+pub mod params;
+pub mod proc_source;
+pub mod task;
+
+pub use behavior::{Behavior, OffloadSpec, Op, WorkerSpec};
+pub use launch::{plan_launch, RankPlacement, SrunConfig};
+pub use node::{DeviceSnapshot, NodeSim, SimProcess};
+pub use params::SchedParams;
+pub use proc_source::SimProcSource;
+pub use task::{RunState, SimTask, TaskCounters, TaskId};
+
+#[cfg(test)]
+mod proptests {
+    use crate::behavior::Behavior;
+    use crate::node::NodeSim;
+    use crate::params::SchedParams;
+    use proptest::prelude::*;
+    use zerosum_topology::{presets, CpuSet};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// CPU-time conservation: the sum of all tasks' CPU time equals
+        /// the sum of all CPUs' busy time, and no CPU accounts more time
+        /// than has elapsed.
+        #[test]
+        fn cpu_time_is_conserved(
+            ntasks in 1usize..6,
+            work_ms in 1u64..40,
+            ncpus in 1u32..4,
+        ) {
+            let mut sim = NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
+            let mask = CpuSet::range(0, ncpus - 1);
+            let behavior = || Behavior::FiniteCompute {
+                remaining_us: work_ms * 1000,
+                chunk_us: 2_000,
+            };
+            let pid = sim.spawn_process("p", mask, 64, behavior());
+            for _ in 1..ntasks {
+                sim.spawn_task(pid, "w", None, behavior(), false);
+            }
+            sim.run_for(500_000);
+            let task_cpu: u64 = sim
+                .process_task_counters(pid)
+                .iter()
+                .map(|(_, _, c)| c.utime_us + c.stime_us)
+                .sum();
+            let cpu_busy: u64 = sim
+                .cpu_times_us()
+                .iter()
+                .map(|(_, u, s, _)| u + s)
+                .sum();
+            prop_assert_eq!(task_cpu, cpu_busy);
+            for (os, u, s, i) in sim.cpu_times_us() {
+                prop_assert_eq!(u + s + i, sim.now_us(), "cpu {}", os);
+            }
+        }
+
+        /// Tasks never run outside their affinity mask.
+        #[test]
+        fn affinity_is_respected(
+            cpu_a in 0u32..8,
+            cpu_b in 0u32..8,
+            work_ms in 1u64..30,
+        ) {
+            let mut sim = NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
+            let mask = CpuSet::from_indices([cpu_a, cpu_b]);
+            let pid = sim.spawn_process("p", mask.clone(), 64, Behavior::FiniteCompute {
+                remaining_us: work_ms * 1000,
+                chunk_us: 1_000,
+            });
+            sim.spawn_task(pid, "w", None, Behavior::FiniteCompute {
+                remaining_us: work_ms * 1000,
+                chunk_us: 1_000,
+            }, false);
+            sim.run_until_apps_done(5_000, 10_000_000).expect("finishes");
+            for (tid, _, _) in sim.process_task_counters(pid) {
+                let t = sim.task_by_tid(tid).unwrap();
+                prop_assert!(mask.contains(t.last_cpu),
+                    "task {} ran on {} outside {:?}", tid, t.last_cpu, mask);
+            }
+        }
+
+        /// Barrier liveness: any team of workers sharing a barrier on any
+        /// CPU subset always finishes (no lost wakeups / stuck spins).
+        #[test]
+        fn barrier_teams_always_finish(
+            team in 2usize..6,
+            blocks in 1u32..5,
+            work_ms in 1u64..8,
+            ncpus in 1u32..8,
+            spin_us in prop_oneof![Just(100u64), Just(2_000), Just(200_000)],
+        ) {
+            let mut sim = NodeSim::new(
+                presets::laptop_i7_1165g7(),
+                SchedParams { barrier_spin_us: spin_us, ..Default::default() },
+            );
+            let mask = CpuSet::range(0, ncpus - 1);
+            let mk = || crate::behavior::Behavior::worker(crate::behavior::WorkerSpec {
+                barrier: Some(1),
+                ..crate::behavior::WorkerSpec::cpu_bound(blocks, work_ms * 1_000)
+            });
+            let pid = sim.spawn_process("team", mask, 64, mk());
+            for _ in 1..team {
+                sim.spawn_task(pid, "w", None, mk(), false);
+            }
+            let bound = 10 * team as u64 * blocks as u64 * work_ms * 1_000 + 10_000_000;
+            prop_assert!(
+                sim.run_until_apps_done(10_000, bound).is_some(),
+                "team {team} blocks {blocks} work {work_ms}ms cpus {ncpus} spin {spin_us} did not finish"
+            );
+        }
+
+        /// Work conservation: total runtime of n equal tasks on one CPU is
+        /// at least n × the single-task runtime and the work completes.
+        #[test]
+        fn serialization_scales_runtime(n in 1u64..5) {
+            let mut sim = NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
+            let pid = sim.spawn_process("p", CpuSet::single(0), 64, Behavior::FiniteCompute {
+                remaining_us: 20_000,
+                chunk_us: 20_000,
+            });
+            for _ in 1..n {
+                sim.spawn_task(pid, "w", None, Behavior::FiniteCompute {
+                    remaining_us: 20_000,
+                    chunk_us: 20_000,
+                }, false);
+            }
+            let done = sim.run_until_apps_done(5_000, 60_000_000).expect("finishes");
+            prop_assert!(done >= n * 20_000);
+            prop_assert!(done <= n * 20_000 + 50_000);
+        }
+    }
+}

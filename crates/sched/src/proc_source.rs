@@ -1,0 +1,312 @@
+//! The simulated `/proc` backend.
+//!
+//! [`SimProcSource`] implements [`zerosum_proc::ProcSource`] over a
+//! [`NodeSim`]. To keep the simulation honest it does not hand structured
+//! data to the monitor directly: every record is first *rendered to the
+//! kernel's text format* and then re-parsed with the same parsers the
+//! live-Linux backend uses. The monitor therefore exercises the identical
+//! code path on both backends, and the jiffy quantization that makes
+//! Figure 6 noisy happens exactly where it does on a real system.
+
+use crate::node::NodeSim;
+use crate::task::RunState;
+use zerosum_proc::{
+    format, parse, CpuTimes, MemInfo, Pid, SchedStat, SourceError, SourceResult, SystemStat,
+    TaskStat, TaskStatus, Tid,
+};
+
+/// Microseconds per jiffy at `USER_HZ` = 100.
+const US_PER_JIFFY: u64 = 1_000_000 / zerosum_proc::USER_HZ;
+
+/// A borrowed `/proc` view of a [`NodeSim`].
+pub struct SimProcSource<'a> {
+    sim: &'a NodeSim,
+}
+
+impl<'a> SimProcSource<'a> {
+    /// Creates the view.
+    pub fn new(sim: &'a NodeSim) -> Self {
+        SimProcSource { sim }
+    }
+
+    fn render_task_stat(&self, pid: Pid, tid: Tid) -> SourceResult<String> {
+        let task = self
+            .sim
+            .task_by_tid(tid)
+            .filter(|t| t.pid == pid)
+            .ok_or(SourceError::NotFound)?;
+        let process = self.sim.process(pid).ok_or(SourceError::NotFound)?;
+        let now = self.sim.now_us();
+        // Kernel truncates comm to 15 bytes.
+        let comm: String = task.name.chars().take(15).collect();
+        // Minor faults: the main thread performs the first-touch faults of
+        // the memory ramp; every thread adds an allocator trickle
+        // proportional to its CPU time.
+        let ramp_faults = if tid == pid {
+            process.memory.minor_faults(now)
+        } else {
+            0
+        };
+        let trickle = task.cpu_us() / 20_000;
+        let stat = TaskStat {
+            tid,
+            comm,
+            state: task.state.proc_state(),
+            minflt: ramp_faults + trickle,
+            majflt: 0,
+            utime: task.counters.utime_us / US_PER_JIFFY,
+            stime: task.counters.stime_us / US_PER_JIFFY,
+            nice: 0,
+            num_threads: process.tasks.len() as u32,
+            processor: task.last_cpu,
+            nswap: 0,
+        };
+        Ok(format::format_task_stat(&stat))
+    }
+
+    fn render_task_status(&self, pid: Pid, tid: Tid) -> SourceResult<String> {
+        let task = self
+            .sim
+            .task_by_tid(tid)
+            .filter(|t| t.pid == pid)
+            .ok_or(SourceError::NotFound)?;
+        let process = self.sim.process(pid).ok_or(SourceError::NotFound)?;
+        let now = self.sim.now_us();
+        let status = TaskStatus {
+            name: task.name.chars().take(15).collect(),
+            tid,
+            tgid: pid,
+            state: task.state.proc_state(),
+            vm_rss_kib: process.memory.rss_kib(now),
+            vm_size_kib: process.memory.vm_size_kib,
+            vm_hwm_kib: process.memory.hwm_kib(now),
+            cpus_allowed: task.affinity.clone(),
+            voluntary_ctxt_switches: task.counters.vcsw,
+            nonvoluntary_ctxt_switches: task.counters.nvcsw,
+        };
+        Ok(format::format_task_status(&status))
+    }
+}
+
+fn malformed(e: impl std::fmt::Display) -> SourceError {
+    SourceError::Malformed(e.to_string())
+}
+
+impl zerosum_proc::ProcSource for SimProcSource<'_> {
+    fn system_stat(&self) -> SourceResult<SystemStat> {
+        let mut cpus = Vec::new();
+        let mut total = CpuTimes::default();
+        for (os, user_us, system_us, idle_us) in self.sim.cpu_times_us() {
+            let t = CpuTimes {
+                user: user_us / US_PER_JIFFY,
+                system: system_us / US_PER_JIFFY,
+                idle: idle_us / US_PER_JIFFY,
+                ..Default::default()
+            };
+            total = total.add(&t);
+            cpus.push((os, t));
+        }
+        let stat = SystemStat {
+            total,
+            cpus,
+            ctxt: self.sim.ctxt_total(),
+            processes: 0,
+        };
+        let text = format::format_system_stat(&stat);
+        parse::parse_system_stat(&text).map_err(malformed)
+    }
+
+    fn meminfo(&self) -> SourceResult<MemInfo> {
+        let mi = self.sim.memory.meminfo(self.sim.processes_rss_kib());
+        let text = format::format_meminfo(&mi);
+        parse::parse_meminfo(&text).map_err(malformed)
+    }
+
+    fn list_tasks(&self, pid: Pid) -> SourceResult<Vec<Tid>> {
+        let process = self.sim.process(pid).ok_or(SourceError::NotFound)?;
+        let mut tids: Vec<Tid> = process
+            .tasks
+            .iter()
+            .map(|&id| self.sim.task(id).tid)
+            // Exited threads disappear from /proc/<pid>/task.
+            .filter(|&tid| {
+                self.sim
+                    .task_by_tid(tid)
+                    .map(|t| t.state != RunState::Exited)
+                    .unwrap_or(false)
+            })
+            .collect();
+        tids.sort_unstable();
+        Ok(tids)
+    }
+
+    fn task_stat(&self, pid: Pid, tid: Tid) -> SourceResult<TaskStat> {
+        let text = self.render_task_stat(pid, tid)?;
+        parse::parse_task_stat(&text).map_err(malformed)
+    }
+
+    fn task_status(&self, pid: Pid, tid: Tid) -> SourceResult<TaskStatus> {
+        let text = self.render_task_status(pid, tid)?;
+        parse::parse_task_status(&text).map_err(malformed)
+    }
+
+    fn task_schedstat(&self, pid: Pid, tid: Tid) -> SourceResult<SchedStat> {
+        let task = self
+            .sim
+            .task_by_tid(tid)
+            .filter(|t| t.pid == pid)
+            .ok_or(SourceError::NotFound)?;
+        let ss = SchedStat {
+            run_ns: task.cpu_us() * 1_000,
+            wait_ns: task.counters.wait_us * 1_000,
+            timeslices: task.counters.dispatches,
+        };
+        let text = format::format_schedstat(&ss);
+        parse::parse_schedstat(&text).map_err(malformed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::Behavior;
+    use crate::params::SchedParams;
+    use zerosum_proc::{ProcSource, TaskState};
+    use zerosum_topology::{presets, CpuSet};
+
+    fn sim_with_app() -> (NodeSim, Pid) {
+        let mut sim = NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
+        let pid = sim.spawn_process(
+            "testapp",
+            CpuSet::from_indices([0u32, 1]),
+            4096,
+            Behavior::FiniteCompute {
+                remaining_us: 500_000,
+                chunk_us: 10_000,
+            },
+        );
+        sim.spawn_task(
+            pid,
+            "worker",
+            None,
+            Behavior::FiniteCompute {
+                remaining_us: 500_000,
+                chunk_us: 10_000,
+            },
+            false,
+        );
+        sim.run_for(200_000);
+        (sim, pid)
+    }
+
+    #[test]
+    fn system_stat_jiffies_sum_to_elapsed() {
+        let (sim, _) = sim_with_app();
+        let src = SimProcSource::new(&sim);
+        let stat = src.system_stat().unwrap();
+        assert_eq!(stat.cpus.len(), 8);
+        // Each CPU accounts 200 ms = 20 jiffies.
+        for (os, t) in &stat.cpus {
+            assert_eq!(t.total(), 20, "cpu {os}");
+        }
+        // Two busy CPUs: user time present.
+        assert!(stat.total.user >= 30);
+    }
+
+    #[test]
+    fn list_tasks_excludes_exited() {
+        let (mut sim, pid) = sim_with_app();
+        let tids = SimProcSource::new(&sim).list_tasks(pid).unwrap();
+        assert_eq!(tids.len(), 2);
+        sim.run_until_apps_done(10_000, 10_000_000).unwrap();
+        let tids = SimProcSource::new(&sim).list_tasks(pid).unwrap();
+        assert!(tids.is_empty());
+    }
+
+    #[test]
+    fn task_stat_reports_jiffies_and_processor() {
+        let (sim, pid) = sim_with_app();
+        let src = SimProcSource::new(&sim);
+        let stat = src.task_stat(pid, pid).unwrap();
+        assert_eq!(stat.tid, pid);
+        assert_eq!(stat.comm, "testapp");
+        assert_eq!(stat.state, TaskState::Running);
+        // 200 ms of CPU-bound work ⇒ ~20 jiffies of utime.
+        assert!((15..=21).contains(&stat.utime), "utime {}", stat.utime);
+        assert!(stat.processor <= 1);
+        assert_eq!(stat.num_threads, 2);
+    }
+
+    #[test]
+    fn task_status_reports_affinity_and_rss() {
+        let (sim, pid) = sim_with_app();
+        let src = SimProcSource::new(&sim);
+        let st = src.task_status(pid, pid).unwrap();
+        assert_eq!(st.tgid, pid);
+        assert_eq!(st.cpus_allowed.to_list_string(), "0-1");
+        assert!(st.vm_rss_kib > 0);
+    }
+
+    #[test]
+    fn schedstat_exposes_wait_time() {
+        // Two busy tasks on one CPU: both accrue runqueue wait.
+        let mut sim = NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
+        let pid = sim.spawn_process(
+            "w",
+            CpuSet::single(0),
+            64,
+            Behavior::FiniteCompute {
+                remaining_us: 200_000,
+                chunk_us: 10_000,
+            },
+        );
+        sim.spawn_task(
+            pid,
+            "w2",
+            None,
+            Behavior::FiniteCompute {
+                remaining_us: 200_000,
+                chunk_us: 10_000,
+            },
+            false,
+        );
+        sim.run_for(200_000);
+        let src = SimProcSource::new(&sim);
+        let ss = src.task_schedstat(pid, pid).unwrap();
+        assert!(ss.run_ns > 0);
+        assert!(ss.wait_ns > 10_000_000, "wait {} ns", ss.wait_ns);
+        assert!(ss.timeslices >= 2);
+        assert!(matches!(
+            src.task_schedstat(pid, 999_999),
+            Err(SourceError::NotFound)
+        ));
+    }
+
+    #[test]
+    fn unknown_ids_are_not_found() {
+        let (sim, pid) = sim_with_app();
+        let src = SimProcSource::new(&sim);
+        assert!(matches!(
+            src.list_tasks(99_999),
+            Err(SourceError::NotFound)
+        ));
+        assert!(matches!(
+            src.task_stat(pid, 99_999),
+            Err(SourceError::NotFound)
+        ));
+        // A valid tid under the wrong pid is also NotFound.
+        assert!(matches!(
+            src.task_stat(99_999, pid),
+            Err(SourceError::NotFound)
+        ));
+    }
+
+    #[test]
+    fn meminfo_accounts_for_rss() {
+        let (sim, _) = sim_with_app();
+        let src = SimProcSource::new(&sim);
+        let mi = src.meminfo().unwrap();
+        assert_eq!(mi.mem_total_kib, 16 * 1024 * 1024);
+        assert!(mi.mem_available_kib < mi.mem_total_kib);
+    }
+}

@@ -1,0 +1,188 @@
+//! Simulated tasks (lightweight processes) and their accounting state.
+
+use crate::behavior::Behavior;
+use zerosum_proc::{Pid, TaskState, Tid};
+use zerosum_topology::CpuSet;
+
+/// Index of a task in the node's task arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) u32);
+
+impl TaskId {
+    /// Arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Cumulative per-task counters, microsecond-accurate internally.
+///
+/// `/proc` exposes CPU time quantized to jiffies; the conversion (and the
+/// resulting sampling noise the paper shows in Figure 6) happens in the
+/// simulated proc source, not here.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaskCounters {
+    /// User-mode CPU time, µs.
+    pub utime_us: u64,
+    /// Kernel-mode CPU time, µs.
+    pub stime_us: u64,
+    /// Voluntary context switches (blocked / slept / yielded).
+    pub vcsw: u64,
+    /// Non-voluntary context switches (preempted while runnable).
+    pub nvcsw: u64,
+    /// Number of times the task started running on a different CPU than
+    /// its previous one.
+    pub migrations: u64,
+    /// Total time spent runnable-but-waiting on a runqueue, µs — the
+    /// scheduling delay that oversubscription inflicts.
+    pub wait_us: u64,
+    /// Number of dispatches onto a CPU.
+    pub dispatches: u64,
+    /// Minor page faults.
+    pub minflt: u64,
+    /// Major page faults.
+    pub majflt: u64,
+}
+
+/// Scheduler-visible run state of a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// On a runqueue, waiting for CPU.
+    Runnable,
+    /// Currently executing on a CPU.
+    Running,
+    /// Blocked (sleeping / waiting on an event or barrier).
+    Blocked,
+    /// Finished; will never run again.
+    Exited,
+}
+
+impl RunState {
+    /// Maps to the `/proc` task state code.
+    pub fn proc_state(self) -> TaskState {
+        match self {
+            // The kernel reports both on-CPU and runnable-waiting as `R`.
+            RunState::Runnable | RunState::Running => TaskState::Running,
+            RunState::Blocked => TaskState::Sleeping,
+            RunState::Exited => TaskState::Dead,
+        }
+    }
+}
+
+/// What a task is currently doing on (or off) the CPU.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum CurrentOp {
+    /// Executing user-mode work; `remaining_us` of CPU work left.
+    Compute { remaining_us: f64 },
+    /// Executing kernel-mode work (syscalls, launch overhead).
+    Syscall { remaining_us: f64 },
+    /// Spinning (user mode) on a barrier, blocking after the deadline.
+    BarrierSpin { barrier: u32, generation: u64, block_at_us: u64 },
+    /// Blocked until an event wakes the task.
+    Waiting,
+    /// Needs the next op fetched from its behavior.
+    Fetch,
+    /// Terminal.
+    Exited,
+}
+
+/// One simulated LWP.
+#[derive(Debug)]
+pub struct SimTask {
+    /// Thread id (OS-style, unique per node).
+    pub tid: Tid,
+    /// Owning process.
+    pub pid: Pid,
+    /// Thread name (`comm`), e.g. `"miniqmc"`, `"ZeroSum"`, `"OpenMP"`.
+    pub name: String,
+    /// Affinity mask (OS CPU indices the task may run on).
+    pub affinity: CpuSet,
+    /// Run state.
+    pub state: RunState,
+    /// Cumulative counters.
+    pub counters: TaskCounters,
+    /// Last CPU the task executed on (OS index).
+    pub last_cpu: u32,
+    /// True once the task has run at least once (enables migration
+    /// counting).
+    pub has_run: bool,
+    /// True for infrastructure tasks (monitor, MPI helper) whose
+    /// completion is not required for the application to be "done".
+    pub service: bool,
+    /// Behavior model that generates the task's operations.
+    pub(crate) behavior: Behavior,
+    /// Current operation.
+    pub(crate) op: CurrentOp,
+    /// Timeslice consumed since last dispatch, µs.
+    pub(crate) slice_used_us: u64,
+    /// Virtual time when the task last entered a runqueue, for wait-time
+    /// accounting.
+    pub(crate) enqueued_at_us: u64,
+    /// Per-task RNG state (split from the node seed).
+    pub(crate) rng_state: u64,
+}
+
+impl SimTask {
+    /// CPU time total, µs.
+    pub fn cpu_us(&self) -> u64 {
+        self.counters.utime_us + self.counters.stime_us
+    }
+
+    /// True if this task can never run again.
+    pub fn is_exited(&self) -> bool {
+        self.state == RunState::Exited
+    }
+
+    /// Draws the next value from the task's xorshift RNG stream in `[0,1)`.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        // xorshift64* — deterministic, cheap, good enough for workload
+        // jitter (not statistics).
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11;
+        bits as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_state_maps_to_proc_codes() {
+        assert_eq!(RunState::Running.proc_state(), TaskState::Running);
+        assert_eq!(RunState::Runnable.proc_state(), TaskState::Running);
+        assert_eq!(RunState::Blocked.proc_state(), TaskState::Sleeping);
+        assert_eq!(RunState::Exited.proc_state(), TaskState::Dead);
+    }
+
+    #[test]
+    fn rng_stream_is_deterministic_and_in_range() {
+        let mut t = SimTask {
+            tid: 1,
+            pid: 1,
+            name: "t".into(),
+            affinity: CpuSet::single(0),
+            state: RunState::Runnable,
+            counters: TaskCounters::default(),
+            last_cpu: 0,
+            has_run: false,
+            service: false,
+            behavior: Behavior::Sleeper,
+            op: CurrentOp::Fetch,
+            slice_used_us: 0,
+            enqueued_at_us: 0,
+            rng_state: 42,
+        };
+        let a: Vec<f64> = (0..8).map(|_| t.next_f64()).collect();
+        t.rng_state = 42;
+        let b: Vec<f64> = (0..8).map(|_| t.next_f64()).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (0.0..1.0).contains(v)));
+        // values differ from each other
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+}

@@ -1,0 +1,163 @@
+//! Fixed-bin histograms for runtime distributions (Figure 8's box-plot
+//! style comparison) and ASCII rendering for terminal reports.
+
+/// A histogram over `[lo, hi)` with equal-width bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    /// Samples below `lo`.
+    pub underflow: u64,
+    /// Samples at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `nbins` bins.
+    ///
+    /// # Panics
+    /// If `nbins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total in-range observations.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// The center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Renders an ASCII bar chart, one row per bin.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let bar = "#".repeat((c as usize * width) / max as usize);
+            out.push_str(&format!("{:>10.4} | {:<width$} {}\n", self.bin_center(i), bar, c));
+        }
+        out
+    }
+}
+
+/// Quartile summary (min, q1, median, q3, max) for box-plot style
+/// comparisons like Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quartiles {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes quartiles (linear interpolation). Returns `None` on empty
+/// input.
+pub fn quartiles(xs: &[f64]) -> Option<Quartiles> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quartiles input"));
+    let q = |p: f64| -> f64 {
+        let idx = p * (v.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        let frac = idx - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    };
+    Some(Quartiles {
+        min: v[0],
+        q1: q(0.25),
+        median: q(0.5),
+        q3: q(0.75),
+        max: v[v.len() - 1],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.9, 9.99] {
+            h.push(x);
+        }
+        h.push(-1.0);
+        h.push(10.0);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[1], 2);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-12);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_render_has_rows() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for x in [0.5, 0.6, 1.5, 2.5, 2.6, 2.7] {
+            h.push(x);
+        }
+        let art = h.render_ascii(20);
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    fn quartiles_odd_and_even() {
+        let q = quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(q.median, 3.0);
+        assert_eq!(q.q1, 2.0);
+        assert_eq!(q.q3, 4.0);
+        assert_eq!((q.min, q.max), (1.0, 5.0));
+        let q = quartiles(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(q.median, 2.5);
+        assert!(quartiles(&[]).is_none());
+    }
+}

@@ -1,0 +1,82 @@
+//! # zerosum-stats
+//!
+//! Statistics utilities for ZeroSum-rs: streaming summaries (the
+//! `min avg max` triplets of Listing 2's GPU report), Welch's t-test (the
+//! §4.1 overhead comparison), time-series containers with CSV export
+//! (§3.6, Figures 6–7), and histograms/quartiles (Figure 8's runtime
+//! distributions).
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod summary;
+pub mod timeseries;
+pub mod ttest;
+
+pub use histogram::{quartiles, Histogram, Quartiles};
+pub use summary::Summary;
+pub use timeseries::{SeriesBundle, TimeSeries};
+pub use ttest::{welch_t_test, welch_t_test_summaries, TTest};
+
+#[cfg(test)]
+mod proptests {
+    use crate::summary::Summary;
+    use crate::ttest::{regularized_incomplete_beta, two_sided_p, welch_t_test};
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn summary_mean_within_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = Summary::from_slice(&xs);
+            prop_assert!(s.mean() >= s.min() - 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+            prop_assert!(s.variance() >= 0.0);
+        }
+
+        #[test]
+        fn summary_merge_associative(
+            a in proptest::collection::vec(-1e3f64..1e3, 1..50),
+            b in proptest::collection::vec(-1e3f64..1e3, 1..50),
+        ) {
+            let mut m = Summary::from_slice(&a);
+            m.merge(&Summary::from_slice(&b));
+            let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+            let whole = Summary::from_slice(&all);
+            prop_assert!((m.mean() - whole.mean()).abs() < 1e-6);
+            prop_assert!((m.variance() - whole.variance()).abs() < 1e-4);
+        }
+
+        #[test]
+        fn incomplete_beta_monotone_in_x(
+            a in 0.5f64..20.0,
+            b in 0.5f64..20.0,
+            x1 in 0.01f64..0.98,
+            dx in 0.001f64..0.02,
+        ) {
+            let x2 = (x1 + dx).min(0.999);
+            let v1 = regularized_incomplete_beta(a, b, x1);
+            let v2 = regularized_incomplete_beta(a, b, x2);
+            prop_assert!(v2 >= v1 - 1e-9, "I_x not monotone: {v1} > {v2}");
+            prop_assert!((0.0..=1.0).contains(&v1));
+        }
+
+        #[test]
+        fn p_value_shrinks_with_larger_t(t in 0.0f64..20.0, df in 1.0f64..200.0) {
+            let p1 = two_sided_p(t, df);
+            let p2 = two_sided_p(t + 1.0, df);
+            prop_assert!(p2 <= p1 + 1e-9);
+            prop_assert!((0.0..=1.0).contains(&p1));
+        }
+
+        #[test]
+        fn welch_symmetry(
+            a in proptest::collection::vec(0.0f64..100.0, 3..20),
+            b in proptest::collection::vec(0.0f64..100.0, 3..20),
+        ) {
+            if let (Some(r1), Some(r2)) = (welch_t_test(&a, &b), welch_t_test(&b, &a)) {
+                prop_assert!((r1.t + r2.t).abs() < 1e-9);
+                prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Welch's t-test, as used in §4.1 of the paper to compare miniQMC
+//! runtime distributions with and without ZeroSum.
+//!
+//! The paper reports a "t-test score" of 0.998 (no significant
+//! difference) for the one-thread-per-core case and 0.0006 (highly
+//! significant) for two threads per core — those are two-sided p-values.
+//! The Student-t CDF is computed from the regularized incomplete beta
+//! function via its continued-fraction expansion (Lentz's algorithm); no
+//! external statistics crate is needed.
+
+use crate::summary::Summary;
+
+/// Result of a two-sample Welch t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTest {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value: probability of a |t| at least this large under
+    /// the null hypothesis that both samples share a mean.
+    pub p_value: f64,
+}
+
+impl TTest {
+    /// True if the difference is significant at level `alpha`.
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs Welch's unequal-variance t-test on two samples.
+///
+/// Returns `None` if either sample has fewer than two observations or
+/// both variances are zero.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
+    let sa = Summary::from_slice(a);
+    let sb = Summary::from_slice(b);
+    welch_t_test_summaries(&sa, &sb)
+}
+
+/// Welch's t-test from precomputed summaries.
+pub fn welch_t_test_summaries(sa: &Summary, sb: &Summary) -> Option<TTest> {
+    let (na, nb) = (sa.count() as f64, sb.count() as f64);
+    if na < 2.0 || nb < 2.0 {
+        return None;
+    }
+    let va = sa.variance() / na;
+    let vb = sb.variance() / nb;
+    let se2 = va + vb;
+    if se2 == 0.0 {
+        // Identical constant samples: no evidence of difference.
+        return Some(TTest {
+            t: 0.0,
+            df: na + nb - 2.0,
+            p_value: 1.0,
+        });
+    }
+    let t = (sa.mean() - sb.mean()) / se2.sqrt();
+    let df = se2 * se2 / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+    let p_value = two_sided_p(t, df);
+    Some(TTest { t, df, p_value })
+}
+
+/// Two-sided p-value for a t statistic with `df` degrees of freedom.
+pub fn two_sided_p(t: f64, df: f64) -> f64 {
+    // P(|T| > |t|) = I_{df/(df+t²)}(df/2, 1/2)
+    let x = df / (df + t * t);
+    regularized_incomplete_beta(df / 2.0, 0.5, x).clamp(0.0, 1.0)
+}
+
+/// The regularized incomplete beta function `I_x(a, b)`.
+///
+/// Continued-fraction evaluation (Numerical Recipes §6.4, modified
+/// Lentz), accurate to ~1e-12 over the domain used here.
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
+        + a * x.ln()
+        + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g=7).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries_and_symmetry() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        let v = regularized_incomplete_beta(2.5, 1.5, 0.3);
+        let w = 1.0 - regularized_incomplete_beta(1.5, 2.5, 0.7);
+        assert!((v - w).abs() < 1e-12);
+        // I_x(1,1) = x (uniform)
+        assert!((regularized_incomplete_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_distribution_p_values_match_tables() {
+        // With df=10: P(|T| > 2.228) ≈ 0.05 (classic t-table value).
+        let p = two_sided_p(2.228, 10.0);
+        assert!((p - 0.05).abs() < 2e-3, "p = {p}");
+        // With df=1 (Cauchy): P(|T| > 1) = 0.5.
+        let p = two_sided_p(1.0, 1.0);
+        assert!((p - 0.5).abs() < 1e-9, "p = {p}");
+        // t = 0 ⇒ p = 1.
+        assert!((two_sided_p(0.0, 7.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let a = [27.31, 27.36, 27.35, 27.30, 27.38];
+        let r = welch_t_test(&a, &a).unwrap();
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+        assert!(!r.significant(0.05));
+    }
+
+    #[test]
+    fn clearly_different_samples_significant() {
+        // The paper's Figure 8 two-threads-per-core scenario: baseline
+        // ~57.07 ± 0.05, with ZeroSum ~57.34 ± 0.18.
+        let baseline = [57.01, 57.03, 57.06, 57.08, 57.05, 57.10, 57.12, 57.04, 57.07, 57.09];
+        let with_zs = [57.20, 57.28, 57.45, 57.60, 57.25, 57.31, 57.18, 57.55, 57.38, 57.22];
+        let r = welch_t_test(&baseline, &with_zs).unwrap();
+        assert!(r.significant(0.01), "p = {}", r.p_value);
+        assert!(r.t < 0.0); // baseline mean is smaller
+    }
+
+    #[test]
+    fn overlapping_samples_not_significant() {
+        // Figure 8 one-thread-per-core: same mean, ZeroSum case noisier.
+        let baseline = [27.30, 27.33, 27.36, 27.31, 27.35, 27.37, 27.32, 27.34, 27.36, 27.33];
+        let with_zs = [27.20, 27.45, 27.28, 27.42, 27.31, 27.38, 27.25, 27.44, 27.30, 27.39];
+        let r = welch_t_test(&baseline, &with_zs).unwrap();
+        assert!(!r.significant(0.05), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[], &[]).is_none());
+        // Constant equal samples.
+        let r = welch_t_test(&[5.0, 5.0, 5.0], &[5.0, 5.0]).unwrap();
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn matches_reference_welch_example() {
+        // Reference example computed with scipy.stats.ttest_ind
+        // (equal_var=False): a=[3,4,5,6,7], b=[1,2,3,4,5] ⇒
+        // t=2.0, df=8, p≈0.0805.
+        let r = welch_t_test(&[3.0, 4.0, 5.0, 6.0, 7.0], &[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert!((r.t - 2.0).abs() < 1e-12);
+        assert!((r.df - 8.0).abs() < 1e-9);
+        assert!((r.p_value - 0.080_51).abs() < 1e-3, "p = {}", r.p_value);
+    }
+}

@@ -1,0 +1,271 @@
+//! Fluent construction of [`Topology`] trees.
+//!
+//! The builder assigns logical indices per kind in construction order and
+//! propagates cpusets from PUs up to the machine root, so presets only need
+//! to describe structure and OS numbering.
+
+use crate::cpuset::CpuSet;
+use crate::object::{GpuAttrs, ObjId, Object, ObjectAttrs, ObjectKind, Topology};
+
+/// Builds a [`Topology`] node by node.
+pub struct TopologyBuilder {
+    objects: Vec<Object>,
+    root: ObjId,
+    counters: [u32; 9],
+    name: String,
+}
+
+fn kind_slot(kind: ObjectKind) -> usize {
+    match kind {
+        ObjectKind::Machine => 0,
+        ObjectKind::Package => 1,
+        ObjectKind::NumaDomain => 2,
+        ObjectKind::L3Cache => 3,
+        ObjectKind::L2Cache => 4,
+        ObjectKind::L1Cache => 5,
+        ObjectKind::Core => 6,
+        ObjectKind::Pu => 7,
+        ObjectKind::Gpu => 8,
+    }
+}
+
+impl TopologyBuilder {
+    /// Starts a new topology whose root machine object is created
+    /// immediately.
+    pub fn new(name: &str) -> Self {
+        let machine = Object {
+            kind: ObjectKind::Machine,
+            logical_index: 0,
+            os_index: None,
+            cpuset: CpuSet::new(),
+            children: Vec::new(),
+            parent: None,
+            attrs: ObjectAttrs::default(),
+        };
+        TopologyBuilder {
+            objects: vec![machine],
+            root: ObjId(0),
+            counters: {
+                let mut c = [0u32; 9];
+                c[kind_slot(ObjectKind::Machine)] = 1;
+                c
+            },
+            name: name.to_string(),
+        }
+    }
+
+    /// Sets the machine's total memory in MiB.
+    pub fn memory_mib(mut self, mib: u64) -> Self {
+        self.objects[0].attrs.memory_mib = Some(mib);
+        self
+    }
+
+    fn add(&mut self, parent: ObjId, kind: ObjectKind, os_index: Option<u32>) -> ObjId {
+        let slot = kind_slot(kind);
+        let logical = self.counters[slot];
+        self.counters[slot] += 1;
+        let id = ObjId(self.objects.len() as u32);
+        self.objects.push(Object {
+            kind,
+            logical_index: logical,
+            os_index,
+            cpuset: CpuSet::new(),
+            children: Vec::new(),
+            parent: Some(parent),
+            attrs: ObjectAttrs::default(),
+        });
+        self.objects[parent.index()].children.push(id);
+        id
+    }
+
+    /// Adds a package and descends into it.
+    pub fn package(mut self, f: impl FnOnce(PackageBuilder<'_>) -> PackageBuilder<'_>) -> Self {
+        let pkg = self.add(self.root, ObjectKind::Package, None);
+        let pb = PackageBuilder { b: &mut self, id: pkg };
+        f(pb);
+        self
+    }
+
+    /// Adds a GPU attached to the machine.
+    pub fn gpu(mut self, attrs: GpuAttrs) -> Self {
+        let id = self.add(self.root, ObjectKind::Gpu, Some(attrs.physical_index));
+        self.objects[id.index()].attrs.gpu = Some(attrs);
+        self
+    }
+
+    /// Finalizes the topology: propagates cpusets bottom-up and returns the
+    /// immutable tree.
+    pub fn build(mut self) -> Topology {
+        // Propagate cpusets: iterate objects in reverse creation order;
+        // children always have larger ids than parents.
+        for i in (1..self.objects.len()).rev() {
+            let cs = self.objects[i].cpuset.clone();
+            if let Some(p) = self.objects[i].parent {
+                self.objects[p.index()].cpuset.union_with(&cs);
+            }
+        }
+        Topology {
+            objects: self.objects,
+            root: self.root,
+            name: self.name,
+        }
+    }
+}
+
+/// Scoped builder for the contents of a package.
+pub struct PackageBuilder<'a> {
+    b: &'a mut TopologyBuilder,
+    id: ObjId,
+}
+
+impl<'a> PackageBuilder<'a> {
+    /// Adds a NUMA domain (with `memory_mib` of local memory) and descends.
+    pub fn numa(self, memory_mib: u64, f: impl FnOnce(NumaBuilder<'_>) -> NumaBuilder<'_>) -> Self {
+        let n = self.b.add(self.id, ObjectKind::NumaDomain, None);
+        let next_os = self.b.counters[kind_slot(ObjectKind::NumaDomain)] - 1;
+        self.b.objects[n.index()].os_index = Some(next_os);
+        self.b.objects[n.index()].attrs.memory_mib = Some(memory_mib);
+        {
+            let nb = NumaBuilder { b: self.b, id: n };
+            f(nb);
+        }
+        self
+    }
+}
+
+/// Scoped builder for the contents of a NUMA domain.
+pub struct NumaBuilder<'a> {
+    b: &'a mut TopologyBuilder,
+    id: ObjId,
+}
+
+impl<'a> NumaBuilder<'a> {
+    /// Adds an L3 cache region (size in KiB) and descends.
+    pub fn l3(self, kib: u64, f: impl FnOnce(L3Builder<'_>) -> L3Builder<'_>) -> Self {
+        let c = self.b.add(self.id, ObjectKind::L3Cache, None);
+        self.b.objects[c.index()].attrs.cache_kib = Some(kib);
+        {
+            let lb = L3Builder { b: self.b, id: c };
+            f(lb);
+        }
+        self
+    }
+
+    /// Adds a bare core (no cache levels modelled) with the given PU OS
+    /// indices, directly under the NUMA domain.
+    pub fn core_with_pus(self, pu_os: &[u32]) -> Self {
+        let core = self.b.add(self.id, ObjectKind::Core, None);
+        add_pus(self.b, core, pu_os);
+        self
+    }
+}
+
+/// Scoped builder for the contents of an L3 region.
+pub struct L3Builder<'a> {
+    b: &'a mut TopologyBuilder,
+    id: ObjId,
+}
+
+impl<'a> L3Builder<'a> {
+    /// Adds a core with private L2/L1 caches of the given sizes (KiB) and
+    /// the given PU OS indices.
+    pub fn core_cached(self, l2_kib: u64, l1_kib: u64, pu_os: &[u32]) -> Self {
+        let l2 = self.b.add(self.id, ObjectKind::L2Cache, None);
+        self.b.objects[l2.index()].attrs.cache_kib = Some(l2_kib);
+        let l1 = self.b.add(l2, ObjectKind::L1Cache, None);
+        self.b.objects[l1.index()].attrs.cache_kib = Some(l1_kib);
+        let core = self.b.add(l1, ObjectKind::Core, None);
+        add_pus(self.b, core, pu_os);
+        self
+    }
+
+    /// Adds a core with the given PU OS indices directly under the L3.
+    pub fn core_with_pus(self, pu_os: &[u32]) -> Self {
+        let core = self.b.add(self.id, ObjectKind::Core, None);
+        add_pus(self.b, core, pu_os);
+        self
+    }
+}
+
+fn add_pus(b: &mut TopologyBuilder, core: ObjId, pu_os: &[u32]) {
+    for &os in pu_os {
+        let pu = b.add(core, ObjectKind::Pu, Some(os));
+        b.objects[pu.index()].cpuset = CpuSet::single(os);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::GpuVendor;
+
+    #[test]
+    fn build_with_caches_and_gpu() {
+        let t = TopologyBuilder::new("test")
+            .memory_mib(512 * 1024)
+            .package(|p| {
+                p.numa(128 * 1024, |n| {
+                    n.l3(32 * 1024, |l3| {
+                        l3.core_cached(512, 32, &[0, 64]).core_cached(512, 32, &[1, 65])
+                    })
+                })
+            })
+            .gpu(GpuAttrs {
+                vendor: GpuVendor::Amd,
+                model: "MI250X GCD".into(),
+                physical_index: 4,
+                visible_index: 0,
+                local_numa: 0,
+                memory_mib: 64 * 1024,
+            })
+            .build();
+        assert_eq!(t.count_of_kind(ObjectKind::Core), 2);
+        assert_eq!(t.count_of_kind(ObjectKind::L2Cache), 2);
+        assert_eq!(t.count_of_kind(ObjectKind::L1Cache), 2);
+        assert_eq!(t.count_of_kind(ObjectKind::Gpu), 1);
+        assert_eq!(t.complete_cpuset().to_list_string(), "0-1,64-65");
+        let gpu = t.gpus()[0];
+        let attrs = t.object(gpu).attrs.gpu.as_ref().unwrap();
+        assert_eq!(attrs.physical_index, 4);
+        assert_eq!(attrs.visible_index, 0);
+        // machine memory recorded
+        assert_eq!(t.object(t.root()).attrs.memory_mib, Some(512 * 1024));
+    }
+
+    #[test]
+    fn numa_os_indices_sequential() {
+        let t = TopologyBuilder::new("two-numa")
+            .package(|p| {
+                p.numa(1, |n| n.core_with_pus(&[0]))
+                    .numa(1, |n| n.core_with_pus(&[1]))
+            })
+            .build();
+        let numas = t.objects_of_kind(ObjectKind::NumaDomain);
+        assert_eq!(t.object(numas[0]).os_index, Some(0));
+        assert_eq!(t.object(numas[1]).os_index, Some(1));
+    }
+
+    #[test]
+    fn cpuset_propagates_through_all_levels() {
+        let t = TopologyBuilder::new("prop")
+            .package(|p| {
+                p.numa(1, |n| n.l3(1, |l| l.core_cached(1, 1, &[3, 7])))
+            })
+            .build();
+        for kind in [
+            ObjectKind::Package,
+            ObjectKind::NumaDomain,
+            ObjectKind::L3Cache,
+            ObjectKind::L2Cache,
+            ObjectKind::L1Cache,
+            ObjectKind::Core,
+        ] {
+            let id = t.objects_of_kind(kind)[0];
+            assert_eq!(
+                t.object(id).cpuset.to_list_string(),
+                "3,7",
+                "kind {kind:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! Bitmask sets of hardware-thread (PU) OS indices.
+//!
+//! `CpuSet` plays the role of hwloc's `hwloc_bitmap_t` and of the kernel's
+//! `Cpus_allowed_list`: it records which OS-indexed processing units a task
+//! or object may run on. The textual form is the kernel "list format"
+//! (`1-7,9-15,…`) used throughout `/proc/<pid>/status` and in the paper's
+//! report listings.
+
+use std::fmt;
+
+/// A set of CPU (hardware thread) OS indices, stored as a bitmask.
+///
+/// Indices are arbitrary-width; storage grows on demand in 64-bit words.
+/// All operations are O(words).
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct CpuSet {
+    words: Vec<u64>,
+}
+
+impl CpuSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set containing exactly `idx`.
+    pub fn single(idx: u32) -> Self {
+        let mut s = Self::new();
+        s.set(idx);
+        s
+    }
+
+    /// Creates a set containing the inclusive range `lo..=hi`.
+    pub fn range(lo: u32, hi: u32) -> Self {
+        let mut s = Self::new();
+        for i in lo..=hi {
+            s.set(i);
+        }
+        s
+    }
+
+    /// Creates a set from an iterator of indices.
+    pub fn from_indices<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for i in iter {
+            s.set(i);
+        }
+        s
+    }
+
+    fn word_bit(idx: u32) -> (usize, u64) {
+        ((idx / 64) as usize, 1u64 << (idx % 64))
+    }
+
+    /// Inserts `idx` into the set.
+    pub fn set(&mut self, idx: u32) {
+        let (w, b) = Self::word_bit(idx);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= b;
+    }
+
+    /// Removes `idx` from the set.
+    pub fn clear(&mut self, idx: u32) {
+        let (w, b) = Self::word_bit(idx);
+        if w < self.words.len() {
+            self.words[w] &= !b;
+        }
+    }
+
+    /// Returns true if `idx` is in the set.
+    pub fn contains(&self, idx: u32) -> bool {
+        let (w, b) = Self::word_bit(idx);
+        w < self.words.len() && self.words[w] & b != 0
+    }
+
+    /// Number of indices in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the set contains no indices.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Smallest index in the set, if any.
+    pub fn first(&self) -> Option<u32> {
+        self.iter().next()
+    }
+
+    /// Largest index in the set, if any.
+    pub fn last(&self) -> Option<u32> {
+        for (wi, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(wi as u32 * 64 + 63 - w.leading_zeros());
+            }
+        }
+        None
+    }
+
+    /// The `n`-th smallest index (0-based), if the set has that many.
+    pub fn nth(&self, n: usize) -> Option<u32> {
+        self.iter().nth(n)
+    }
+
+    /// Iterates over indices in ascending order.
+    pub fn iter(&self) -> CpuSetIter<'_> {
+        CpuSetIter {
+            set: self,
+            word: 0,
+            mask: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &CpuSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &CpuSet) {
+        for (i, a) in self.words.iter_mut().enumerate() {
+            *a &= other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn subtract(&mut self, other: &CpuSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !*b;
+        }
+    }
+
+    /// Returns the union of two sets.
+    pub fn union(&self, other: &CpuSet) -> CpuSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Returns the intersection of two sets.
+    pub fn intersection(&self, other: &CpuSet) -> CpuSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Returns `self \ other`.
+    pub fn difference(&self, other: &CpuSet) -> CpuSet {
+        let mut s = self.clone();
+        s.subtract(other);
+        s
+    }
+
+    /// True if the two sets share at least one index.
+    pub fn intersects(&self, other: &CpuSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// True if every index of `self` is in `other`.
+    pub fn is_subset_of(&self, other: &CpuSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// Parses the kernel list format, e.g. `"1-7,9-15,64"`.
+    ///
+    /// An empty or whitespace-only string parses to the empty set.
+    pub fn parse_list(s: &str) -> Result<CpuSet, CpuSetParseError> {
+        let mut set = CpuSet::new();
+        let trimmed = s.trim();
+        if trimmed.is_empty() {
+            return Ok(set);
+        }
+        for part in trimmed.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(CpuSetParseError::Empty);
+            }
+            match part.split_once('-') {
+                Some((lo, hi)) => {
+                    let lo: u32 = lo.trim().parse().map_err(|_| CpuSetParseError::Int(part.into()))?;
+                    let hi: u32 = hi.trim().parse().map_err(|_| CpuSetParseError::Int(part.into()))?;
+                    if lo > hi {
+                        return Err(CpuSetParseError::Range(lo, hi));
+                    }
+                    for i in lo..=hi {
+                        set.set(i);
+                    }
+                }
+                None => {
+                    let v: u32 = part.parse().map_err(|_| CpuSetParseError::Int(part.into()))?;
+                    set.set(v);
+                }
+            }
+        }
+        Ok(set)
+    }
+
+    /// Parses the kernel hex mask format used by `Cpus_allowed`,
+    /// e.g. `"ff"` or `"ffffffff,ffffffff"` (most significant word first).
+    pub fn parse_mask(s: &str) -> Result<CpuSet, CpuSetParseError> {
+        let mut set = CpuSet::new();
+        let groups: Vec<&str> = s.trim().split(',').collect();
+        // Kernel prints 32-bit groups, most significant first.
+        let n = groups.len();
+        for (gi, g) in groups.iter().enumerate() {
+            let v = u32::from_str_radix(g.trim(), 16)
+                .map_err(|_| CpuSetParseError::Int((*g).into()))?;
+            let base = ((n - 1 - gi) as u32) * 32;
+            for bit in 0..32 {
+                if v & (1 << bit) != 0 {
+                    set.set(base + bit);
+                }
+            }
+        }
+        Ok(set)
+    }
+
+    /// Formats the set in kernel list format (`1-7,9-15`), the format used
+    /// in the paper's LWP report `CPUs:` column.
+    pub fn to_list_string(&self) -> String {
+        let mut out = String::new();
+        let mut iter = self.iter().peekable();
+        while let Some(start) = iter.next() {
+            let mut end = start;
+            while let Some(&next) = iter.peek() {
+                if next == end + 1 {
+                    end = next;
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            if !out.is_empty() {
+                out.push(',');
+            }
+            if start == end {
+                out.push_str(&start.to_string());
+            } else {
+                out.push_str(&format!("{start}-{end}"));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CpuSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_list_string())
+    }
+}
+
+impl fmt::Debug for CpuSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CpuSet[{}]", self.to_list_string())
+    }
+}
+
+impl FromIterator<u32> for CpuSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        Self::from_indices(iter)
+    }
+}
+
+/// Iterator over the indices of a [`CpuSet`] in ascending order.
+pub struct CpuSetIter<'a> {
+    set: &'a CpuSet,
+    word: usize,
+    mask: u64,
+}
+
+impl Iterator for CpuSetIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.mask != 0 {
+                let bit = self.mask.trailing_zeros();
+                self.mask &= self.mask - 1;
+                return Some(self.word as u32 * 64 + bit);
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.mask = self.set.words[self.word];
+        }
+    }
+}
+
+/// Errors produced by [`CpuSet::parse_list`] / [`CpuSet::parse_mask`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuSetParseError {
+    /// An empty element between commas.
+    Empty,
+    /// A non-integer token.
+    Int(String),
+    /// A descending range like `7-3`.
+    Range(u32, u32),
+}
+
+impl fmt::Display for CpuSetParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuSetParseError::Empty => write!(f, "empty element in cpu list"),
+            CpuSetParseError::Int(tok) => write!(f, "invalid integer token {tok:?} in cpu list"),
+            CpuSetParseError::Range(lo, hi) => write!(f, "descending cpu range {lo}-{hi}"),
+        }
+    }
+}
+
+impl std::error::Error for CpuSetParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_basics() {
+        let s = CpuSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.first(), None);
+        assert_eq!(s.last(), None);
+        assert_eq!(s.to_list_string(), "");
+    }
+
+    #[test]
+    fn set_and_contains() {
+        let mut s = CpuSet::new();
+        s.set(0);
+        s.set(63);
+        s.set(64);
+        s.set(127);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(127));
+        assert!(!s.contains(1) && !s.contains(65) && !s.contains(128));
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(s.last(), Some(127));
+    }
+
+    #[test]
+    fn clear_removes() {
+        let mut s = CpuSet::range(0, 7);
+        s.clear(3);
+        assert!(!s.contains(3));
+        assert_eq!(s.count(), 7);
+        // clearing an out-of-range index is a no-op
+        s.clear(1000);
+        assert_eq!(s.count(), 7);
+    }
+
+    #[test]
+    fn list_format_roundtrip() {
+        let s = CpuSet::parse_list("1-7,9-15,17-23").unwrap();
+        assert_eq!(s.to_list_string(), "1-7,9-15,17-23");
+        assert_eq!(s.count(), 21);
+    }
+
+    #[test]
+    fn list_format_singletons() {
+        let s = CpuSet::parse_list("0,2,4,6").unwrap();
+        assert_eq!(s.to_list_string(), "0,2,4,6");
+    }
+
+    #[test]
+    fn list_format_frontier_other_thread() {
+        // The "Other" thread mask from Listing 2 of the paper.
+        let text = "1-7,9-15,17-23,25-31,33-39,41-47,49-55,57-63,65-71,73-79,81-87,89-95,97-103,105-111,113-119,121-127";
+        let s = CpuSet::parse_list(text).unwrap();
+        assert_eq!(s.to_list_string(), text);
+        assert_eq!(s.count(), 112);
+        assert!(!s.contains(0) && !s.contains(8) && !s.contains(120));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            CpuSet::parse_list("3-1"),
+            Err(CpuSetParseError::Range(3, 1))
+        ));
+        assert!(matches!(
+            CpuSet::parse_list("a"),
+            Err(CpuSetParseError::Int(_))
+        ));
+        assert!(matches!(
+            CpuSet::parse_list("1,,2"),
+            Err(CpuSetParseError::Empty)
+        ));
+        assert_eq!(CpuSet::parse_list("").unwrap(), CpuSet::new());
+    }
+
+    #[test]
+    fn parse_mask_single_group() {
+        let s = CpuSet::parse_mask("ff").unwrap();
+        assert_eq!(s, CpuSet::range(0, 7));
+    }
+
+    #[test]
+    fn parse_mask_multi_group_msb_first() {
+        // "1,00000000" = bit 32 set.
+        let s = CpuSet::parse_mask("1,00000000").unwrap();
+        assert_eq!(s, CpuSet::single(32));
+    }
+
+    #[test]
+    fn set_ops() {
+        let a = CpuSet::range(0, 7);
+        let b = CpuSet::range(4, 11);
+        assert_eq!(a.union(&b), CpuSet::range(0, 11));
+        assert_eq!(a.intersection(&b), CpuSet::range(4, 7));
+        assert_eq!(a.difference(&b), CpuSet::range(0, 3));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&CpuSet::range(100, 110)));
+        assert!(CpuSet::range(2, 3).is_subset_of(&a));
+        assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn nth_and_iter_order() {
+        let s = CpuSet::from_indices([5u32, 1, 200, 64]);
+        let v: Vec<u32> = s.iter().collect();
+        assert_eq!(v, vec![1, 5, 64, 200]);
+        assert_eq!(s.nth(2), Some(64));
+        assert_eq!(s.nth(4), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! ASCII node diagrams in the spirit of the paper's Figures 1–3.
+//!
+//! §2 argues that users are forced to become "intimately familiar with
+//! the network topologies and node diagrams for each system they use",
+//! and that published diagrams often omit exactly the information that
+//! matters (GPU ordering, reserved cores, NUMA association). This
+//! renderer produces the diagram the user actually needs: one box per
+//! NUMA domain listing its cores, hardware-thread numbering, cache
+//! regions, and — crucially — which GPUs are attached, by *physical*
+//! index.
+
+use crate::cpuset::CpuSet;
+use crate::object::{ObjectKind, Topology};
+use std::fmt::Write as _;
+
+/// Summarizes the core OS indices of a cpuset as first-HWT ranges.
+fn core_list(topo: &Topology, numa_cpuset: &CpuSet) -> (String, String) {
+    let mut first_hwts = CpuSet::new();
+    let mut all = CpuSet::new();
+    for core in topo.objects_of_kind(ObjectKind::Core) {
+        let cs = &topo.object(core).cpuset;
+        if cs.intersects(numa_cpuset) {
+            if let Some(f) = cs.first() {
+                first_hwts.set(f);
+            }
+            all.union_with(cs);
+        }
+    }
+    (first_hwts.to_list_string(), all.to_list_string())
+}
+
+/// Renders the node diagram.
+pub fn render_node_diagram(topo: &Topology) -> String {
+    let mut out = String::new();
+    writeln!(out, "{}", topo.name).unwrap();
+    let mem = topo.object(topo.root()).attrs.memory_mib.unwrap_or(0);
+    writeln!(
+        out,
+        "  {} package(s), {} cores / {} hardware threads, {} GiB memory",
+        topo.count_of_kind(ObjectKind::Package),
+        topo.count_of_kind(ObjectKind::Core),
+        topo.count_of_kind(ObjectKind::Pu),
+        mem / 1024
+    )
+    .unwrap();
+    for numa in topo.objects_of_kind(ObjectKind::NumaDomain) {
+        let o = topo.object(numa);
+        let (cores, hwts) = core_list(topo, &o.cpuset);
+        writeln!(
+            out,
+            "  +-- NUMA {} ({} GiB): cores [{}], HWTs [{}]",
+            o.logical_index,
+            o.attrs.memory_mib.unwrap_or(0) / 1024,
+            cores,
+            hwts
+        )
+        .unwrap();
+        // L3 regions inside this domain.
+        for l3 in topo.objects_of_kind(ObjectKind::L3Cache) {
+            let l3o = topo.object(l3);
+            if l3o.cpuset.is_subset_of(&o.cpuset) && !l3o.cpuset.is_empty() {
+                let (c, _) = core_list(topo, &l3o.cpuset);
+                writeln!(
+                    out,
+                    "  |     L3 #{} ({} MiB): cores [{}]",
+                    l3o.logical_index,
+                    l3o.attrs.cache_kib.unwrap_or(0) / 1024,
+                    c
+                )
+                .unwrap();
+            }
+        }
+        // GPUs attached here — by physical index, the Figure 2 trap.
+        let gpus: Vec<String> = topo
+            .gpus()
+            .iter()
+            .filter_map(|&g| {
+                let a = topo.object(g).attrs.gpu.as_ref()?;
+                (a.local_numa == o.logical_index)
+                    .then(|| format!("{} #{}", a.model, a.physical_index))
+            })
+            .collect();
+        if !gpus.is_empty() {
+            writeln!(out, "  |     GPUs: {}", gpus.join(", ")).unwrap();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn frontier_diagram_shows_the_gpu_numa_trap() {
+        let d = render_node_diagram(&presets::frontier());
+        assert!(d.contains("OLCF Frontier"));
+        assert!(d.contains("1 package(s), 64 cores / 128 hardware threads, 512 GiB"));
+        // NUMA 0 carries GCDs 4 and 5 — the non-intuitive ordering.
+        let numa0 = d
+            .lines()
+            .skip_while(|l| !l.contains("NUMA 0"))
+            .take_while(|l| !l.contains("NUMA 1"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(numa0.contains("GCD #4, AMD MI250X GCD #5") || numa0.contains("#4") && numa0.contains("#5"),
+            "numa0 block: {numa0}");
+        // NUMA 3 carries GCDs 0 and 1.
+        let numa3 = d
+            .lines()
+            .skip_while(|l| !l.contains("NUMA 3"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(numa3.contains("#0") && numa3.contains("#1"), "{numa3}");
+    }
+
+    #[test]
+    fn summit_diagram_has_two_sockets_three_gpus_each() {
+        let d = render_node_diagram(&presets::summit());
+        assert!(d.contains("2 package(s), 44 cores / 176 hardware threads"));
+        let per_numa: Vec<&str> = d.lines().filter(|l| l.contains("GPUs:")).collect();
+        assert_eq!(per_numa.len(), 2);
+        assert!(per_numa[0].matches("V100").count() == 3);
+    }
+
+    #[test]
+    fn laptop_diagram_has_no_gpus() {
+        let d = render_node_diagram(&presets::laptop_i7_1165g7());
+        assert!(!d.contains("GPUs:"));
+        assert!(d.contains("L3 #0 (12 MiB)"));
+    }
+}

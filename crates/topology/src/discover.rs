@@ -1,0 +1,276 @@
+//! Live topology discovery from Linux sysfs — the hwloc-lite path.
+//!
+//! The paper's ZeroSum uses hwloc when available to show the user how
+//! cores, caches, and NUMA domains are laid out. On a live Linux system
+//! the same facts are exposed under `/sys/devices/system/cpu` and
+//! `/sys/devices/system/node`; this module assembles them into a
+//! [`Topology`] without any native dependency. Machines where sysfs is
+//! absent or partial degrade gracefully to a flat single-package model.
+
+use crate::builder::TopologyBuilder;
+use crate::cpuset::CpuSet;
+use crate::object::Topology;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Raw per-CPU facts from sysfs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CpuInfo {
+    cpu: u32,
+    package: u32,
+    core: u32,
+    numa: u32,
+    /// L3 cache sharing group (first CPU of the shared list), if exposed.
+    l3_group: Option<u32>,
+}
+
+/// Discovers the topology of the running machine from `/sys`.
+///
+/// Never fails: missing information degrades to a flat model (one
+/// package, one NUMA domain, one core per CPU).
+pub fn discover() -> Topology {
+    discover_from(Path::new("/sys/devices/system"), total_memory_mib())
+}
+
+/// Discovery against an alternate sysfs root (for tests / containers).
+pub fn discover_from(sys: &Path, memory_mib: u64) -> Topology {
+    let cpus = read_cpus(sys);
+    build(&cpus, memory_mib)
+}
+
+fn total_memory_mib() -> u64 {
+    std::fs::read_to_string("/proc/meminfo")
+        .ok()
+        .and_then(|text| {
+            text.lines().find_map(|l| {
+                l.strip_prefix("MemTotal:")
+                    .and_then(|r| r.trim().trim_end_matches("kB").trim().parse::<u64>().ok())
+            })
+        })
+        .map(|kib| kib / 1024)
+        .unwrap_or(1024)
+}
+
+fn read_u32(path: PathBuf) -> Option<u32> {
+    std::fs::read_to_string(path)
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn online_cpus(sys: &Path) -> Vec<u32> {
+    // Prefer the "online" list; fall back to enumerating cpuN dirs.
+    if let Ok(text) = std::fs::read_to_string(sys.join("cpu/online")) {
+        if let Ok(set) = CpuSet::parse_list(text.trim()) {
+            let v: Vec<u32> = set.iter().collect();
+            if !v.is_empty() {
+                return v;
+            }
+        }
+    }
+    let mut v = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(sys.join("cpu")) {
+        for e in entries.flatten() {
+            if let Some(n) = e
+                .file_name()
+                .to_str()
+                .and_then(|s| s.strip_prefix("cpu"))
+                .and_then(|s| s.parse::<u32>().ok())
+            {
+                v.push(n);
+            }
+        }
+    }
+    v.sort_unstable();
+    if v.is_empty() {
+        v.push(0);
+    }
+    v
+}
+
+fn numa_of_cpus(sys: &Path) -> BTreeMap<u32, u32> {
+    let mut map = BTreeMap::new();
+    if let Ok(entries) = std::fs::read_dir(sys.join("node")) {
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let Some(node) = name
+                .to_str()
+                .and_then(|s| s.strip_prefix("node"))
+                .and_then(|s| s.parse::<u32>().ok())
+            else {
+                continue;
+            };
+            if let Ok(list) = std::fs::read_to_string(e.path().join("cpulist")) {
+                if let Ok(set) = CpuSet::parse_list(list.trim()) {
+                    for cpu in set.iter() {
+                        map.insert(cpu, node);
+                    }
+                }
+            }
+        }
+    }
+    map
+}
+
+fn read_cpus(sys: &Path) -> Vec<CpuInfo> {
+    let numa = numa_of_cpus(sys);
+    online_cpus(sys)
+        .into_iter()
+        .map(|cpu| {
+            let topo = sys.join(format!("cpu/cpu{cpu}/topology"));
+            let package = read_u32(topo.join("physical_package_id")).unwrap_or(0);
+            let core = read_u32(topo.join("core_id")).unwrap_or(cpu);
+            // L3 sharing group: first CPU of index3's shared list.
+            let l3_group = std::fs::read_to_string(
+                sys.join(format!("cpu/cpu{cpu}/cache/index3/shared_cpu_list")),
+            )
+            .ok()
+            .and_then(|s| CpuSet::parse_list(s.trim()).ok())
+            .and_then(|set| set.first());
+            CpuInfo {
+                cpu,
+                package,
+                core,
+                numa: numa.get(&cpu).copied().unwrap_or(0),
+                l3_group,
+            }
+        })
+        .collect()
+}
+
+fn build(cpus: &[CpuInfo], memory_mib: u64) -> Topology {
+    // Group: package → numa → l3 group → core → PUs.
+    let mut tree: BTreeMap<u32, BTreeMap<u32, BTreeMap<u32, BTreeMap<u32, Vec<u32>>>>> =
+        BTreeMap::new();
+    for c in cpus {
+        tree.entry(c.package)
+            .or_default()
+            .entry(c.numa)
+            .or_default()
+            .entry(c.l3_group.unwrap_or(0))
+            .or_default()
+            .entry(c.core)
+            .or_default()
+            .push(c.cpu);
+    }
+    let n_numa = tree
+        .values()
+        .flat_map(|n| n.keys())
+        .collect::<std::collections::BTreeSet<_>>()
+        .len()
+        .max(1);
+    let numa_mem = memory_mib / n_numa as u64;
+    let mut b = TopologyBuilder::new("discovered Linux node").memory_mib(memory_mib);
+    let has_l3 = cpus.iter().any(|c| c.l3_group.is_some());
+    for numas in tree.values() {
+        b = b.package(|mut p| {
+            for l3s in numas.values() {
+                p = p.numa(numa_mem.max(1), |mut n| {
+                    if has_l3 {
+                        for cores in l3s.values() {
+                            n = n.l3(32 * 1024, |mut l3| {
+                                for pus in cores.values() {
+                                    l3 = l3.core_with_pus(pus);
+                                }
+                                l3
+                            });
+                        }
+                    } else {
+                        for cores in l3s.values() {
+                            for pus in cores.values() {
+                                n = n.core_with_pus(pus);
+                            }
+                        }
+                    }
+                    n
+                });
+            }
+            p
+        });
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectKind;
+
+    #[test]
+    fn discovers_the_build_machine() {
+        let topo = discover();
+        let n = topo.count_of_kind(ObjectKind::Pu);
+        assert!(n >= 1, "at least one PU");
+        assert!(topo.count_of_kind(ObjectKind::Core) >= 1);
+        assert!(topo.count_of_kind(ObjectKind::Package) >= 1);
+        // Every online CPU appears exactly once in the complete cpuset.
+        assert_eq!(topo.complete_cpuset().count(), n);
+        // Memory recorded.
+        assert!(topo.object(topo.root()).attrs.memory_mib.unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn fixture_sysfs_two_packages_smt() {
+        let dir = std::env::temp_dir().join(format!("zs-sysfs-{}", std::process::id()));
+        let mk = |p: &str, content: &str| {
+            let path = dir.join(p);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(path, content).unwrap();
+        };
+        mk("cpu/online", "0-3\n");
+        for (cpu, pkg, core) in [(0u32, 0, 0), (1, 0, 1), (2, 1, 0), (3, 1, 1)] {
+            mk(
+                &format!("cpu/cpu{cpu}/topology/physical_package_id"),
+                &format!("{pkg}\n"),
+            );
+            mk(
+                &format!("cpu/cpu{cpu}/topology/core_id"),
+                &format!("{core}\n"),
+            );
+        }
+        mk("node/node0/cpulist", "0-1\n");
+        mk("node/node1/cpulist", "2-3\n");
+        let topo = discover_from(&dir, 2048);
+        assert_eq!(topo.count_of_kind(ObjectKind::Package), 2);
+        assert_eq!(topo.count_of_kind(ObjectKind::NumaDomain), 2);
+        assert_eq!(topo.count_of_kind(ObjectKind::Core), 4);
+        assert_eq!(topo.complete_cpuset().to_list_string(), "0-3");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_sysfs_degrades_to_flat_model() {
+        let dir = std::env::temp_dir().join(format!("zs-sysfs-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let topo = discover_from(&dir, 512);
+        assert_eq!(topo.count_of_kind(ObjectKind::Pu), 1);
+        assert_eq!(topo.count_of_kind(ObjectKind::Package), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn smt_siblings_grouped_into_one_core() {
+        let dir = std::env::temp_dir().join(format!("zs-sysfs-smt-{}", std::process::id()));
+        let mk = |p: &str, content: &str| {
+            let path = dir.join(p);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(path, content).unwrap();
+        };
+        mk("cpu/online", "0-3\n");
+        // CPUs 0,2 share core 0; 1,3 share core 1 (interleaved SMT).
+        for (cpu, core) in [(0u32, 0u32), (1, 1), (2, 0), (3, 1)] {
+            mk(
+                &format!("cpu/cpu{cpu}/topology/physical_package_id"),
+                "0\n",
+            );
+            mk(&format!("cpu/cpu{cpu}/topology/core_id"), &format!("{core}\n"));
+        }
+        let topo = discover_from(&dir, 1024);
+        assert_eq!(topo.count_of_kind(ObjectKind::Core), 2);
+        assert_eq!(topo.count_of_kind(ObjectKind::Pu), 4);
+        let cores = topo.objects_of_kind(ObjectKind::Core);
+        assert_eq!(topo.object(cores[0]).cpuset.to_list_string(), "0,2");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,101 @@
+//! # zerosum-topology
+//!
+//! Hardware-locality substrate for ZeroSum-rs — an hwloc substitute.
+//!
+//! The paper's ZeroSum uses the Portable Hardware Locality (hwloc) library
+//! to query and print node topology and to reason about thread placement.
+//! This crate provides the equivalent, self-contained model:
+//!
+//! * [`cpuset::CpuSet`] — kernel-style bitmask sets of hardware-thread OS
+//!   indices, with the `/proc` list-format text representation.
+//! * [`object::Topology`] — the machine/package/NUMA/cache/core/PU/GPU
+//!   object tree with hwloc's logical-vs-OS index distinction.
+//! * [`builder::TopologyBuilder`] — construction API.
+//! * [`presets`] — the node models of the paper's platforms (Frontier,
+//!   Summit, Perlmutter, Aurora, and the Listing 1 laptop).
+//! * [`mod@render`] — `lstopo`-style text output (Listing 1).
+//! * [`distance`], [`query`] — locality queries used by binding policies
+//!   and the configuration evaluator.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod diagram;
+pub mod discover;
+pub mod cpuset;
+pub mod distance;
+pub mod object;
+pub mod presets;
+pub mod query;
+pub mod render;
+
+pub use builder::TopologyBuilder;
+pub use diagram::render_node_diagram;
+pub use discover::discover;
+pub use cpuset::CpuSet;
+pub use object::{GpuAttrs, GpuVendor, ObjId, Object, ObjectKind, Topology};
+pub use render::{render, RenderOptions};
+
+#[cfg(test)]
+mod proptests {
+    use crate::cpuset::CpuSet;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn list_roundtrip(indices in proptest::collection::btree_set(0u32..512, 0..64)) {
+            let set = CpuSet::from_indices(indices.iter().copied());
+            let text = set.to_list_string();
+            let parsed = CpuSet::parse_list(&text).unwrap();
+            prop_assert_eq!(parsed, set);
+        }
+
+        #[test]
+        fn count_matches_iter(indices in proptest::collection::btree_set(0u32..512, 0..64)) {
+            let set = CpuSet::from_indices(indices.iter().copied());
+            prop_assert_eq!(set.count(), indices.len());
+            let collected: Vec<u32> = set.iter().collect();
+            let expected: Vec<u32> = indices.into_iter().collect();
+            prop_assert_eq!(collected, expected);
+        }
+
+        #[test]
+        fn union_is_commutative_and_contains_both(
+            a in proptest::collection::btree_set(0u32..256, 0..32),
+            b in proptest::collection::btree_set(0u32..256, 0..32),
+        ) {
+            let sa = CpuSet::from_indices(a.iter().copied());
+            let sb = CpuSet::from_indices(b.iter().copied());
+            let u1 = sa.union(&sb);
+            let u2 = sb.union(&sa);
+            prop_assert_eq!(u1.to_list_string(), u2.to_list_string());
+            prop_assert!(sa.is_subset_of(&u1));
+            prop_assert!(sb.is_subset_of(&u1));
+        }
+
+        #[test]
+        fn difference_disjoint_from_subtrahend(
+            a in proptest::collection::btree_set(0u32..256, 0..32),
+            b in proptest::collection::btree_set(0u32..256, 0..32),
+        ) {
+            let sa = CpuSet::from_indices(a.iter().copied());
+            let sb = CpuSet::from_indices(b.iter().copied());
+            let d = sa.difference(&sb);
+            prop_assert!(!d.intersects(&sb));
+            prop_assert!(d.is_subset_of(&sa));
+            prop_assert_eq!(d.count() + sa.intersection(&sb).count(), sa.count());
+        }
+
+        #[test]
+        fn intersection_subset_of_both(
+            a in proptest::collection::btree_set(0u32..256, 0..32),
+            b in proptest::collection::btree_set(0u32..256, 0..32),
+        ) {
+            let sa = CpuSet::from_indices(a.iter().copied());
+            let sb = CpuSet::from_indices(b.iter().copied());
+            let i = sa.intersection(&sb);
+            prop_assert!(i.is_subset_of(&sa));
+            prop_assert!(i.is_subset_of(&sb));
+        }
+    }
+}

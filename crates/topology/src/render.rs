@@ -1,0 +1,200 @@
+//! `lstopo`-style textual rendering of a [`Topology`].
+//!
+//! Reproduces the format of Listing 1 in the paper: one line per object,
+//! two-space indentation per depth, logical indices (`L#`) everywhere and
+//! OS indices (`P#`) on PUs, cache sizes in `MB`/`KB`.
+
+use crate::object::{ObjId, ObjectKind, Topology};
+use std::fmt::Write;
+
+/// Controls which objects appear in the rendering.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Show NUMA domain lines. Listing 1's single-NUMA laptop omits them.
+    pub show_numa: bool,
+    /// Append GPU lines after the CPU tree.
+    pub show_gpus: bool,
+    /// Prefix the output with the `HWLOC Node topology:` header line used
+    /// by ZeroSum's log output.
+    pub header: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            show_numa: true,
+            show_gpus: true,
+            header: true,
+        }
+    }
+}
+
+impl RenderOptions {
+    /// The exact configuration that reproduces Listing 1 (no NUMA line,
+    /// no GPUs, with header).
+    pub fn listing1() -> Self {
+        RenderOptions {
+            show_numa: false,
+            show_gpus: false,
+            header: true,
+        }
+    }
+}
+
+fn cache_size_str(kib: u64) -> String {
+    if kib % 1024 == 0 {
+        format!("{}MB", kib / 1024)
+    } else {
+        format!("{kib}KB")
+    }
+}
+
+/// Renders the topology as indented text.
+pub fn render(topo: &Topology, opts: &RenderOptions) -> String {
+    let mut out = String::new();
+    if opts.header {
+        out.push_str("HWLOC Node topology:\n");
+    }
+    render_obj(topo, topo.root(), 0, opts, &mut out);
+    if opts.show_gpus {
+        for gpu in topo.gpus() {
+            let o = topo.object(gpu);
+            let a = o.attrs.gpu.as_ref().expect("gpu attrs");
+            writeln!(
+                out,
+                "  GPU L#{} P#{} ({} {}, {}MB, NUMA {})",
+                o.logical_index,
+                a.physical_index,
+                a.vendor,
+                a.model,
+                a.memory_mib,
+                a.local_numa
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+fn render_obj(topo: &Topology, id: ObjId, depth: usize, opts: &RenderOptions, out: &mut String) {
+    let o = topo.object(id);
+    if o.kind == ObjectKind::Gpu {
+        return; // rendered separately
+    }
+    let mut next_depth = depth;
+    let skip = o.kind == ObjectKind::NumaDomain && !opts.show_numa;
+    if !skip {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        match o.kind {
+            ObjectKind::L3Cache | ObjectKind::L2Cache | ObjectKind::L1Cache => {
+                writeln!(
+                    out,
+                    "{} L#{} {}",
+                    o.kind.render_name(),
+                    o.logical_index,
+                    cache_size_str(o.attrs.cache_kib.unwrap_or(0))
+                )
+                .unwrap();
+            }
+            ObjectKind::Pu => {
+                writeln!(
+                    out,
+                    "PU L#{} P#{}",
+                    o.logical_index,
+                    o.os_index.unwrap_or(0)
+                )
+                .unwrap();
+            }
+            ObjectKind::NumaDomain => {
+                writeln!(
+                    out,
+                    "NUMANode L#{} P#{} ({}MB)",
+                    o.logical_index,
+                    o.os_index.unwrap_or(0),
+                    o.attrs.memory_mib.unwrap_or(0)
+                )
+                .unwrap();
+            }
+            _ => {
+                writeln!(out, "{} L#{}", o.kind.render_name(), o.logical_index).unwrap();
+            }
+        }
+        next_depth = depth + 1;
+    }
+    for &c in &o.children {
+        render_obj(topo, c, next_depth, opts, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn listing1_format_exact() {
+        let topo = presets::laptop_i7_1165g7();
+        let text = render(&topo, &RenderOptions::listing1());
+        let expected = "\
+HWLOC Node topology:
+Machine L#0
+  Package L#0
+    L3Cache L#0 12MB
+      L2Cache L#0 1280KB
+        L1Cache L#0 48KB
+          Core L#0
+            PU L#0 P#0
+            PU L#1 P#4
+      L2Cache L#1 1280KB
+        L1Cache L#1 48KB
+          Core L#1
+            PU L#2 P#1
+            PU L#3 P#5
+      L2Cache L#2 1280KB
+        L1Cache L#2 48KB
+          Core L#2
+            PU L#4 P#2
+            PU L#5 P#6
+      L2Cache L#3 1280KB
+        L1Cache L#3 48KB
+          Core L#3
+            PU L#6 P#3
+            PU L#7 P#7
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn cache_sizes_render_mb_or_kb() {
+        assert_eq!(cache_size_str(12 * 1024), "12MB");
+        assert_eq!(cache_size_str(1280), "1280KB");
+        assert_eq!(cache_size_str(48), "48KB");
+    }
+
+    #[test]
+    fn frontier_renders_with_numa_and_gpus() {
+        let topo = presets::frontier();
+        let text = render(&topo, &RenderOptions::default());
+        assert!(text.contains("NUMANode L#0 P#0 (131072MB)"));
+        assert!(text.contains("GPU L#0 P#4"));
+        assert!(text.contains("MI250X"));
+        // 128 PU lines (GPU lines also contain the substring "PU L#")
+        let pu_lines = text.lines().filter(|l| l.trim_start().starts_with("PU L#")).count();
+        assert_eq!(pu_lines, 128);
+    }
+
+    #[test]
+    fn render_without_header() {
+        let topo = presets::laptop_i7_1165g7();
+        let text = render(
+            &topo,
+            &RenderOptions {
+                header: false,
+                ..RenderOptions::listing1()
+            },
+        );
+        assert!(text.starts_with("Machine L#0"));
+    }
+}

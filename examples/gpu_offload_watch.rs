@@ -1,0 +1,63 @@
+//! Monitor a GPU-offload job end to end: the Listing 2 scenario as an
+//! API walkthrough — launch miniQMC-sim with `--gpu-bind=closest` on the
+//! simulated Frontier node, sample the GCDs through the simulated ROCm
+//! SMI, and print the utilization report with the GPU metric block.
+//!
+//! ```text
+//! cargo run --release --example gpu_offload_watch
+//! ```
+
+use zerosum::prelude::*;
+use zerosum_apps::{launch_miniqmc, MiniQmcConfig};
+use zerosum_core::{GpuReportContext, GpuStack, SimGpuLink};
+use zerosum_gpu::GpuMetricKind;
+use zerosum_omp::OmptRegistry;
+
+fn main() {
+    let topo = presets::frontier();
+    let mut sim = NodeSim::new(topo.clone(), SchedParams::default());
+    let qmc = MiniQmcConfig::frontier_offload().scaled_down(30);
+    let mut ompt = OmptRegistry::new();
+    let job = launch_miniqmc(&mut sim, &topo, &qmc, &mut ompt).expect("launch");
+    println!(
+        "launched {} ranks; rank→GCD map: {:?}  (note Figure 2's ordering!)",
+        job.teams.len(),
+        job.gpus
+    );
+
+    let mut monitor = Monitor::new(ZeroSumConfig::scaled(30));
+    for (team, gpu) in job.teams.iter().zip(&job.gpus) {
+        monitor.watch_process(ProcessInfo {
+            pid: team.pid,
+            rank: sim.process(team.pid).and_then(|p| p.rank),
+            hostname: sim.hostname().to_string(),
+            gpus: gpu.iter().copied().collect(),
+            cpus_allowed: sim
+                .process(team.pid)
+                .map(|p| p.cpus_allowed.clone())
+                .unwrap_or_default(),
+        });
+    }
+    attach_monitor_threads(&mut sim, &monitor);
+    let mut gpus = SimGpuLink::new(GpuStack::RocmMi250x, (0..8).collect());
+    let out = run_monitored(&mut sim, &mut monitor, Some(&mut gpus), 3_600_000_000);
+
+    // Rank 0's report with its GCD (physical index 4, visible index 0).
+    let rank0 = job.teams[0].pid;
+    let phys = job.gpus[0].unwrap();
+    let slot = gpus.devices().iter().position(|&d| d == phys).unwrap() as u32;
+    let ctx = GpuReportContext {
+        monitor: &gpus.monitor,
+        devices: vec![(slot, phys, 0)],
+    };
+    print!(
+        "{}",
+        render_process_report(&monitor, rank0, out.duration_s, Some(&ctx))
+    );
+    // A compact cross-device busy summary.
+    println!("\nPer-GCD busy (min/avg/max %):");
+    for (slot, &phys) in gpus.devices().to_vec().iter().enumerate() {
+        let (min, avg, max) = gpus.monitor.summary(slot as u32, GpuMetricKind::DeviceBusyPct);
+        println!("  GCD {phys}: {min:6.2} {avg:6.2} {max:6.2}");
+    }
+}

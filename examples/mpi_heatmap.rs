@@ -1,0 +1,46 @@
+//! Build the Figure 5 communication heatmap and use it the way §3.1.3
+//! suggests: compare logical-to-physical rank mappings by the fraction
+//! of traffic they keep on-node.
+//!
+//! ```text
+//! cargo run --release --example mpi_heatmap -- 128
+//! ```
+
+use zerosum::prelude::*;
+use zerosum_apps::PicConfig;
+use zerosum_mpi::{heatmap, MapStrategy, RankMap};
+
+fn main() {
+    let ranks: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+    let mut cfg = PicConfig::figure5();
+    cfg.ranks = ranks;
+    cfg.steps = 100;
+    let matrix = zerosum_apps::run_pic(&cfg);
+    println!(
+        "PIC proxy, {ranks} ranks, {} steps: total {:.3e} bytes, \
+         diagonal fraction {:.4}",
+        cfg.steps,
+        matrix.total_bytes() as f64,
+        matrix.diagonal_fraction(cfg.halo_width)
+    );
+    println!("{}", heatmap::render_ascii(&matrix, 40.min(ranks)));
+
+    // Placement guidance: ranks-per-node from the Frontier preset (8).
+    let nodes = ranks.div_ceil(8);
+    if nodes > 1 {
+        let block = RankMap::new(ranks, nodes, MapStrategy::Block);
+        let cyclic = RankMap::new(ranks, nodes, MapStrategy::Cyclic);
+        let optimized = zerosum_mpi::optimize_order(&matrix, 8);
+        println!(
+            "On {nodes} Frontier nodes (8 ranks each): intra-node traffic \
+             block={:.1}%, cyclic={:.1}%, traffic-optimized={:.1}%",
+            100.0 * block.intra_node_fraction(&matrix),
+            100.0 * cyclic.intra_node_fraction(&matrix),
+            100.0 * optimized.intra_node_fraction(&matrix)
+        );
+    }
+    let _ = presets::frontier(); // the node model the guidance refers to
+}

@@ -1,0 +1,94 @@
+//! The paper's headline use case: a "use once when porting an
+//! application to a new system" check.
+//!
+//! Before burning allocation hours, dry-run your launch configuration on
+//! the target node model: see the topology the way `lstopo` would show
+//! it, the CPU mask and GPU every rank would receive, and what ZeroSum's
+//! configuration evaluator thinks of a *simulated* execution under that
+//! configuration. Try:
+//!
+//! ```text
+//! cargo run --example porting_check -- frontier 8 7
+//! cargo run --example porting_check -- frontier 8      # the Table 1 trap
+//! ```
+
+use zerosum::prelude::*;
+use zerosum_sched::plan_launch;
+use zerosum_topology::{render, RenderOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let system = args.get(1).map(String::as_str).unwrap_or("frontier");
+    let ntasks: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let cpus_per_task: Option<usize> = args.get(3).and_then(|s| s.parse().ok());
+
+    let topo = presets::by_name(system).unwrap_or_else(|| {
+        eprintln!("unknown system {system:?}; use frontier|summit|perlmutter|aurora|laptop");
+        std::process::exit(2);
+    });
+    println!("=== Node topology: {} ===", topo.name);
+    print!("{}", render(&topo, &RenderOptions::default()));
+
+    let srun = SrunConfig {
+        ntasks,
+        cpus_per_task,
+        threads_per_core: 1,
+        reserve_first_core_per_l3: true,
+        gpu_bind_closest: true,
+    };
+    println!(
+        "\n=== Launch plan: srun -n{ntasks}{} --gpu-bind=closest ===",
+        cpus_per_task.map(|c| format!(" -c{c}")).unwrap_or_default()
+    );
+    match plan_launch(&topo, &srun) {
+        Ok(plan) => {
+            for p in &plan {
+                println!(
+                    "rank {:>3}: CPUs [{}]{}",
+                    p.rank,
+                    p.cpus_allowed.to_list_string(),
+                    p.gpu
+                        .map(|g| format!(", GPU {g}"))
+                        .unwrap_or_default()
+                );
+            }
+            // Dry-run a short CPU-bound team under this placement and let
+            // the evaluator judge it.
+            let mut sim = NodeSim::new(topo.clone(), SchedParams::default());
+            let mut monitor = Monitor::new(ZeroSumConfig::scaled(50));
+            for p in &plan {
+                let threads = p.cpus_allowed.count().max(1);
+                let pid = sim.spawn_process(
+                    "dryrun",
+                    p.cpus_allowed.clone(),
+                    64 * 1024,
+                    Behavior::worker(WorkerSpec::cpu_bound(4, 20_000)),
+                );
+                for _ in 1..threads {
+                    sim.spawn_task(
+                        pid,
+                        "OpenMP",
+                        None,
+                        Behavior::worker(WorkerSpec::cpu_bound(4, 20_000)),
+                        false,
+                    );
+                }
+                monitor.watch_process(ProcessInfo {
+                    pid,
+                    rank: Some(p.rank),
+                    hostname: sim.hostname().to_string(),
+                    gpus: p.gpu.iter().copied().collect(),
+                    cpus_allowed: p.cpus_allowed.clone(),
+                });
+            }
+            attach_monitor_threads(&mut sim, &monitor);
+            let out = run_monitored(&mut sim, &mut monitor, None, 120_000_000);
+            println!(
+                "\n=== Dry run: {:.2}s (virtual) ===",
+                out.duration_s
+            );
+            print!("{}", render_findings(&evaluate(&monitor, &topo)));
+        }
+        Err(e) => println!("launch plan failed: {e}"),
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: monitor *this* process live through the real `/proc`.
+//!
+//! This is the "always-on monitoring library" usage mode of the paper:
+//! start the asynchronous ZeroSum thread, do some work, and print the
+//! utilization report. Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::time::{Duration, Instant};
+use zerosum::prelude::*;
+
+fn busy_work(ms: u64) {
+    let mut acc = 0u64;
+    let until = Instant::now() + Duration::from_millis(ms);
+    while Instant::now() < until {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    }
+    std::hint::black_box(acc);
+}
+
+fn main() {
+    // Sample at 10 Hz so a short demo still collects a history.
+    let config = ZeroSumConfig {
+        period_us: 100_000,
+        ..Default::default()
+    };
+    let session = SelfMonitor::start(config, None).expect("start ZeroSum");
+    println!("ZeroSum attached; doing some work...");
+
+    // Phase 1: single-threaded compute.
+    busy_work(600);
+    // Phase 2: a few worker threads.
+    let workers: Vec<_> = (0..3)
+        .map(|_| std::thread::spawn(|| busy_work(600)))
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    // Phase 3: mostly idle (blocking).
+    std::thread::sleep(Duration::from_millis(400));
+
+    let (monitor, duration) = session.stop();
+    let pid = monitor.processes()[0].info.pid;
+    println!("{}", render_process_report(&monitor, pid, duration, None));
+    if let Some(contention) = analyze(&monitor, pid) {
+        println!("{}", contention.render());
+    }
+}

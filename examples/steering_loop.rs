@@ -1,0 +1,98 @@
+//! Adaptation / computational steering (§2 "Adaptation" and §3.6):
+//! consume ZeroSum's live snapshot feed and make a decision from it.
+//!
+//! Here the "steering controller" watches per-thread utilization and
+//! detects, mid-run, that the team lost half of its parallelism (threads
+//! finished early while stragglers keep running) — the kind of signal a
+//! real controller would use to rebalance walkers.
+//!
+//! ```text
+//! cargo run --release --example steering_loop
+//! ```
+
+use zerosum::prelude::*;
+use zerosum_core::LwpKind;
+
+fn main() {
+    let topo = presets::frontier();
+    let mut sim = NodeSim::new(topo, SchedParams::default());
+    let mask = CpuSet::parse_list("1-7").unwrap();
+    // An imbalanced team: three threads carry 3× the work of the others.
+    let pid = sim.spawn_process(
+        "imbalanced",
+        mask.clone(),
+        1 << 20,
+        Behavior::worker(WorkerSpec::cpu_bound(40, 30_000)),
+    );
+    for i in 0..6 {
+        let work = if i < 2 { 30_000 } else { 10_000 };
+        sim.spawn_task(
+            pid,
+            "OpenMP",
+            Some(CpuSet::single(2 + i)),
+            Behavior::worker(WorkerSpec::cpu_bound(40, work)),
+            false,
+        );
+    }
+    sim.set_task_affinity(pid, CpuSet::single(1));
+
+    let mut monitor = Monitor::new(ZeroSumConfig {
+        period_us: 100_000,
+        ..Default::default()
+    });
+    monitor.watch_process(ProcessInfo {
+        pid,
+        rank: Some(0),
+        hostname: sim.hostname().to_string(),
+        gpus: vec![],
+        cpus_allowed: mask,
+    });
+    let feed = monitor.feed.subscribe(256);
+    attach_monitor_threads(&mut sim, &monitor);
+    let out = run_monitored(&mut sim, &mut monitor, None, 120_000_000);
+    println!(
+        "run finished in {:.2}s (virtual), {} snapshots streamed\n",
+        out.duration_s,
+        feed.len()
+    );
+
+    // The steering consumer: per snapshot, how many team threads are
+    // still burning CPU?
+    let mut prev: Option<Vec<(u32, u64)>> = None;
+    let mut team_size = 0usize;
+    for snap in feed.try_iter() {
+        let team: Vec<(u32, u64)> = snap.processes[0]
+            .lwps
+            .iter()
+            .filter(|l| matches!(l.kind, LwpKind::Main | LwpKind::OpenMp))
+            .map(|l| (l.tid, l.utime + l.stime))
+            .collect();
+        team_size = team_size.max(team.len());
+        if let Some(prev) = &prev {
+            // A thread is active if it is still present and burned CPU
+            // since the previous snapshot; exited threads left the task
+            // list entirely.
+            let active = team
+                .iter()
+                .filter(|(tid, cpu)| {
+                    prev.iter()
+                        .find(|(ptid, _)| ptid == tid)
+                        .map(|(_, pcpu)| cpu > pcpu)
+                        .unwrap_or(true)
+                })
+                .count();
+            println!(
+                "t={:>5.1}s  team threads still active: {}/{}{}",
+                snap.t_s,
+                active,
+                team_size,
+                if active * 2 <= team_size && active > 0 {
+                    "   <-- steering signal: rebalance walkers"
+                } else {
+                    ""
+                }
+            );
+        }
+        prev = Some(team);
+    }
+}

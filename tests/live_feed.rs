@@ -1,0 +1,105 @@
+//! Integration of the §3.6 live-export feed with the virtual-time
+//! runner: a steering-style consumer subscribes and receives a snapshot
+//! per monitor sample while the simulated job runs.
+
+use zerosum::prelude::*;
+use zerosum_core::LwpKind;
+
+#[test]
+fn subscribers_receive_per_sample_snapshots() {
+    let topo = presets::laptop_i7_1165g7();
+    let mut sim = NodeSim::new(topo, SchedParams::default());
+    let pid = sim.spawn_process(
+        "app",
+        CpuSet::from_indices([0u32, 1]),
+        2_048,
+        Behavior::FiniteCompute {
+            remaining_us: 2_000_000,
+            chunk_us: 10_000,
+        },
+    );
+    sim.spawn_task(
+        pid,
+        "OpenMP",
+        None,
+        Behavior::FiniteCompute {
+            remaining_us: 2_000_000,
+            chunk_us: 10_000,
+        },
+        false,
+    );
+    let mut monitor = Monitor::new(ZeroSumConfig {
+        period_us: 250_000,
+        ..Default::default()
+    });
+    monitor.watch_process(ProcessInfo {
+        pid,
+        rank: Some(0),
+        hostname: sim.hostname().to_string(),
+        gpus: vec![],
+        cpus_allowed: CpuSet::from_indices([0u32, 1]),
+    });
+    let rx = monitor.feed.subscribe(64);
+    attach_monitor_threads(&mut sim, &monitor);
+    let out = run_monitored(&mut sim, &mut monitor, None, 60_000_000);
+    assert!(out.completed);
+    let snaps: Vec<_> = rx.try_iter().collect();
+    assert_eq!(snaps.len() as u64, out.samples, "one snapshot per sample");
+    // Snapshots are ordered and cumulative counters are monotone.
+    for w in snaps.windows(2) {
+        assert!(w[1].t_s >= w[0].t_s);
+        assert!(w[1].round == w[0].round + 1);
+    }
+    // A mid-run snapshot shows live application threads with CPU time —
+    // exactly what a steering loop would consume.
+    let mid = &snaps[snaps.len() / 2];
+    assert_eq!(mid.processes.len(), 1);
+    let p = &mid.processes[0];
+    assert!(p.rss_kib > 0);
+    let app_threads: Vec<_> = p
+        .lwps
+        .iter()
+        .filter(|l| l.kind != LwpKind::ZeroSum)
+        .collect();
+    assert!(app_threads.len() >= 2);
+    assert!(app_threads.iter().any(|l| l.utime > 0));
+    // The monitor's own thread is visible too (it is an LWP like any
+    // other — the paper's Listing 2 shows the ZeroSum row).
+    assert!(p.lwps.iter().any(|l| l.kind == LwpKind::ZeroSum));
+    // No drops with a roomy buffer.
+    assert_eq!(monitor.feed.dropped, 0);
+}
+
+#[test]
+fn slow_consumer_never_stalls_the_monitor() {
+    let topo = presets::laptop_i7_1165g7();
+    let mut sim = NodeSim::new(topo, SchedParams::default());
+    let pid = sim.spawn_process(
+        "app",
+        CpuSet::single(0),
+        64,
+        Behavior::FiniteCompute {
+            remaining_us: 2_000_000,
+            chunk_us: 10_000,
+        },
+    );
+    let mut monitor = Monitor::new(ZeroSumConfig {
+        period_us: 100_000,
+        ..Default::default()
+    });
+    monitor.watch_process(ProcessInfo {
+        pid,
+        rank: None,
+        hostname: sim.hostname().to_string(),
+        gpus: vec![],
+        cpus_allowed: CpuSet::single(0),
+    });
+    // A consumer that never reads, with a 1-slot buffer.
+    let rx = monitor.feed.subscribe(1);
+    let out = run_monitored(&mut sim, &mut monitor, None, 60_000_000);
+    assert!(out.completed);
+    assert!(out.samples > 3);
+    // Exactly one snapshot buffered; the rest were dropped, not blocked on.
+    assert_eq!(rx.try_iter().count(), 1);
+    assert_eq!(monitor.feed.dropped, out.samples - 1);
+}

@@ -1,0 +1,126 @@
+//! The paper's headline claims, asserted end-to-end at reduced scale.
+//!
+//! Each test names the artifact it guards. These run the same harnesses
+//! as the `zerosum-experiments` binaries (which default to larger
+//! workloads) — see EXPERIMENTS.md for full-scale paper-vs-measured
+//! numbers.
+
+use zerosum_experiments::figures::{fig5, fig67, fig8};
+use zerosum_experiments::listings::{listing1, listing2};
+use zerosum_experiments::tables::{run_table, TableConfig};
+use zerosum_apps::PicConfig;
+
+#[test]
+fn listing1_topology_output_is_byte_exact() {
+    let expected = "\
+HWLOC Node topology:
+Machine L#0
+  Package L#0
+    L3Cache L#0 12MB
+      L2Cache L#0 1280KB
+        L1Cache L#0 48KB
+          Core L#0
+            PU L#0 P#0
+            PU L#1 P#4
+      L2Cache L#1 1280KB
+        L1Cache L#1 48KB
+          Core L#1
+            PU L#2 P#1
+            PU L#3 P#5
+      L2Cache L#2 1280KB
+        L1Cache L#2 48KB
+          Core L#2
+            PU L#4 P#2
+            PU L#5 P#6
+      L2Cache L#3 1280KB
+        L1Cache L#3 48KB
+          Core L#3
+            PU L#6 P#3
+            PU L#7 P#7
+";
+    assert_eq!(listing1(), expected);
+}
+
+#[test]
+fn tables_1_2_3_reproduce_the_contention_story() {
+    let t1 = run_table(TableConfig::Table1, 140, 10);
+    let t2 = run_table(TableConfig::Table2, 140, 10);
+    let t3 = run_table(TableConfig::Table3, 140, 10);
+    let team_nvctx = |t: &zerosum_experiments::tables::TableRun| -> u64 {
+        t.rows
+            .iter()
+            .filter(|r| r.label.contains("OpenMP"))
+            .map(|r| r.nvctx)
+            .sum()
+    };
+    // Table 1: default config oversubscribes one core → runtime blow-up
+    // and context-switch storm.
+    assert!(t1.duration_s > 2.0 * t2.duration_s);
+    assert!(team_nvctx(&t1) > 20 * team_nvctx(&t2).max(1));
+    // Table 2 vs 3: same runtime ballpark; binding removes migrations.
+    assert!((t3.duration_s / t2.duration_s - 1.0).abs() < 0.25);
+    assert_eq!(t3.team_migrations, 0);
+    // Table 1's affinity column shows every team thread on core 1.
+    assert!(t1
+        .rows
+        .iter()
+        .filter(|r| r.label.contains("OpenMP"))
+        .all(|r| r.cpus == "1"));
+}
+
+#[test]
+fn listing2_gpu_report_has_the_min_avg_max_block() {
+    let run = listing2(100, 10);
+    assert!(run.report.contains("GPU 0 - (metric:  min  avg  max)"));
+    for row in [
+        "Clock Frequency, GLX (MHz)",
+        "Device Busy %",
+        "Power Average (W)",
+        "Temperature (C)",
+        "Used VRAM Bytes",
+        "Voltage (mV)",
+    ] {
+        assert!(run.report.contains(row), "missing {row}");
+    }
+    assert!(run.gpu_busy_avg > 0.5);
+}
+
+#[test]
+fn figure5_heatmap_is_nearest_neighbor_dominated() {
+    let mut cfg = PicConfig::figure5();
+    cfg.ranks = 128;
+    cfg.steps = 50;
+    let run = fig5(&cfg);
+    assert!(run.diagonal_fraction > 0.98, "{}", run.diagonal_fraction);
+    assert!(run.max_pair_bytes >= 50 * 17_500_000);
+}
+
+#[test]
+fn figures_6_and_7_series_cover_the_run() {
+    let run = fig67(140, 10);
+    assert!(run.samples >= 3);
+    // LWP series includes every column §3.6 lists.
+    let header = run.lwp_csv.lines().next().unwrap();
+    for col in ["state", "minflt", "majflt", "nswap", "processor"] {
+        assert!(header.contains(col), "missing column {col}");
+    }
+    // Per-HWT rows exist for all 128 HWTs of the node.
+    let cpus: std::collections::HashSet<&str> = run
+        .hwt_csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').nth(1).unwrap())
+        .collect();
+    assert_eq!(cpus.len(), 128);
+}
+
+#[test]
+fn figure8_overhead_story_holds() {
+    let one = fig8(false, 6, 80, 30);
+    let two = fig8(true, 6, 80, 31);
+    let p1 = one.ttest.expect("1tpc t-test").p_value;
+    let p2 = two.ttest.expect("2tpc t-test").p_value;
+    assert!(p1 > 0.05, "1tpc should be indistinguishable, p={p1}");
+    assert!(p2 < 0.05, "2tpc should be significant, p={p2}");
+    assert!(two.overhead_frac > 0.0 && two.overhead_frac < 0.02);
+}

@@ -1,0 +1,99 @@
+//! Integration against the real Linux `/proc` of the test machine: the
+//! monitor must work unmodified on a live system (the paper's actual
+//! deployment mode), not only against the simulation.
+
+use std::time::{Duration, Instant};
+use zerosum::prelude::*;
+
+fn spin(ms: u64) {
+    let mut acc = 1u64;
+    let until = Instant::now() + Duration::from_millis(ms);
+    while Instant::now() < until {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+    }
+    std::hint::black_box(acc);
+}
+
+#[test]
+fn live_self_monitoring_produces_a_full_report() {
+    let cfg = ZeroSumConfig {
+        period_us: 50_000,
+        signal_handler: false,
+        ..Default::default()
+    };
+    let session = SelfMonitor::start(cfg, Some(0)).expect("attach");
+    let threads: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::Builder::new()
+                .name("OpenMP".to_string())
+                .spawn(|| spin(250))
+                .unwrap()
+        })
+        .collect();
+    spin(250);
+    for t in threads {
+        t.join().unwrap();
+    }
+    let (monitor, duration) = session.stop();
+    assert!(monitor.stats.rounds >= 4);
+    let pid = monitor.processes()[0].info.pid;
+    let report = render_process_report(&monitor, pid, duration, None);
+    // All sections present with live data.
+    assert!(report.contains("Duration of execution:"));
+    assert!(report.contains("MPI 000 - PID"));
+    assert!(report.contains("LWP (thread) Summary:"));
+    assert!(report.contains("Hardware Summary:"));
+    // The worker threads were discovered via /proc/<pid>/task and
+    // classified by name.
+    let w = monitor.process(pid).unwrap();
+    let omp = w
+        .lwps
+        .tracks()
+        .filter(|t| t.kind == zerosum_core::LwpKind::OpenMp)
+        .count();
+    assert!(omp >= 2, "found {omp} OpenMP threads");
+    // Some thread of this process burned real CPU (under `cargo test`
+    // the work happens on a test-runner thread, not the main thread).
+    let max_frac = w
+        .lwps
+        .tracks()
+        .map(|t| t.cpu_fraction())
+        .fold(0.0f64, f64::max);
+    assert!(max_frac > 0.2, "max cpu fraction {max_frac}");
+}
+
+#[test]
+fn live_contention_analysis_runs() {
+    let cfg = ZeroSumConfig {
+        period_us: 40_000,
+        signal_handler: false,
+        ..Default::default()
+    };
+    let session = SelfMonitor::start(cfg, None).expect("attach");
+    spin(200);
+    let (monitor, _) = session.stop();
+    let pid = monitor.processes()[0].info.pid;
+    let rep = analyze(&monitor, pid).expect("contention report");
+    // At least one thread is busy; the analysis must classify it so.
+    assert!(rep.lwps.iter().any(|l| l.busy), "no busy rows: {:?}", rep.lwps);
+    let rendered = rep.render();
+    assert!(rendered.contains("Contention Summary:"));
+}
+
+#[test]
+fn live_procfs_reads_are_self_consistent() {
+    let src = LinuxProc::new();
+    let pid = src.self_pid().unwrap();
+    let stat = src.system_stat().unwrap();
+    let ncpu = stat.cpus.len();
+    assert!(ncpu >= 1);
+    // Our own affinity mask fits within the machine's CPU set.
+    let st = src.process_status(pid).unwrap();
+    assert!(st.cpus_allowed.count() <= ncpu + 64); // offline CPUs tolerated
+    // Task list contains at least this thread; per-task reads agree on
+    // the tgid.
+    for tid in src.list_tasks(pid).unwrap().into_iter().take(4) {
+        let ts = src.task_status(pid, tid).unwrap();
+        assert_eq!(ts.tgid, pid);
+    }
+}
