@@ -1,0 +1,64 @@
+//! `zslint` — the repo-specific lint pass.
+//!
+//! Usage: `cargo run -p zerosum-analyze --bin zslint [--root DIR]`
+//!
+//! Exits 0 when the tree is clean, 1 when any rule fires, 2 on usage or
+//! I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use zerosum_analyze::lint;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("zslint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: zslint [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("zslint: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("zslint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match lint::lint_repo(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("zslint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("zslint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("zslint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

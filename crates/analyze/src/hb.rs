@@ -1,0 +1,322 @@
+//! Vector-clock happens-before race detection over scheduler traces.
+//!
+//! The scheduler substrate is single-threaded, but it *models* a
+//! concurrent system: per-CPU runqueues mutated by dispatch, preemption,
+//! wakeups, and balancing. This module checks that the trace obeys the
+//! locking discipline a real SMP scheduler must follow — every task's
+//! scheduling state is only ever touched by a context that is ordered
+//! after the previous writer.
+//!
+//! Contexts are the hardware threads plus one synthetic *kernel*
+//! context for engine-driven work (timer wakes, enqueue/steal queue
+//! manipulation). Each context carries a vector clock. Each task carries
+//! a *release clock* (`task_sync`), updated only when the task leaves a
+//! CPU (preempt, block, deschedule, exit) or when a context finishes a
+//! queue-side access (spawn, wake, enqueue, steal). A CPU dispatching a
+//! task joins that release clock — acquire semantics — **before** the
+//! race check, so the only way a dispatch is ordered after the previous
+//! writer is through the task's own release chain.
+//!
+//! This is what catches a double-dispatch: if a task is placed on two
+//! CPUs without an intervening off-CPU release, the second CPU's clock
+//! cannot contain the first CPU's write epoch, and the access is
+//! flagged as concurrent — exactly the FastTrack write-write race
+//! condition, applied to scheduler metadata instead of program memory.
+
+use std::collections::HashMap;
+use zerosum_proc::Tid;
+use zerosum_sched::{TraceEvent, TraceRecord};
+
+/// The synthetic engine context (timer wakes, queue balancing).
+pub const KERNEL_CTX: u32 = u32::MAX;
+
+/// A sparse vector clock over context ids.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VectorClock {
+    entries: HashMap<u32, u64>,
+}
+
+impl VectorClock {
+    /// The all-zero clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// This clock's component for `ctx`.
+    pub fn get(&self, ctx: u32) -> u64 {
+        self.entries.get(&ctx).copied().unwrap_or(0)
+    }
+
+    /// Advances own component; returns the new value.
+    pub fn tick(&mut self, ctx: u32) -> u64 {
+        let e = self.entries.entry(ctx).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// Component-wise maximum with `other` (acquire).
+    pub fn join(&mut self, other: &VectorClock) {
+        for (&ctx, &t) in &other.entries {
+            let e = self.entries.entry(ctx).or_insert(0);
+            if t > *e {
+                *e = t;
+            }
+        }
+    }
+}
+
+/// A detected concurrent access to one task's scheduling state.
+#[derive(Debug, Clone)]
+pub struct Race {
+    /// Index of the racing record in the trace.
+    pub index: usize,
+    /// Virtual time of the racing record.
+    pub t_us: u64,
+    /// The task whose state was accessed concurrently.
+    pub tid: Tid,
+    /// Context of the earlier, unordered write.
+    pub prev_ctx: u32,
+    /// Context performing the racing access.
+    pub ctx: u32,
+    /// Human-readable description with the racing event.
+    pub message: String,
+}
+
+fn ctx_name(ctx: u32) -> String {
+    if ctx == KERNEL_CTX {
+        "kernel".to_string()
+    } else {
+        format!("cpu{ctx}")
+    }
+}
+
+/// How the detector treats one event.
+#[derive(Clone, Copy)]
+enum Access {
+    /// Kernel context initializes the task and releases it.
+    Init,
+    /// CPU joins the task's release clock, then writes (dispatch).
+    Acquire(u32),
+    /// CPU writes while it owns the task (jiffy charge, GPU submit).
+    Owned(u32),
+    /// CPU writes and releases the task off-CPU.
+    Release(u32),
+    /// Kernel first joins the CPU's clock (taking its runqueue lock),
+    /// then writes and releases (forced deschedule).
+    KernelFromCpu(u32),
+    /// A queue-side access: join release clock, write, release again.
+    /// Performed by `ctx` (kernel, or the waking CPU).
+    Queue(u32),
+    /// No scheduling-state access (metadata only).
+    None,
+}
+
+fn classify(ev: &TraceEvent) -> Access {
+    match *ev {
+        TraceEvent::Spawn { .. } => Access::Init,
+        TraceEvent::Dispatch { cpu, .. } => Access::Acquire(cpu),
+        TraceEvent::JiffyCharge { cpu, .. } => Access::Owned(cpu),
+        TraceEvent::Preempt { cpu, .. }
+        | TraceEvent::Block { cpu, .. }
+        | TraceEvent::Exit { cpu, .. } => Access::Release(cpu),
+        TraceEvent::Deschedule { cpu, .. } => Access::KernelFromCpu(cpu),
+        TraceEvent::Wake { waker_cpu, .. } => Access::Queue(waker_cpu.unwrap_or(KERNEL_CTX)),
+        TraceEvent::Dequeue { .. }
+        | TraceEvent::Enqueue { .. }
+        | TraceEvent::Steal { .. }
+        | TraceEvent::GpuComplete { .. } => Access::Queue(KERNEL_CTX),
+        // GpuEnqueue carries no CPU field; the submitting task is still
+        // running and the Block that follows immediately performs the
+        // checked release, so the submit itself needs no access.
+        TraceEvent::Migrate { .. }
+        | TraceEvent::AffinityChange { .. }
+        | TraceEvent::GpuEnqueue { .. } => Access::None,
+    }
+}
+
+/// Replays a trace and reports every happens-before violation on task
+/// scheduling state.
+pub fn detect_races(trace: &[TraceRecord]) -> Vec<Race> {
+    let mut clocks: HashMap<u32, VectorClock> = HashMap::new();
+    let mut task_sync: HashMap<Tid, VectorClock> = HashMap::new();
+    // Epoch of the last write to each task's state: (ctx, ctx-local time).
+    let mut last_write: HashMap<Tid, (u32, u64)> = HashMap::new();
+    let mut races = Vec::new();
+
+    for (index, rec) in trace.iter().enumerate() {
+        let tid = rec.ev.tid();
+        let access = classify(&rec.ev);
+        let (ctx, joins_task, joins_cpu, releases) = match access {
+            Access::Init => (KERNEL_CTX, false, None, true),
+            Access::Acquire(c) => (c, true, None, false),
+            Access::Owned(c) => (c, false, None, false),
+            Access::Release(c) => (c, false, None, true),
+            Access::KernelFromCpu(c) => (KERNEL_CTX, true, Some(c), true),
+            Access::Queue(c) => (c, true, None, true),
+            Access::None => continue,
+        };
+        // Acquire phase.
+        if let Some(cpu) = joins_cpu {
+            let donor = clocks.entry(cpu).or_default().clone();
+            clocks.entry(ctx).or_default().join(&donor);
+        }
+        if joins_task {
+            if let Some(sync) = task_sync.get(&tid) {
+                let sync = sync.clone();
+                clocks.entry(ctx).or_default().join(&sync);
+            }
+        }
+        let clock = clocks.entry(ctx).or_default();
+        let now = clock.tick(ctx);
+        // Write-write race check: the previous writer must be ordered
+        // before this context's current clock.
+        if let Some(&(prev_ctx, prev_t)) = last_write.get(&tid) {
+            if prev_ctx != ctx && prev_t > clock.get(prev_ctx) {
+                races.push(Race {
+                    index,
+                    t_us: rec.t_us,
+                    tid,
+                    prev_ctx,
+                    ctx,
+                    message: format!(
+                        "trace[{index}] t={}us: {} access to task {tid} state by {} \
+                         is concurrent with an earlier write by {} (event {:?})",
+                        rec.t_us,
+                        match access {
+                            Access::Acquire(_) => "dispatch",
+                            Access::Owned(_) => "running",
+                            Access::Release(_) => "off-cpu",
+                            _ => "queue",
+                        },
+                        ctx_name(ctx),
+                        ctx_name(prev_ctx),
+                        rec.ev,
+                    ),
+                });
+            }
+        }
+        last_write.insert(tid, (ctx, now));
+        // Release phase.
+        if releases {
+            let snapshot = clocks.entry(ctx).or_default().clone();
+            task_sync.insert(tid, snapshot);
+        }
+    }
+    races
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerosum_sched::{ChargeKind, TraceEvent as E, TraceRecord as R};
+    use zerosum_topology::CpuSet;
+
+    fn spawn(tid: Tid) -> R {
+        R {
+            t_us: 0,
+            ev: E::Spawn {
+                tid,
+                pid: 1,
+                affinity: CpuSet::from_iter([0u32, 1]),
+            },
+        }
+    }
+
+    fn rec(t_us: u64, ev: E) -> R {
+        R { t_us, ev }
+    }
+
+    #[test]
+    fn clock_join_is_componentwise_max() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(1);
+        b.join(&a);
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+    }
+
+    #[test]
+    fn clean_dispatch_preempt_dispatch_has_no_race() {
+        let trace = vec![
+            spawn(7),
+            rec(0, E::Enqueue { tid: 7, cpu: 0 }),
+            rec(0, E::Dispatch { tid: 7, cpu: 0 }),
+            rec(
+                0,
+                E::JiffyCharge {
+                    tid: 7,
+                    cpu: 0,
+                    kind: ChargeKind::User,
+                    us: 50,
+                },
+            ),
+            rec(50, E::Preempt { tid: 7, cpu: 0 }),
+            rec(100, E::Dispatch { tid: 7, cpu: 1 }),
+        ];
+        assert!(detect_races(&trace).is_empty());
+    }
+
+    #[test]
+    fn double_dispatch_without_release_races() {
+        let trace = vec![
+            spawn(7),
+            rec(0, E::Enqueue { tid: 7, cpu: 0 }),
+            rec(0, E::Dispatch { tid: 7, cpu: 0 }),
+            // No Preempt/Block release: CPU 1 grabs the same task.
+            rec(50, E::Dispatch { tid: 7, cpu: 1 }),
+        ];
+        let races = detect_races(&trace);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].tid, 7);
+        assert_eq!(races[0].prev_ctx, 0);
+        assert_eq!(races[0].ctx, 1);
+        assert_eq!(races[0].index, 3);
+    }
+
+    #[test]
+    fn concurrent_jiffy_charge_races() {
+        let trace = vec![
+            spawn(7),
+            rec(0, E::Enqueue { tid: 7, cpu: 0 }),
+            rec(0, E::Dispatch { tid: 7, cpu: 0 }),
+            // A charge from a CPU that never dispatched the task.
+            rec(
+                0,
+                E::JiffyCharge {
+                    tid: 7,
+                    cpu: 3,
+                    kind: ChargeKind::User,
+                    us: 50,
+                },
+            ),
+        ];
+        let races = detect_races(&trace);
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].ctx, 3);
+    }
+
+    #[test]
+    fn barrier_wake_orders_releaser_before_waiter() {
+        // CPU 0's task wakes task 9; task 9 then runs on CPU 1. The wake
+        // edge must order the two accesses.
+        let trace = vec![
+            spawn(9),
+            rec(0, E::Enqueue { tid: 9, cpu: 1 }),
+            rec(0, E::Dispatch { tid: 9, cpu: 1 }),
+            rec(10, E::Block { tid: 9, cpu: 1 }),
+            rec(
+                90,
+                E::Wake {
+                    tid: 9,
+                    waker_cpu: Some(0),
+                },
+            ),
+            rec(90, E::Enqueue { tid: 9, cpu: 1 }),
+            rec(90, E::Dispatch { tid: 9, cpu: 1 }),
+        ];
+        assert!(detect_races(&trace).is_empty());
+    }
+}

@@ -1,0 +1,619 @@
+//! The scheduler invariant engine: replays an event trace and checks
+//! both the legality of every transition and the reconciliation of the
+//! replayed totals against the simulator's own final counters.
+//!
+//! Checked invariants:
+//!
+//! 1. **Time is monotonic** — record timestamps never decrease.
+//! 2. **State machine legality** — dispatch only from the runqueue,
+//!    preempt/block/exit only while running, wake only while blocked,
+//!    enqueue only for tasks not already queued.
+//! 3. **Single residency** — a task occupies at most one CPU, and a CPU
+//!    runs at most one task; at most one jiffy charge per task per tick
+//!    and per CPU per tick.
+//! 4. **Affinity** — every dispatch, steal, and migration lands on a CPU
+//!    inside the task's affinity mask as of that moment.
+//! 5. **Charge attribution** — jiffy charges come only from the CPU the
+//!    task currently occupies.
+//! 6. **GPU causality** — every kernel completion matches an earlier
+//!    enqueue on the same device and never fires before the enqueue's
+//!    declared completion time.
+//! 7. **Conservation** — per CPU, `user + system + idle == now`; the
+//!    replayed per-CPU user/system sums equal the simulator's accounts.
+//! 8. **Counter reconciliation** — per task, replayed utime/stime,
+//!    voluntary and involuntary switch counts, migrations, and dispatch
+//!    counts equal the final `TaskCounters`; the global context-switch
+//!    total equals preempts + blocks.
+
+use std::collections::HashMap;
+use zerosum_proc::Tid;
+use zerosum_sched::{ChargeKind, SimAudit, TraceEvent, TraceRecord};
+use zerosum_topology::CpuSet;
+
+/// One invariant violation, anchored to the event that exposed it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Index of the offending record, if the violation is event-level
+    /// (`None` for final-reconciliation mismatches).
+    pub index: Option<usize>,
+    /// Virtual time of the offending record (or the audit snapshot).
+    pub t_us: u64,
+    /// Which invariant was broken.
+    pub kind: InvariantKind,
+    /// Full diagnostic.
+    pub message: String,
+}
+
+/// The invariant families the engine enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantKind {
+    /// Record timestamps decreased.
+    TimeMonotonic,
+    /// An illegal task state transition.
+    StateMachine,
+    /// A task on two CPUs, a CPU with two tasks, or a double charge.
+    SingleResidency,
+    /// A placement outside the task's affinity mask.
+    Affinity,
+    /// A charge from a CPU the task does not occupy.
+    ChargeAttribution,
+    /// A GPU completion without a matching enqueue, or too early.
+    GpuCausality,
+    /// Per-CPU time accounts do not add up.
+    Conservation,
+    /// Replayed totals disagree with the simulator's counters.
+    CounterMismatch,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum St {
+    /// Spawned, woken, or descheduled — off CPU and not yet queued.
+    NotQueued,
+    Runnable,
+    Running,
+    Blocked,
+    Exited,
+}
+
+#[derive(Default)]
+struct TaskReplay {
+    affinity: Option<CpuSet>,
+    state: Option<St>,
+    on_cpu: Option<u32>,
+    last_cpu: Option<u32>,
+    utime_us: u64,
+    stime_us: u64,
+    preempts: u64,
+    blocks: u64,
+    migrations: u64,
+    dispatches: u64,
+    last_charge_t: Option<u64>,
+}
+
+/// Replays `trace` and reconciles it against `audit`, returning every
+/// violation found (empty = all invariants hold).
+pub fn check_invariants(trace: &[TraceRecord], audit: &SimAudit) -> Vec<Violation> {
+    let mut v: Vec<Violation> = Vec::new();
+    let mut tasks: HashMap<Tid, TaskReplay> = HashMap::new();
+    // cpu -> (occupying tid, time of last charge on this cpu)
+    let mut cpu_current: HashMap<u32, Tid> = HashMap::new();
+    let mut cpu_last_charge: HashMap<u32, u64> = HashMap::new();
+    let mut cpu_user: HashMap<u32, u64> = HashMap::new();
+    let mut cpu_system: HashMap<u32, u64> = HashMap::new();
+    let mut gpu_pending: HashMap<(Tid, u32), u64> = HashMap::new();
+    let mut last_t = 0u64;
+    let mut ctxt = 0u64;
+
+    let fail = |index: usize, t_us: u64, kind: InvariantKind, message: String| {
+        // One diagnostic per (kind, event) is enough; the engine keeps
+        // replaying to surface independent problems.
+        Violation {
+            index: Some(index),
+            t_us,
+            kind,
+            message: format!("trace[{index}] t={t_us}us: {message}"),
+        }
+    };
+
+    for (i, rec) in trace.iter().enumerate() {
+        let t = rec.t_us;
+        if t < last_t {
+            v.push(fail(
+                i,
+                t,
+                InvariantKind::TimeMonotonic,
+                format!("timestamp went backwards ({last_t} -> {t})"),
+            ));
+        }
+        last_t = last_t.max(t);
+        match rec.ev {
+            TraceEvent::Spawn {
+                tid,
+                pid: _,
+                ref affinity,
+            } => {
+                let task = tasks.entry(tid).or_default();
+                if task.state.is_some() {
+                    v.push(fail(
+                        i,
+                        t,
+                        InvariantKind::StateMachine,
+                        format!("task {tid} spawned twice"),
+                    ));
+                }
+                task.affinity = Some(affinity.clone());
+                task.state = Some(St::NotQueued);
+            }
+            TraceEvent::AffinityChange { tid, ref affinity } => {
+                tasks.entry(tid).or_default().affinity = Some(affinity.clone());
+            }
+            TraceEvent::Dequeue { tid, cpu: _ } => {
+                let task = tasks.entry(tid).or_default();
+                if task.state != Some(St::Runnable) {
+                    v.push(fail(
+                        i,
+                        t,
+                        InvariantKind::StateMachine,
+                        format!("task {tid} dequeued from state {:?}", task.state),
+                    ));
+                }
+                task.state = Some(St::NotQueued);
+            }
+            TraceEvent::Enqueue { tid, cpu } => {
+                let task = tasks.entry(tid).or_default();
+                match task.state {
+                    Some(St::NotQueued) => {}
+                    other => v.push(fail(
+                        i,
+                        t,
+                        InvariantKind::StateMachine,
+                        format!("task {tid} enqueued from state {other:?}"),
+                    )),
+                }
+                if let Some(aff) = &task.affinity {
+                    if !aff.contains(cpu) {
+                        v.push(fail(
+                            i,
+                            t,
+                            InvariantKind::Affinity,
+                            format!(
+                                "task {tid} enqueued on cpu{cpu} outside affinity {}",
+                                aff.to_list_string()
+                            ),
+                        ));
+                    }
+                }
+                task.state = Some(St::Runnable);
+            }
+            TraceEvent::Steal { tid, from: _, to } => {
+                let task = tasks.entry(tid).or_default();
+                if task.state != Some(St::Runnable) {
+                    v.push(fail(
+                        i,
+                        t,
+                        InvariantKind::StateMachine,
+                        format!("stolen task {tid} was not runnable ({:?})", task.state),
+                    ));
+                }
+                if let Some(aff) = &task.affinity {
+                    if !aff.contains(to) {
+                        v.push(fail(
+                            i,
+                            t,
+                            InvariantKind::Affinity,
+                            format!(
+                                "task {tid} stolen to cpu{to} outside affinity {}",
+                                aff.to_list_string()
+                            ),
+                        ));
+                    }
+                }
+            }
+            TraceEvent::Migrate { tid, from, to } => {
+                let task = tasks.entry(tid).or_default();
+                if task.last_cpu.is_some() && task.last_cpu != Some(from) {
+                    v.push(fail(
+                        i,
+                        t,
+                        InvariantKind::StateMachine,
+                        format!(
+                            "task {tid} migration claims from cpu{from} but last ran on {:?}",
+                            task.last_cpu
+                        ),
+                    ));
+                }
+                if let Some(aff) = &task.affinity {
+                    if !aff.contains(to) {
+                        v.push(fail(
+                            i,
+                            t,
+                            InvariantKind::Affinity,
+                            format!(
+                                "task {tid} migrated to cpu{to} outside affinity {}",
+                                aff.to_list_string()
+                            ),
+                        ));
+                    }
+                }
+                task.migrations += 1;
+            }
+            TraceEvent::Dispatch { tid, cpu } => {
+                if let Some(&other) = cpu_current.get(&cpu) {
+                    v.push(fail(
+                        i,
+                        t,
+                        InvariantKind::SingleResidency,
+                        format!("cpu{cpu} dispatched task {tid} while running task {other}"),
+                    ));
+                }
+                let task = tasks.entry(tid).or_default();
+                if task.state != Some(St::Runnable) {
+                    v.push(fail(
+                        i,
+                        t,
+                        InvariantKind::StateMachine,
+                        format!("task {tid} dispatched from state {:?}", task.state),
+                    ));
+                }
+                if let Some(prev) = task.on_cpu {
+                    v.push(fail(
+                        i,
+                        t,
+                        InvariantKind::SingleResidency,
+                        format!("task {tid} dispatched on cpu{cpu} while still on cpu{prev}"),
+                    ));
+                }
+                if let Some(aff) = &task.affinity {
+                    if !aff.contains(cpu) {
+                        v.push(fail(
+                            i,
+                            t,
+                            InvariantKind::Affinity,
+                            format!(
+                                "task {tid} dispatched on cpu{cpu} outside affinity {}",
+                                aff.to_list_string()
+                            ),
+                        ));
+                    }
+                }
+                task.state = Some(St::Running);
+                task.on_cpu = Some(cpu);
+                task.last_cpu = Some(cpu);
+                task.dispatches += 1;
+                cpu_current.insert(cpu, tid);
+            }
+            TraceEvent::JiffyCharge { tid, cpu, kind, us } => {
+                let occupant = cpu_current.get(&cpu).copied();
+                if occupant != Some(tid) {
+                    v.push(fail(
+                        i,
+                        t,
+                        InvariantKind::ChargeAttribution,
+                        format!(
+                            "task {tid} charged {us}us on cpu{cpu}, but that cpu runs {occupant:?}"
+                        ),
+                    ));
+                }
+                let task = tasks.entry(tid).or_default();
+                if task.last_charge_t == Some(t) {
+                    v.push(fail(
+                        i,
+                        t,
+                        InvariantKind::SingleResidency,
+                        format!("task {tid} charged twice in the tick at {t}us"),
+                    ));
+                }
+                task.last_charge_t = Some(t);
+                if cpu_last_charge.get(&cpu) == Some(&t) {
+                    v.push(fail(
+                        i,
+                        t,
+                        InvariantKind::SingleResidency,
+                        format!("cpu{cpu} issued two charges in the tick at {t}us"),
+                    ));
+                }
+                cpu_last_charge.insert(cpu, t);
+                match kind {
+                    ChargeKind::User => {
+                        task.utime_us += us;
+                        *cpu_user.entry(cpu).or_insert(0) += us;
+                    }
+                    ChargeKind::System => {
+                        task.stime_us += us;
+                        *cpu_system.entry(cpu).or_insert(0) += us;
+                    }
+                }
+            }
+            TraceEvent::Preempt { tid, cpu }
+            | TraceEvent::Block { tid, cpu }
+            | TraceEvent::Deschedule { tid, cpu }
+            | TraceEvent::Exit { tid, cpu } => {
+                let task = tasks.entry(tid).or_default();
+                if task.state != Some(St::Running) || task.on_cpu != Some(cpu) {
+                    v.push(fail(
+                        i,
+                        t,
+                        InvariantKind::StateMachine,
+                        format!(
+                            "task {tid} left cpu{cpu} ({:?}) but was {:?} on {:?}",
+                            rec.ev, task.state, task.on_cpu
+                        ),
+                    ));
+                }
+                task.on_cpu = None;
+                match rec.ev {
+                    TraceEvent::Preempt { .. } => {
+                        task.preempts += 1;
+                        ctxt += 1;
+                        task.state = Some(St::Runnable);
+                    }
+                    TraceEvent::Block { .. } => {
+                        task.blocks += 1;
+                        ctxt += 1;
+                        task.state = Some(St::Blocked);
+                    }
+                    TraceEvent::Deschedule { .. } => task.state = Some(St::NotQueued),
+                    _ => task.state = Some(St::Exited),
+                }
+                if cpu_current.get(&cpu) == Some(&tid) {
+                    cpu_current.remove(&cpu);
+                }
+            }
+            TraceEvent::Wake { tid, waker_cpu: _ } => {
+                let task = tasks.entry(tid).or_default();
+                if task.state != Some(St::Blocked) {
+                    v.push(fail(
+                        i,
+                        t,
+                        InvariantKind::StateMachine,
+                        format!("task {tid} woken from state {:?}", task.state),
+                    ));
+                }
+                task.state = Some(St::NotQueued);
+            }
+            TraceEvent::GpuEnqueue {
+                tid,
+                device,
+                kernel_us: _,
+                complete_at_us,
+            } => {
+                gpu_pending.insert((tid, device), complete_at_us);
+            }
+            TraceEvent::GpuComplete { tid, device } => match gpu_pending.remove(&(tid, device)) {
+                None => v.push(fail(
+                    i,
+                    t,
+                    InvariantKind::GpuCausality,
+                    format!("completion for task {tid} dev{device} without an enqueue"),
+                )),
+                Some(done) if t < done => v.push(fail(
+                    i,
+                    t,
+                    InvariantKind::GpuCausality,
+                    format!(
+                        "completion for task {tid} dev{device} at {t}us, before its \
+                         declared completion time {done}us"
+                    ),
+                )),
+                Some(_) => {}
+            },
+        }
+    }
+
+    // ----- reconciliation against the audit -------------------------------
+
+    let snap = |msg: String, kind: InvariantKind| Violation {
+        index: None,
+        t_us: audit.now_us,
+        kind,
+        message: msg,
+    };
+
+    for &(cpu, user, system, idle) in &audit.cpus {
+        let total = user + system + idle;
+        if total != audit.now_us {
+            v.push(snap(
+                format!(
+                    "cpu{cpu}: user {user} + system {system} + idle {idle} = {total}us, \
+                     but the clock reads {}us",
+                    audit.now_us
+                ),
+                InvariantKind::Conservation,
+            ));
+        }
+        let ru = cpu_user.get(&cpu).copied().unwrap_or(0);
+        let rs = cpu_system.get(&cpu).copied().unwrap_or(0);
+        if ru != user || rs != system {
+            v.push(snap(
+                format!(
+                    "cpu{cpu}: trace charges sum to user {ru}us / system {rs}us, \
+                     but the simulator accounts user {user}us / system {system}us"
+                ),
+                InvariantKind::Conservation,
+            ));
+        }
+    }
+
+    if ctxt != audit.ctxt_total {
+        v.push(snap(
+            format!(
+                "global context switches: trace shows {ctxt} (preempts + blocks), \
+                 simulator counted {}",
+                audit.ctxt_total
+            ),
+            InvariantKind::CounterMismatch,
+        ));
+    }
+
+    for ta in &audit.tasks {
+        let Some(rep) = tasks.get(&ta.tid) else {
+            v.push(snap(
+                format!(
+                    "task {} appears in the audit but never in the trace",
+                    ta.tid
+                ),
+                InvariantKind::CounterMismatch,
+            ));
+            continue;
+        };
+        let c = &ta.counters;
+        let pairs: [(&str, u64, u64); 6] = [
+            ("utime_us", rep.utime_us, c.utime_us),
+            ("stime_us", rep.stime_us, c.stime_us),
+            ("nvcsw", rep.preempts, c.nvcsw),
+            ("vcsw", rep.blocks, c.vcsw),
+            ("migrations", rep.migrations, c.migrations),
+            ("dispatches", rep.dispatches, c.dispatches),
+        ];
+        for (name, replayed, counted) in pairs {
+            if replayed != counted {
+                v.push(snap(
+                    format!(
+                        "task {} ({}): replayed {name} = {replayed}, counter says {counted}",
+                        ta.tid, ta.name
+                    ),
+                    InvariantKind::CounterMismatch,
+                ));
+            }
+        }
+        let replay_exited = rep.state == Some(St::Exited);
+        if replay_exited != ta.exited {
+            v.push(snap(
+                format!(
+                    "task {} ({}): trace ends with exited={replay_exited}, audit says {}",
+                    ta.tid, ta.name, ta.exited
+                ),
+                InvariantKind::CounterMismatch,
+            ));
+        }
+    }
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerosum_sched::{TaskAudit, TaskCounters, TraceEvent as E, TraceRecord as R};
+
+    fn rec(t_us: u64, ev: E) -> R {
+        R { t_us, ev }
+    }
+
+    fn tiny_trace() -> Vec<R> {
+        vec![
+            rec(
+                0,
+                E::Spawn {
+                    tid: 5,
+                    pid: 1,
+                    affinity: CpuSet::from_iter([0u32, 1]),
+                },
+            ),
+            rec(0, E::Enqueue { tid: 5, cpu: 0 }),
+            rec(0, E::Dispatch { tid: 5, cpu: 0 }),
+            rec(
+                0,
+                E::JiffyCharge {
+                    tid: 5,
+                    cpu: 0,
+                    kind: ChargeKind::User,
+                    us: 50,
+                },
+            ),
+            rec(50, E::Exit { tid: 5, cpu: 0 }),
+        ]
+    }
+
+    fn tiny_audit() -> SimAudit {
+        SimAudit {
+            now_us: 100,
+            tick_us: 50,
+            ctxt_total: 0,
+            cpus: vec![(0, 50, 0, 50), (1, 0, 0, 100)],
+            tasks: vec![TaskAudit {
+                tid: 5,
+                pid: 1,
+                name: "t".into(),
+                affinity: CpuSet::from_iter([0u32, 1]),
+                counters: TaskCounters {
+                    utime_us: 50,
+                    dispatches: 1,
+                    ..Default::default()
+                },
+                exited: true,
+                service: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn clean_trace_has_no_violations() {
+        let v = check_invariants(&tiny_trace(), &tiny_audit());
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn dropped_charge_is_flagged_on_both_sides() {
+        let mut trace = tiny_trace();
+        trace.remove(3); // lose the JiffyCharge
+        let v = check_invariants(&trace, &tiny_audit());
+        assert!(v.iter().any(|x| x.kind == InvariantKind::Conservation));
+        assert!(v
+            .iter()
+            .any(|x| x.kind == InvariantKind::CounterMismatch && x.message.contains("utime_us")));
+    }
+
+    #[test]
+    fn off_affinity_dispatch_is_flagged() {
+        let mut trace = tiny_trace();
+        trace.insert(
+            1,
+            rec(
+                0,
+                E::AffinityChange {
+                    tid: 5,
+                    affinity: CpuSet::single(1),
+                },
+            ),
+        );
+        let v = check_invariants(&trace, &tiny_audit());
+        assert!(v.iter().any(|x| x.kind == InvariantKind::Affinity));
+    }
+
+    #[test]
+    fn premature_gpu_completion_is_flagged() {
+        let trace = vec![
+            rec(
+                0,
+                E::Spawn {
+                    tid: 5,
+                    pid: 1,
+                    affinity: CpuSet::single(0),
+                },
+            ),
+            rec(0, E::Enqueue { tid: 5, cpu: 0 }),
+            rec(0, E::Dispatch { tid: 5, cpu: 0 }),
+            rec(
+                0,
+                E::GpuEnqueue {
+                    tid: 5,
+                    device: 0,
+                    kernel_us: 500,
+                    complete_at_us: 500,
+                },
+            ),
+            rec(0, E::Block { tid: 5, cpu: 0 }),
+            rec(100, E::GpuComplete { tid: 5, device: 0 }),
+        ];
+        let audit = SimAudit {
+            now_us: 100,
+            tick_us: 50,
+            ctxt_total: 1,
+            cpus: vec![(0, 0, 0, 100)],
+            tasks: vec![],
+        };
+        let v = check_invariants(&trace, &audit);
+        assert!(v.iter().any(|x| x.kind == InvariantKind::GpuCausality));
+    }
+}

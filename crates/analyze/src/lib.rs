@@ -1,0 +1,27 @@
+//! Dynamic and static analysis for the ZeroSum reproduction.
+//!
+//! Two halves:
+//!
+//! * **Dynamic trace checking** ([`hb`], [`invariants`], [`scenarios`])
+//!   — runs the paper's experiment harnesses with scheduler tracing on,
+//!   then proves the resulting event log self-consistent: a vector-clock
+//!   happens-before race detector over scheduler metadata, and an
+//!   invariant engine reconciling the replayed trace against the
+//!   simulator's final counters (jiffy conservation, single residency,
+//!   affinity, context-switch totals, GPU causality).
+//! * **Source linting** ([`lint`]) — repo-specific rules run by the
+//!   `zslint` binary: no panics in monitor hot paths, no wall-clock in
+//!   the scheduler substrate, no prints in library crates.
+//!
+//! Entry points: `zerosum analyze` (CLI) and
+//! `cargo run -p zerosum-analyze --bin zslint`.
+
+pub mod hb;
+pub mod invariants;
+pub mod lint;
+pub mod scenarios;
+
+pub use hb::{detect_races, Race, VectorClock, KERNEL_CTX};
+pub use invariants::{check_invariants, InvariantKind, Violation};
+pub use lint::{find_workspace_root, lint_repo, lint_source, LintViolation, Rule};
+pub use scenarios::{check_comm_matrix, check_trace, run_all, ScenarioReport};

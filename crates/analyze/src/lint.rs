@@ -1,0 +1,426 @@
+//! `zslint`: repo-specific source lints for the ZeroSum tree.
+//!
+//! Three rules, each encoding a project constraint that `clippy` cannot
+//! express:
+//!
+//! * **no-panic-hot-path** — `unwrap()` / `expect(` are banned in the
+//!   monitor's per-sample hot paths (`crates/core/src/monitor.rs`,
+//!   `lwp.rs`, `hwt.rs`, `feed.rs`). A monitoring tool must never take
+//!   down the application it watches (§3.1 of the paper): a malformed
+//!   `/proc` line or a closed channel is data, not a crash.
+//! * **no-wall-clock-in-sched** — `Instant::now` / `SystemTime::now`
+//!   are banned everywhere in `crates/sched`. The scheduler substrate is
+//!   a deterministic virtual-time simulation; one wall-clock read makes
+//!   runs irreproducible and breaks the trace checker's replay.
+//! * **no-print-in-lib** — `println!` / `eprintln!` are banned in
+//!   library code (everything except `src/main.rs`, `src/bin/`,
+//!   examples, benches, and tests). Libraries report through return
+//!   values or the caller-provided sink; direct prints also panic when
+//!   stdio is closed, violating rule one transitively.
+//!
+//! The scanner is purely textual but comment/string aware: it strips
+//! `//` comments, block comments, string and char literals, and skips
+//! `#[cfg(test)] mod … { … }` regions by brace counting, so test code
+//! may use `unwrap()` freely.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `unwrap()`/`expect(` in a monitor hot-path file.
+    NoPanicHotPath,
+    /// Wall-clock reads inside the scheduler simulation.
+    NoWallClockInSched,
+    /// `println!`/`eprintln!` in library code.
+    NoPrintInLib,
+}
+
+impl Rule {
+    /// The rule's stable identifier, shown in diagnostics.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NoPanicHotPath => "no-panic-hot-path",
+            Rule::NoWallClockInSched => "no-wall-clock-in-sched",
+            Rule::NoPrintInLib => "no-print-in-lib",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct LintViolation {
+    /// File the finding is in (relative to the scanned root).
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// The offending token.
+    pub token: String,
+}
+
+impl fmt::Display for LintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] `{}` is not allowed here",
+            self.path.display(),
+            self.line,
+            self.rule.id(),
+            self.token
+        )
+    }
+}
+
+/// Replaces comments, string literals, and char literals with spaces,
+/// preserving line structure so reported line numbers stay exact.
+fn strip_noncode(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let n = b.len();
+    let keep_ws = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < n {
+        let c = b[i];
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+        } else if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(keep_ws(b[i]));
+                    i += 1;
+                }
+            }
+        } else if c == '"' {
+            // Raw strings: look back for r/r#…# prefix already emitted.
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(keep_ws(b[i]));
+                    i += 1;
+                }
+            }
+        } else if c == '\'' && i + 2 < n && (b[i + 1] == '\\' || b[i + 2] == '\'') {
+            // Char literal (not a lifetime): 'x' or '\n' etc.
+            out.push(' ');
+            i += 1;
+            while i < n && b[i] != '\'' {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(keep_ws(b[i]));
+                    i += 1;
+                }
+            }
+            if i < n {
+                out.push(' ');
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Blanks out `#[cfg(test)] mod … { … }` regions (and `#[cfg(all(test,
+/// …))]` variants) by brace counting, so in-file unit tests are not
+/// linted.
+fn strip_test_mods(stripped: &str) -> String {
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut keep: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    let mut i = 0;
+    while i < lines.len() {
+        let t = lines[i].trim_start();
+        let is_test_attr = t.starts_with("#[cfg(test)]")
+            || (t.starts_with("#[cfg(all(test") && t.contains("test"));
+        if is_test_attr {
+            // Find the `mod`'s opening brace, then blank until it closes.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                for ch in lines[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                keep[j] = String::new();
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    keep.join("\n")
+}
+
+fn scan_text(rel: &Path, src: &str, rules: &[Rule]) -> Vec<LintViolation> {
+    let code = strip_test_mods(&strip_noncode(src));
+    let mut out = Vec::new();
+    for (lineno, line) in code.lines().enumerate() {
+        for &rule in rules {
+            let tokens: &[&str] = match rule {
+                Rule::NoPanicHotPath => &[".unwrap()", ".expect("],
+                Rule::NoWallClockInSched => &["Instant::now", "SystemTime::now"],
+                Rule::NoPrintInLib => &["println!", "eprintln!", "print!", "eprint!"],
+            };
+            for tok in tokens {
+                if let Some(_pos) = line.find(tok) {
+                    // `print!`/`eprint!` must not also match `println!`.
+                    if (*tok == "print!" && line.contains("println!"))
+                        || (*tok == "eprint!" && line.contains("eprintln!"))
+                    {
+                        continue;
+                    }
+                    out.push(LintViolation {
+                        path: rel.to_path_buf(),
+                        line: lineno + 1,
+                        rule,
+                        token: tok.trim_start_matches('.').to_string(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The monitor hot-path files covered by [`Rule::NoPanicHotPath`].
+const HOT_PATHS: [&str; 4] = [
+    "crates/core/src/monitor.rs",
+    "crates/core/src/lwp.rs",
+    "crates/core/src/hwt.rs",
+    "crates/core/src/feed.rs",
+];
+
+fn is_library_source(rel: &Path) -> bool {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    if !s.starts_with("crates/") && !s.starts_with("src/") {
+        return false;
+    }
+    if s.contains("/bin/") || s.ends_with("/main.rs") || s == "src/main.rs" {
+        return false;
+    }
+    if s.contains("/tests/") || s.contains("/examples/") || s.contains("/benches/") {
+        return false;
+    }
+    s.ends_with(".rs")
+}
+
+fn rules_for(rel: &Path) -> Vec<Rule> {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    let mut rules = Vec::new();
+    if HOT_PATHS.contains(&s.as_str()) {
+        rules.push(Rule::NoPanicHotPath);
+    }
+    if s.starts_with("crates/sched/src/") {
+        rules.push(Rule::NoWallClockInSched);
+    }
+    if is_library_source(rel) {
+        rules.push(Rule::NoPrintInLib);
+    }
+    rules
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one source text as if it lived at `rel` inside the repo.
+/// Exposed for testing the rules against seeded violations.
+pub fn lint_source(rel: &Path, src: &str) -> Vec<LintViolation> {
+    let rules = rules_for(rel);
+    if rules.is_empty() {
+        return Vec::new();
+    }
+    scan_text(rel, src, &rules)
+}
+
+/// Lints the whole repository rooted at `root`. Returns violations
+/// sorted by path and line.
+pub fn lint_repo(root: &Path) -> std::io::Result<Vec<LintViolation>> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    let mut out = Vec::new();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let rules = rules_for(&rel);
+        if rules.is_empty() {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path)?;
+        out.extend(scan_text(&rel, &src, &rules));
+    }
+    out.sort_by(|a, b| a.path.cmp(&b.path).then(a.line.cmp(&b.line)));
+    Ok(out)
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_hot_path_is_flagged() {
+        let v = lint_source(
+            Path::new("crates/core/src/lwp.rs"),
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoPanicHotPath);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn expect_in_hot_path_is_flagged() {
+        let v = lint_source(
+            Path::new("crates/core/src/feed.rs"),
+            "fn f(x: Option<u32>) -> u32 {\n    x.expect(\"boom\")\n}\n",
+        );
+        assert!(v
+            .iter()
+            .any(|x| x.rule == Rule::NoPanicHotPath && x.line == 2));
+    }
+
+    #[test]
+    fn unwrap_outside_hot_path_is_allowed() {
+        let v = lint_source(
+            Path::new("crates/core/src/config.rs"),
+            "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_test_mod_is_allowed() {
+        let src = "\
+fn ok() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+    }
+}
+";
+        let v = lint_source(Path::new("crates/core/src/lwp.rs"), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn wall_clock_in_sched_is_flagged() {
+        let v = lint_source(
+            Path::new("crates/sched/src/node.rs"),
+            "fn f() { let _t = std::time::Instant::now(); }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::NoWallClockInSched);
+    }
+
+    #[test]
+    fn println_in_lib_is_flagged_but_not_in_main() {
+        let src = "fn f() { println!(\"hi\"); }\n";
+        let v = lint_source(Path::new("crates/core/src/monitor.rs"), src);
+        assert!(v.iter().any(|x| x.rule == Rule::NoPrintInLib));
+        assert!(lint_source(Path::new("crates/cli/src/main.rs"), src).is_empty());
+        assert!(lint_source(Path::new("crates/analyze/src/bin/zslint.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn prints_in_comments_and_strings_are_ignored() {
+        let src = "\
+// println!(\"not code\")
+fn f() -> &'static str {
+    \"eprintln!(no)\"
+}
+/* println! */
+";
+        let v = lint_source(Path::new("crates/core/src/monitor.rs"), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn shipped_tree_is_clean() {
+        let root =
+            find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+        let v = lint_repo(&root).expect("lint");
+        assert!(
+            v.is_empty(),
+            "shipped tree has lint violations:\n{}",
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -42,7 +42,7 @@ impl PicConfig {
             reduce_every: 10,
             background_per_step: 16,
             background_bytes: 64 * 1024,
-            seed: 0xF16_5,
+            seed: 0xF165,
         }
     }
 

@@ -13,9 +13,7 @@ use zerosum_experiments::listings::{listing1, listing2};
 use zerosum_experiments::tables::{run_table, TableConfig};
 
 fn bench_listing1(c: &mut Criterion) {
-    c.bench_function("listing1_render", |b| {
-        b.iter(|| black_box(listing1()))
-    });
+    c.bench_function("listing1_render", |b| b.iter(|| black_box(listing1())));
 }
 
 fn bench_listing2(c: &mut Criterion) {

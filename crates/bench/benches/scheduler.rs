@@ -80,7 +80,11 @@ fn bench_proc_source(c: &mut Criterion) {
             for &pid in &pids {
                 for tid in src.list_tasks(pid).unwrap() {
                     black_box(src.task_stat(pid, tid).unwrap().utime);
-                    black_box(src.task_status(pid, tid).unwrap().nonvoluntary_ctxt_switches);
+                    black_box(
+                        src.task_status(pid, tid)
+                            .unwrap()
+                            .nonvoluntary_ctxt_switches,
+                    );
                 }
             }
             black_box(src.meminfo().unwrap().mem_available_kib)
@@ -105,13 +109,7 @@ fn bench_spawn(c: &mut Criterion) {
                         },
                     );
                     for _ in 0..8 {
-                        sim.spawn_task(
-                            pid,
-                            "w",
-                            None,
-                            Behavior::Sleeper,
-                            true,
-                        );
+                        sim.spawn_task(pid, "w", None, Behavior::Sleeper, true);
                     }
                 }
                 black_box(sim.pids().len())

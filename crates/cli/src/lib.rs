@@ -14,8 +14,7 @@
 use std::path::PathBuf;
 use std::process::Command;
 use zerosum_core::{
-    analyze, evaluate, export, render_findings, render_process_report, SelfMonitor,
-    ZeroSumConfig,
+    analyze, evaluate, export, render_findings, render_process_report, SelfMonitor, ZeroSumConfig,
 };
 
 /// Parsed command line.
@@ -195,7 +194,10 @@ pub fn run(opts: &CliOptions) -> Result<WrapOutcome, String> {
                             m.stats.rounds
                         )
                     });
-                    eprintln!("{line}");
+                    // Direct write: a closed stderr must not kill the
+                    // wrapper (`eprintln!` would panic).
+                    use std::io::Write as _;
+                    let _ = writeln!(std::io::stderr(), "{line}");
                 }
             }
         }

@@ -3,6 +3,13 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Subcommands are dispatched before wrapper parsing, which treats
+    // the first non-flag token as the command to launch.
+    match args.first().map(String::as_str) {
+        Some("analyze") => std::process::exit(run_analyze(&args[1..])),
+        Some("lint") => std::process::exit(run_lint()),
+        _ => {}
+    }
     let opts = match zerosum_cli::parse_args(&args) {
         Ok(o) => o,
         Err(e) => {
@@ -26,6 +33,132 @@ fn main() {
         Err(e) => {
             eprintln!("zerosum: {e}");
             std::process::exit(1);
+        }
+    }
+}
+
+/// `zerosum analyze [--scale N] [--seed N] [--scenario NAME]` — run the
+/// paper scenarios under the trace checker. Exit 0 iff every scenario
+/// is clean.
+fn run_analyze(args: &[String]) -> i32 {
+    let mut scale: u32 = 100;
+    let mut seed: u64 = 1;
+    let mut scenario: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>, flag: &str| match it.next() {
+            Some(v) => Ok(v.clone()),
+            None => Err(format!("{flag} requires a value")),
+        };
+        let parsed = match arg.as_str() {
+            "--scale" => value(&mut it, "--scale").and_then(|v| {
+                v.parse()
+                    .map(|s| scale = s)
+                    .map_err(|e| format!("--scale: {e}"))
+            }),
+            "--seed" => value(&mut it, "--seed").and_then(|v| {
+                v.parse()
+                    .map(|s| seed = s)
+                    .map_err(|e| format!("--seed: {e}"))
+            }),
+            "--scenario" => value(&mut it, "--scenario").map(|v| scenario = Some(v)),
+            "--help" | "-h" => {
+                println!("usage: zerosum analyze [--scale N] [--seed N] [--scenario NAME]");
+                println!("scenarios: table1 table2 table3 fig67 fig8-smt1 fig8-smt2 fig5");
+                return 0;
+            }
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("zerosum analyze: {e}");
+            return 2;
+        }
+    }
+    let reports = match scenario.as_deref() {
+        None => zerosum_analyze::run_all(scale, seed),
+        Some(name) => match run_one_scenario(name, scale, seed) {
+            Some(r) => vec![r],
+            None => {
+                eprintln!("zerosum analyze: unknown scenario {name:?}");
+                return 2;
+            }
+        },
+    };
+    let mut clean = true;
+    for r in &reports {
+        print!("{}", r.render());
+        clean &= r.clean();
+    }
+    if clean {
+        println!("analyze: all scenarios clean");
+        0
+    } else {
+        println!("analyze: FAILED");
+        1
+    }
+}
+
+fn run_one_scenario(name: &str, scale: u32, seed: u64) -> Option<zerosum_analyze::ScenarioReport> {
+    use zerosum_experiments::figures::{fig5, fig67_traced, fig8_traced_run};
+    use zerosum_experiments::tables::{run_table_traced, TableConfig};
+    let config = match name {
+        "table1" => Some(TableConfig::Table1),
+        "table2" => Some(TableConfig::Table2),
+        "table3" => Some(TableConfig::Table3),
+        _ => None,
+    };
+    if let Some(config) = config {
+        let (_, trace, audit) = run_table_traced(config, scale, seed);
+        return Some(zerosum_analyze::check_trace(name, &trace, &audit));
+    }
+    match name {
+        "fig67" => {
+            let (_, trace, audit) = fig67_traced(scale.max(150), seed);
+            Some(zerosum_analyze::check_trace(name, &trace, &audit))
+        }
+        "fig8-smt1" | "fig8-smt2" => {
+            let (_, trace, audit) = fig8_traced_run(name.ends_with("smt2"), scale, seed);
+            Some(zerosum_analyze::check_trace(name, &trace, &audit))
+        }
+        "fig5" => {
+            let run = fig5(&zerosum_apps::PicConfig::small());
+            Some(zerosum_analyze::check_comm_matrix(name, &run.matrix))
+        }
+        _ => None,
+    }
+}
+
+/// `zerosum lint` — run the repo lint pass from the workspace root.
+fn run_lint() -> i32 {
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("zerosum lint: {e}");
+            return 2;
+        }
+    };
+    let Some(root) = zerosum_analyze::find_workspace_root(&cwd) else {
+        eprintln!(
+            "zerosum lint: no workspace root found above {}",
+            cwd.display()
+        );
+        return 2;
+    };
+    match zerosum_analyze::lint_repo(&root) {
+        Ok(v) if v.is_empty() => {
+            println!("lint: clean ({})", root.display());
+            0
+        }
+        Ok(v) => {
+            for x in &v {
+                println!("{x}");
+            }
+            println!("lint: {} violation(s)", v.len());
+            1
+        }
+        Err(e) => {
+            eprintln!("zerosum lint: {e}");
+            2
         }
     }
 }

@@ -9,9 +9,9 @@
 
 use crate::config::ZeroSumConfig;
 use crate::monitor::{Monitor, ProcessInfo};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 use zerosum_proc::{LinuxProc, ProcSource as _, SourceError};
 
@@ -21,6 +21,12 @@ pub struct SelfMonitor {
     shared: Arc<Mutex<Monitor>>,
     handle: Option<std::thread::JoinHandle<()>>,
     started: Instant,
+}
+
+/// Locks a mutex, recovering the data if a panicking holder poisoned it
+/// (the monitor must keep working even if the monitored app misbehaves).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Reads the node hostname from `/proc` (no libc).
@@ -84,7 +90,7 @@ impl SelfMonitor {
                     loop {
                         {
                             let t_s = started.elapsed().as_secs_f64();
-                            shared.lock().sample(t_s, &src);
+                            lock_unpoisoned(&shared).sample(t_s, &src);
                         }
                         // Sleep in short slices so stop() is responsive.
                         let mut remaining = period;
@@ -119,7 +125,7 @@ impl SelfMonitor {
     /// Runs `f` against the monitor's current state (e.g. for live
     /// heartbeats or steering exports, §3.6).
     pub fn with_monitor<R>(&self, f: impl FnOnce(&Monitor) -> R) -> R {
-        f(&self.shared.lock())
+        f(&lock_unpoisoned(&self.shared))
     }
 
     /// Stops the background thread, takes a final sample, and returns the
@@ -131,7 +137,7 @@ impl SelfMonitor {
         }
         let duration = self.started.elapsed().as_secs_f64();
         let mut monitor = std::mem::replace(
-            &mut *self.shared.lock(),
+            &mut *lock_unpoisoned(&self.shared),
             Monitor::new(ZeroSumConfig::default()),
         );
         monitor.sample(duration, &LinuxProc::new());
@@ -168,12 +174,8 @@ mod tests {
             acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
         }
         std::hint::black_box(acc);
-        let live_threads = sm.with_monitor(|m| {
-            m.processes()
-                .first()
-                .map(|w| w.lwps.len())
-                .unwrap_or(0)
-        });
+        let live_threads =
+            sm.with_monitor(|m| m.processes().first().map(|w| w.lwps.len()).unwrap_or(0));
         let (mon, dur) = sm.stop();
         assert!(dur >= 0.3);
         let w = &mon.processes()[0];

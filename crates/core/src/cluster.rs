@@ -142,8 +142,7 @@ impl ClusterMonitor {
         }
         let ranks: usize = aggs.iter().map(|a| a.ranks).sum();
         let nvcsw: u64 = aggs.iter().map(|a| a.total_nvcsw).sum();
-        let user =
-            aggs.iter().map(|a| a.mean_user_pct).sum::<f64>() / aggs.len() as f64;
+        let user = aggs.iter().map(|a| a.mean_user_pct).sum::<f64>() / aggs.len() as f64;
         writeln!(
             out,
             "TOTAL: {} node(s), {} rank(s), mean user {:.2}%, nv_ctx {}",

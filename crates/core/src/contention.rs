@@ -125,7 +125,11 @@ fn analyze_watch(watch: &ProcessWatch, monitor: &Monitor) -> ContentionReport {
                 tid: t.tid,
                 nvcsw: t.total_nvcsw(),
                 vcsw: t.total_vcsw(),
-                sys_share_pct: if u + s > 0.0 { s * 100.0 / (u + s) } else { 0.0 },
+                sys_share_pct: if u + s > 0.0 {
+                    s * 100.0 / (u + s)
+                } else {
+                    0.0
+                },
                 overlaps_with,
                 busy: is_busy,
                 wait_s: t.total_wait_s(),
@@ -202,9 +206,9 @@ impl ContentionReport {
             MemPressureSource::Application => {
                 out.push_str("  MEMORY: application near node memory limit\n")
             }
-            MemPressureSource::External => out.push_str(
-                "  MEMORY: node memory exhausted by processes outside this job\n",
-            ),
+            MemPressureSource::External => {
+                out.push_str("  MEMORY: node memory exhausted by processes outside this job\n")
+            }
         }
         out
     }
@@ -213,11 +217,11 @@ impl ContentionReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use zerosum_topology::CpuSet;
     use crate::config::ZeroSumConfig;
     use crate::monitor::ProcessInfo;
     use zerosum_sched::{Behavior, NodeSim, SchedParams, SimProcSource};
     use zerosum_topology::presets;
+    use zerosum_topology::CpuSet;
 
     fn run_case(shared_core: bool) -> (Monitor, Pid) {
         let mut sim = NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());

@@ -121,7 +121,11 @@ impl Finding {
     /// The explanation shown to the user.
     pub fn explain(&self) -> String {
         match self {
-            Finding::OversubscribedHwts { pid, ratio, example_hwt } => {
+            Finding::OversubscribedHwts {
+                pid,
+                ratio,
+                example_hwt,
+            } => {
                 let mut s = format!(
                     "process {pid}: {ratio:.1} busy threads per allowed hardware thread — \
                      the OS is time-slicing threads"
@@ -129,9 +133,7 @@ impl Finding {
                 if let Some(h) = example_hwt {
                     write!(s, " (e.g. HWT {h})").unwrap();
                 }
-                s.push_str(
-                    "; request more cores per task (srun -c N) or reduce OMP_NUM_THREADS",
-                );
+                s.push_str("; request more cores per task (srun -c N) or reduce OMP_NUM_THREADS");
                 s
             }
             Finding::UnderutilizedCpus { pid, cpus } => format!(
@@ -139,7 +141,11 @@ impl Finding {
                  allocation time is being wasted; increase concurrency or request fewer cores",
                 cpus.to_list_string()
             ),
-            Finding::UnboundThreads { pid, count, migrations } => format!(
+            Finding::UnboundThreads {
+                pid,
+                count,
+                migrations,
+            } => format!(
                 "process {pid}: {count} busy threads are not bound to cores \
                  ({migrations} migrations observed); consider OMP_PROC_BIND=spread \
                  OMP_PLACES=cores for stable placement"
@@ -149,7 +155,12 @@ impl Finding {
                  application thread {app_tid}; move it with the monitor-placement option \
                  if the core is saturated"
             ),
-            Finding::GpuNumaMismatch { pid, gpu, gpu_numa, proc_numas } => format!(
+            Finding::GpuNumaMismatch {
+                pid,
+                gpu,
+                gpu_numa,
+                proc_numas,
+            } => format!(
                 "process {pid}: GPU {gpu} is attached to NUMA domain {gpu_numa} but the \
                  process runs on domain(s) {proc_numas:?}; use --gpu-bind=closest or fix \
                  the visible-devices mapping"
@@ -158,7 +169,11 @@ impl Finding {
                 "process {pid}: thread(s) {tids:?} changed affinity after launch — \
                  verify the runtime's binding matches what the job script requested"
             ),
-            Finding::GpuMemoryPressure { gpu, used_peak, capacity } => format!(
+            Finding::GpuMemoryPressure {
+                gpu,
+                used_peak,
+                capacity,
+            } => format!(
                 "GPU {gpu}: peak device memory {:.2} GiB of {:.2} GiB ({:.0}%) — \
                  approaching exhaustion; reduce walkers/batch per rank",
                 *used_peak as f64 / (1u64 << 30) as f64,
@@ -192,12 +207,7 @@ pub fn evaluate(monitor: &Monitor, topo: &Topology) -> Vec<Finding> {
         };
         // Rule 1: oversubscription.
         if rep.oversubscription > 1.0 || rep.has_hwt_contention() {
-            let busy_tids: Vec<Tid> = rep
-                .lwps
-                .iter()
-                .filter(|l| l.busy)
-                .map(|l| l.tid)
-                .collect();
+            let busy_tids: Vec<Tid> = rep.lwps.iter().filter(|l| l.busy).map(|l| l.tid).collect();
             // Exclude the monitor-sharing special case when ratio ≤ 1.
             if rep.oversubscription > 1.0
                 || rep
@@ -320,8 +330,7 @@ pub fn evaluate_gpu_memory(
 ) -> Vec<Finding> {
     let mut out = Vec::new();
     for &(slot, phys, capacity) in devices {
-        let (_, _, peak) =
-            monitor.summary(slot, zerosum_gpu::GpuMetricKind::UsedVramBytes);
+        let (_, _, peak) = monitor.summary(slot, zerosum_gpu::GpuMetricKind::UsedVramBytes);
         if capacity > 0 && peak >= warn_frac * capacity as f64 {
             out.push(Finding::GpuMemoryPressure {
                 gpu: phys,
@@ -421,17 +430,19 @@ mod tests {
         let mask = CpuSet::parse_list("1-7").unwrap();
         let (mon, topo, _) = monitor_over(mask, &[], vec![]);
         let findings = evaluate(&mon, &topo);
-        assert!(findings.iter().any(|f| matches!(
-            f,
-            Finding::UnderutilizedCpus { cpus, .. } if cpus.count() >= 5
-        )), "findings: {findings:?}");
+        assert!(
+            findings.iter().any(|f| matches!(
+                f,
+                Finding::UnderutilizedCpus { cpus, .. } if cpus.count() >= 5
+            )),
+            "findings: {findings:?}"
+        );
     }
 
     #[test]
     fn unbound_busy_threads_are_informational() {
         let mask = CpuSet::parse_list("1-3").unwrap();
-        let (mon, topo, _) =
-            monitor_over(mask.clone(), &[mask.clone(), mask.clone()], vec![]);
+        let (mon, topo, _) = monitor_over(mask.clone(), &[mask.clone(), mask.clone()], vec![]);
         let findings = evaluate(&mon, &topo);
         assert!(findings
             .iter()
@@ -503,10 +514,8 @@ mod tests {
     fn gpu_memory_pressure_detection() {
         use zerosum_gpu::{GpuBackend, GpuMonitor, SmiSim, SyntheticFeed};
         // A device whose feed reports 60 of 64 GiB in use.
-        let mut backend = SmiSim::rocm_mi250x(
-            1,
-            Box::new(SyntheticFeed::uniform(1, 0.5, 60 << 30)),
-        );
+        let mut backend =
+            SmiSim::rocm_mi250x(1, Box::new(SyntheticFeed::uniform(1, 0.5, 60 << 30)));
         let mut gm = GpuMonitor::new(1);
         for _ in 0..3 {
             gm.poll(&mut backend, 1.0);
@@ -514,7 +523,11 @@ mod tests {
         let cap = 64u64 << 30;
         let findings = evaluate_gpu_memory(&gm, &[(0, 4, cap)], 0.9);
         match findings.as_slice() {
-            [Finding::GpuMemoryPressure { gpu: 4, used_peak, capacity }] => {
+            [Finding::GpuMemoryPressure {
+                gpu: 4,
+                used_peak,
+                capacity,
+            }] => {
                 assert_eq!(*capacity, cap);
                 assert!(*used_peak >= 60 << 30);
             }

@@ -5,13 +5,13 @@
 //! current state of the application" — feeding tools like LDMS, TAU, or
 //! a computational-steering loop. [`SampleFeed`] is that stream: any
 //! number of subscribers receive an immutable snapshot after every
-//! monitor sample over a bounded lock-free channel; slow consumers lose
-//! samples rather than ever stalling the monitor (the monitor's <0.5%
-//! budget must not depend on downstream readers).
+//! monitor sample over a bounded channel; slow consumers lose samples
+//! rather than ever stalling the monitor (the monitor's <0.5% budget
+//! must not depend on downstream readers).
 
 use crate::lwp::LwpKind;
 use crate::monitor::Monitor;
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use zerosum_proc::{Pid, TaskState, Tid};
 
@@ -65,7 +65,7 @@ pub struct SampleSnapshot {
 /// Fan-out publisher of [`SampleSnapshot`]s.
 #[derive(Default)]
 pub struct SampleFeed {
-    subscribers: Vec<Sender<Arc<SampleSnapshot>>>,
+    subscribers: Vec<SyncSender<Arc<SampleSnapshot>>>,
     /// Snapshots dropped because a subscriber's channel was full.
     pub dropped: u64,
 }
@@ -78,7 +78,7 @@ impl SampleFeed {
 
     /// Adds a subscriber with a buffer of `capacity` snapshots.
     pub fn subscribe(&mut self, capacity: usize) -> Receiver<Arc<SampleSnapshot>> {
-        let (tx, rx) = bounded(capacity.max(1));
+        let (tx, rx) = sync_channel(capacity.max(1));
         self.subscribers.push(tx);
         rx
     }
@@ -96,14 +96,15 @@ impl SampleFeed {
         }
         let snap = Arc::new(snap);
         let mut dropped = 0u64;
-        self.subscribers.retain(|tx| match tx.try_send(Arc::clone(&snap)) {
-            Ok(()) => true,
-            Err(TrySendError::Full(_)) => {
-                dropped += 1;
-                true
-            }
-            Err(TrySendError::Disconnected(_)) => false,
-        });
+        self.subscribers
+            .retain(|tx| match tx.try_send(Arc::clone(&snap)) {
+                Ok(()) => true,
+                Err(TrySendError::Full(_)) => {
+                    dropped += 1;
+                    true
+                }
+                Err(TrySendError::Disconnected(_)) => false,
+            });
         self.dropped += dropped;
     }
 }

@@ -8,11 +8,16 @@
 //! [`NodeSim`], feeds the per-window busy fractions to the backend, and
 //! folds the synthesized samples into a [`GpuMonitor`].
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use zerosum_gpu::{ActivityFeed, GpuMonitor, SmiSim};
 use zerosum_sched::NodeSim;
+
+/// Locks a mutex, recovering the data if a panicking holder poisoned it.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Shared per-slot `(busy_fraction, mem_used_bytes)` the runner updates
 /// and the backend reads.
@@ -29,11 +34,19 @@ pub struct SharedFeed {
 
 impl ActivityFeed for SharedFeed {
     fn busy_fraction(&mut self, device: u32) -> f64 {
-        self.data.lock().slots.get(&device).map(|v| v.0).unwrap_or(0.0)
+        lock_unpoisoned(&self.data)
+            .slots
+            .get(&device)
+            .map(|v| v.0)
+            .unwrap_or(0.0)
     }
 
     fn mem_used_bytes(&mut self, device: u32) -> u64 {
-        self.data.lock().slots.get(&device).map(|v| v.1).unwrap_or(0)
+        lock_unpoisoned(&self.data)
+            .slots
+            .get(&device)
+            .map(|v| v.1)
+            .unwrap_or(0)
     }
 }
 
@@ -65,7 +78,9 @@ impl SimGpuLink {
     /// Builds the link for the given physical `devices` on `stack`.
     pub fn new(stack: GpuStack, devices: Vec<u32>) -> Self {
         let data = Arc::new(Mutex::new(FrameData::default()));
-        let feed = Box::new(SharedFeed { data: Arc::clone(&data) });
+        let feed = Box::new(SharedFeed {
+            data: Arc::clone(&data),
+        });
         let n = devices.len();
         let backend = match stack {
             GpuStack::RocmMi250x => SmiSim::rocm_mi250x(n, feed),
@@ -92,7 +107,7 @@ impl SimGpuLink {
     /// device.
     pub fn poll(&mut self, sim: &mut NodeSim, dt_s: f64) {
         {
-            let mut data = self.data.lock();
+            let mut data = lock_unpoisoned(&self.data);
             for (slot, &phys) in self.devices.iter().enumerate() {
                 let snap = sim.device_snapshot(phys);
                 let delta = snap.busy_us.saturating_sub(self.prev_busy_us[slot]);
@@ -137,12 +152,7 @@ mod tests {
                 bytes: 4 << 30,
             }),
         };
-        sim.spawn_process(
-            "gpuapp",
-            CpuSet::single(1),
-            1_024,
-            Behavior::worker(spec),
-        );
+        sim.spawn_process("gpuapp", CpuSet::single(1), 1_024, Behavior::worker(spec));
         let mut link = SimGpuLink::new(GpuStack::RocmMi250x, vec![4, 5]);
         for _ in 0..5 {
             sim.run_for(100_000);

@@ -48,13 +48,14 @@ impl HwtTracker {
                 };
                 let d = times.delta(prev_times);
                 let total = d.total();
-                let entry = match self.cpus.iter_mut().find(|(i, _)| i == idx) {
-                    Some((_, v)) => v,
+                let pos = match self.cpus.iter().position(|(i, _)| i == idx) {
+                    Some(p) => p,
                     None => {
                         self.cpus.push((*idx, Vec::new()));
-                        &mut self.cpus.last_mut().unwrap().1
+                        self.cpus.len() - 1
                     }
                 };
+                let entry = &mut self.cpus[pos].1;
                 let pct = |x: u64| {
                     if total == 0 {
                         0.0

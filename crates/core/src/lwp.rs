@@ -128,12 +128,13 @@ impl LwpTrack {
     }
 
     fn delta_per_period(&self, f: impl Fn(&LwpSample) -> u64) -> f64 {
-        if self.samples.len() < 2 {
-            return self.samples.last().map(|s| f(s) as f64).unwrap_or(0.0);
+        match self.samples.as_slice() {
+            [] => 0.0,
+            [only] => f(only) as f64,
+            [first, .., last] => {
+                f(last).saturating_sub(f(first)) as f64 / (self.samples.len() - 1) as f64
+            }
         }
-        let first = f(&self.samples[0]);
-        let last = f(self.samples.last().unwrap());
-        (last - first) as f64 / (self.samples.len() - 1) as f64
     }
 
     /// Fraction of wall time this LWP spent on CPU between the first and
@@ -202,7 +203,7 @@ impl LwpTrack {
             .into_iter()
             .map(|(st, c)| (st, c as f64 / n))
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
         out
     }
 
@@ -213,7 +214,9 @@ impl LwpTrack {
             return true; // not enough data to claim a stall
         }
         let take = n.min(self.samples.len() - 1);
-        let newest = self.samples.last().unwrap();
+        let Some(newest) = self.samples.last() else {
+            return true;
+        };
         let old = &self.samples[self.samples.len() - 1 - take];
         newest.utime + newest.stime > old.utime + old.stime
     }
@@ -378,11 +381,36 @@ mod tests {
     fn classification() {
         let mut reg = LwpRegistry::new();
         reg.register_omp_thread(103);
-        reg.observe(100, 0.0, &stat(100, 0, 0, 1), &status(100, 100, "app", "1-7", 0, 0));
-        reg.observe(100, 0.0, &stat(101, 0, 0, 7), &status(101, 100, "ZeroSum", "7", 0, 0));
-        reg.observe(100, 0.0, &stat(102, 0, 0, 2), &status(102, 100, "OpenMP", "1-7", 0, 0));
-        reg.observe(100, 0.0, &stat(103, 0, 0, 3), &status(103, 100, "worker", "1-7", 0, 0));
-        reg.observe(100, 0.0, &stat(104, 0, 0, 4), &status(104, 100, "hip-thread", "1-7", 0, 0));
+        reg.observe(
+            100,
+            0.0,
+            &stat(100, 0, 0, 1),
+            &status(100, 100, "app", "1-7", 0, 0),
+        );
+        reg.observe(
+            100,
+            0.0,
+            &stat(101, 0, 0, 7),
+            &status(101, 100, "ZeroSum", "7", 0, 0),
+        );
+        reg.observe(
+            100,
+            0.0,
+            &stat(102, 0, 0, 2),
+            &status(102, 100, "OpenMP", "1-7", 0, 0),
+        );
+        reg.observe(
+            100,
+            0.0,
+            &stat(103, 0, 0, 3),
+            &status(103, 100, "worker", "1-7", 0, 0),
+        );
+        reg.observe(
+            100,
+            0.0,
+            &stat(104, 0, 0, 4),
+            &status(104, 100, "hip-thread", "1-7", 0, 0),
+        );
         let kinds: Vec<LwpKind> = reg.tracks().map(|t| t.kind).collect();
         assert_eq!(
             kinds,
@@ -400,7 +428,12 @@ mod tests {
     fn main_also_openmp_label() {
         let mut reg = LwpRegistry::new();
         reg.register_omp_thread(100);
-        reg.observe(100, 0.0, &stat(100, 0, 0, 1), &status(100, 100, "app", "1", 0, 0));
+        reg.observe(
+            100,
+            0.0,
+            &stat(100, 0, 0, 1),
+            &status(100, 100, "app", "1", 0, 0),
+        );
         let t = reg.track(100).unwrap();
         assert_eq!(t.kind, LwpKind::Main);
         assert!(t.is_openmp);
@@ -444,7 +477,12 @@ mod tests {
         let mut reg = LwpRegistry::new();
         for i in 0..6 {
             let u = if i < 3 { i * 10 } else { 30 }; // stalls after t=3
-            reg.observe(1, i as f64, &stat(2, u, 0, 1), &status(2, 1, "w", "1", 0, 0));
+            reg.observe(
+                1,
+                i as f64,
+                &stat(2, u, 0, 1),
+                &status(2, 1, "w", "1", 0, 0),
+            );
         }
         let t = reg.track(2).unwrap();
         assert!(!t.progressed_recently(2));

@@ -221,8 +221,7 @@ mod tests {
         // monitored run must be measurably slower than baseline — the
         // Figure 8 two-threads-per-core mechanism.
         let mk = || {
-            let mut sim =
-                NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
+            let mut sim = NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
             let pid = sim.spawn_process(
                 "app",
                 CpuSet::single(0),

@@ -68,7 +68,10 @@ pub fn install_panic_hook(rank: Option<u32>) {
     let previous = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         let report = crash_report(AbnormalExit::Abort, std::process::id(), rank);
-        eprintln!("{report}");
+        // Write directly (not via `eprintln!`) so a closed stderr cannot
+        // turn the crash report itself into a second panic.
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stderr(), "{report}");
         previous(info);
     }));
 }

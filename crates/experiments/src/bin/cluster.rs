@@ -6,6 +6,9 @@ fn main() {
     let cluster = zerosum_experiments::cluster_demo::run_allocation(scale, seed);
     print!("{}", cluster.render_summary());
     if let Some(s) = cluster.straggler() {
-        println!("\nstraggler: {} (mean user {:.1}%)", s.hostname, s.mean_user_pct);
+        println!(
+            "\nstraggler: {} (mean user {:.1}%)",
+            s.hostname, s.mean_user_pct
+        );
     }
 }

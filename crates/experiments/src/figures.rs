@@ -3,6 +3,7 @@
 use crate::tables::{run_table, TableConfig};
 use zerosum_apps::{run_pic, PicConfig};
 use zerosum_mpi::{heatmap, CommMatrix};
+use zerosum_sched::{SimAudit, TraceRecord};
 use zerosum_stats::{welch_t_test, Summary, TTest};
 
 // ---------------------------------------------------------------------
@@ -57,6 +58,21 @@ pub struct Fig67Run {
 
 /// Runs the Table 3 configuration and exports the periodic series.
 pub fn fig67(scale: u32, seed: u64) -> Fig67Run {
+    fig67_impl(scale, seed, false).0
+}
+
+/// Like [`fig67`] but with scheduler event tracing enabled.
+pub fn fig67_traced(scale: u32, seed: u64) -> (Fig67Run, Vec<TraceRecord>, SimAudit) {
+    let (run, traced) = fig67_impl(scale, seed, true);
+    let (trace, audit) = traced.expect("tracing was enabled");
+    (run, trace, audit)
+}
+
+fn fig67_impl(
+    scale: u32,
+    seed: u64,
+    trace: bool,
+) -> (Fig67Run, Option<(Vec<TraceRecord>, SimAudit)>) {
     // Reuse the table harness but keep the monitor's data.
     let topo = zerosum_topology::presets::frontier();
     let mut sim = zerosum_sched::NodeSim::new(
@@ -66,6 +82,7 @@ pub fn fig67(scale: u32, seed: u64) -> Fig67Run {
             ..Default::default()
         },
     );
+    sim.set_tracing(trace);
     let mut qmc = zerosum_apps::MiniQmcConfig::frontier_cpu().scaled_down(scale);
     qmc.omp = zerosum_omp::OmpEnv::from_pairs([
         ("OMP_NUM_THREADS", "7"),
@@ -92,6 +109,10 @@ pub fn fig67(scale: u32, seed: u64) -> Fig67Run {
     zerosum_core::attach_monitor_threads(&mut sim, &monitor);
     let out = zerosum_core::run_monitored(&mut sim, &mut monitor, None, 3_600_000_000);
     assert!(out.completed);
+    let traced = trace.then(|| {
+        let audit = sim.audit();
+        (sim.take_trace(), audit)
+    });
     let watch = monitor.process(job.teams[0].pid).unwrap();
     // Figure 6 bundle: user-jiffy deltas per team LWP.
     let mut lwp_bundle = zerosum_stats::SeriesBundle::new();
@@ -108,11 +129,7 @@ pub fn fig67(scale: u32, seed: u64) -> Fig67Run {
     // Figure 7 bundle: core 1's utilization components.
     let mut hwt_bundle = zerosum_stats::SeriesBundle::new();
     if let Some(samples) = monitor.hwt.samples(1) {
-        for (name, get) in [
-            ("user%", 0usize),
-            ("system%", 1),
-            ("idle%", 2),
-        ] {
+        for (name, get) in [("user%", 0usize), ("system%", 1), ("idle%", 2)] {
             let mut series = zerosum_stats::TimeSeries::new(name);
             for s in samples {
                 let v = match get {
@@ -125,13 +142,16 @@ pub fn fig67(scale: u32, seed: u64) -> Fig67Run {
             hwt_bundle.push(series);
         }
     }
-    Fig67Run {
-        lwp_csv: zerosum_core::export::lwp_csv(watch),
-        hwt_csv: zerosum_core::export::hwt_csv(&monitor),
-        samples: out.samples as usize,
-        lwp_bundle,
-        hwt_bundle,
-    }
+    (
+        Fig67Run {
+            lwp_csv: zerosum_core::export::lwp_csv(watch),
+            hwt_csv: zerosum_core::export::hwt_csv(&monitor),
+            samples: out.samples as usize,
+            lwp_bundle,
+            hwt_bundle,
+        },
+        traced,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -157,37 +177,9 @@ pub struct Fig8Run {
 /// executions of the best configuration, with one or two OpenMP threads
 /// per core.
 pub fn fig8(two_threads_per_core: bool, runs: usize, scale: u32, seed: u64) -> Fig8Run {
-    use std::sync::{Arc, Mutex};
     use zerosum_omp::OmptRegistry;
     let topo = zerosum_topology::presets::frontier();
-    let mk_cfg = || {
-        let mut qmc = zerosum_apps::MiniQmcConfig::frontier_cpu().scaled_down(scale);
-        // Both HWTs of each core are schedulable; binding is per-core.
-        qmc.srun.threads_per_core = 2;
-        // Walker noise averages out over the full 700-block run; a
-        // scaled-down run must shrink per-block noise by √scale to keep
-        // the same relative runtime variance as the paper's executions.
-        qmc.noise_frac = 0.04 / (scale as f64).sqrt();
-        // Symmetric work: fold the leader's serial section into every
-        // thread's block so the critical path is a worker, not the
-        // leader — overhead (a worker-displacement effect) is otherwise
-        // masked by leader slack.
-        qmc.walker_work_us += qmc.leader_serial_us;
-        qmc.leader_serial_us = 0;
-        let threads = if two_threads_per_core { "14" } else { "7" };
-        // Per-hardware-thread pinning: with OMP_PLACES=threads, spread
-        // puts the 7-thread case on one HWT per core (the monitor's
-        // sibling HWT stays idle) and the 14-thread case on every HWT
-        // (the monitor displaces a pinned worker) — the two regimes of
-        // Figure 8.
-        qmc.omp = zerosum_omp::OmpEnv::from_pairs([
-            ("OMP_NUM_THREADS", threads),
-            ("OMP_PROC_BIND", "spread"),
-            ("OMP_PLACES", "threads"),
-        ])
-        .unwrap();
-        qmc
-    };
+    let mk_cfg = || fig8_qmc_config(two_threads_per_core, scale);
     let mut baseline = Vec::with_capacity(runs);
     let mut with_zerosum = Vec::with_capacity(runs);
     for i in 0..runs as u64 {
@@ -201,43 +193,11 @@ pub fn fig8(two_threads_per_core: bool, runs: usize, scale: u32, seed: u64) -> F
         );
         let mut ompt = OmptRegistry::new();
         zerosum_apps::launch_miniqmc(&mut sim, &topo, &mk_cfg(), &mut ompt).expect("launch");
-        baseline.push(
-            zerosum_core::run_baseline(&mut sim, 3_600_000_000).expect("baseline finishes"),
-        );
+        baseline
+            .push(zerosum_core::run_baseline(&mut sim, 3_600_000_000).expect("baseline finishes"));
         // With ZeroSum.
-        let mut sim = zerosum_sched::NodeSim::new(
-            topo.clone(),
-            zerosum_sched::SchedParams {
-                seed: seed + 2000 + i,
-                ..Default::default()
-            },
-        );
-        let omp_tids: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
-        let mut ompt = OmptRegistry::new();
-        {
-            let omp_tids = Arc::clone(&omp_tids);
-            ompt.on_thread_begin(move |ev| omp_tids.lock().unwrap().push(ev.tid));
-        }
-        let job =
-            zerosum_apps::launch_miniqmc(&mut sim, &topo, &mk_cfg(), &mut ompt).expect("launch");
-        let mut monitor = zerosum_core::Monitor::new(zerosum_core::ZeroSumConfig::scaled(scale));
-        for team in &job.teams {
-            let rank = sim.process(team.pid).and_then(|p| p.rank);
-            monitor.watch_process(zerosum_core::ProcessInfo {
-                pid: team.pid,
-                rank,
-                hostname: sim.hostname().to_string(),
-                gpus: vec![],
-            cpus_allowed: sim
-                .process(team.pid)
-                .map(|p| p.cpus_allowed.clone())
-                .unwrap_or_default(),
-            });
-        }
-        zerosum_core::attach_monitor_threads(&mut sim, &monitor);
-        let out = zerosum_core::run_monitored(&mut sim, &mut monitor, None, 3_600_000_000);
-        assert!(out.completed, "monitored fig8 run timed out");
-        with_zerosum.push(out.duration_s);
+        let (duration_s, _) = fig8_monitored_run(&topo, &mk_cfg(), scale, seed + 2000 + i, false);
+        with_zerosum.push(duration_s);
     }
     let b = Summary::from_slice(&baseline);
     let z = Summary::from_slice(&with_zerosum);
@@ -249,6 +209,98 @@ pub fn fig8(two_threads_per_core: bool, runs: usize, scale: u32, seed: u64) -> F
         baseline,
         with_zerosum,
     }
+}
+
+/// The miniQMC configuration of the §4.1 overhead study.
+fn fig8_qmc_config(two_threads_per_core: bool, scale: u32) -> zerosum_apps::MiniQmcConfig {
+    let mut qmc = zerosum_apps::MiniQmcConfig::frontier_cpu().scaled_down(scale);
+    // Both HWTs of each core are schedulable; binding is per-core.
+    qmc.srun.threads_per_core = 2;
+    // Walker noise averages out over the full 700-block run; a
+    // scaled-down run must shrink per-block noise by √scale to keep
+    // the same relative runtime variance as the paper's executions.
+    qmc.noise_frac = 0.04 / (scale as f64).sqrt();
+    // Symmetric work: fold the leader's serial section into every
+    // thread's block so the critical path is a worker, not the
+    // leader — overhead (a worker-displacement effect) is otherwise
+    // masked by leader slack.
+    qmc.walker_work_us += qmc.leader_serial_us;
+    qmc.leader_serial_us = 0;
+    let threads = if two_threads_per_core { "14" } else { "7" };
+    // Per-hardware-thread pinning: with OMP_PLACES=threads, spread
+    // puts the 7-thread case on one HWT per core (the monitor's
+    // sibling HWT stays idle) and the 14-thread case on every HWT
+    // (the monitor displaces a pinned worker) — the two regimes of
+    // Figure 8.
+    qmc.omp = zerosum_omp::OmpEnv::from_pairs([
+        ("OMP_NUM_THREADS", threads),
+        ("OMP_PROC_BIND", "spread"),
+        ("OMP_PLACES", "threads"),
+    ])
+    .unwrap();
+    qmc
+}
+
+/// One monitored execution of the Figure 8 workload.
+fn fig8_monitored_run(
+    topo: &zerosum_topology::Topology,
+    qmc: &zerosum_apps::MiniQmcConfig,
+    scale: u32,
+    seed: u64,
+    trace: bool,
+) -> (f64, Option<(Vec<TraceRecord>, SimAudit)>) {
+    use std::sync::{Arc, Mutex};
+    let mut sim = zerosum_sched::NodeSim::new(
+        topo.clone(),
+        zerosum_sched::SchedParams {
+            seed,
+            ..Default::default()
+        },
+    );
+    sim.set_tracing(trace);
+    let omp_tids: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut ompt = zerosum_omp::OmptRegistry::new();
+    {
+        let omp_tids = Arc::clone(&omp_tids);
+        ompt.on_thread_begin(move |ev| omp_tids.lock().unwrap().push(ev.tid));
+    }
+    let job = zerosum_apps::launch_miniqmc(&mut sim, topo, qmc, &mut ompt).expect("launch");
+    let mut monitor = zerosum_core::Monitor::new(zerosum_core::ZeroSumConfig::scaled(scale));
+    for team in &job.teams {
+        let rank = sim.process(team.pid).and_then(|p| p.rank);
+        monitor.watch_process(zerosum_core::ProcessInfo {
+            pid: team.pid,
+            rank,
+            hostname: sim.hostname().to_string(),
+            gpus: vec![],
+            cpus_allowed: sim
+                .process(team.pid)
+                .map(|p| p.cpus_allowed.clone())
+                .unwrap_or_default(),
+        });
+    }
+    zerosum_core::attach_monitor_threads(&mut sim, &monitor);
+    let out = zerosum_core::run_monitored(&mut sim, &mut monitor, None, 3_600_000_000);
+    assert!(out.completed, "monitored fig8 run timed out");
+    let traced = trace.then(|| {
+        let audit = sim.audit();
+        (sim.take_trace(), audit)
+    });
+    (out.duration_s, traced)
+}
+
+/// One traced, monitored execution of the Figure 8 workload — the
+/// overhead scenario `zerosum-analyze` checks.
+pub fn fig8_traced_run(
+    two_threads_per_core: bool,
+    scale: u32,
+    seed: u64,
+) -> (f64, Vec<TraceRecord>, SimAudit) {
+    let topo = zerosum_topology::presets::frontier();
+    let qmc = fig8_qmc_config(two_threads_per_core, scale);
+    let (duration_s, traced) = fig8_monitored_run(&topo, &qmc, scale, seed, true);
+    let (trace, audit) = traced.expect("tracing was enabled");
+    (duration_s, trace, audit)
 }
 
 /// Convenience: the runtime-ordering comparison used by several tests

@@ -111,9 +111,10 @@ mod tests {
     #[test]
     fn listing1_matches_paper_exactly() {
         let text = listing1();
-        assert!(text.starts_with("HWLOC Node topology:\nMachine L#0\n  Package L#0\n    L3Cache L#0 12MB"));
+        assert!(text
+            .starts_with("HWLOC Node topology:\nMachine L#0\n  Package L#0\n    L3Cache L#0 12MB"));
         assert!(text.contains("PU L#1 P#4")); // the logical/OS skew
-        // header + Machine + Package + L3 + 4 cores × (L2+L1+Core+2 PUs).
+                                              // header + Machine + Package + L3 + 4 cores × (L2+L1+Core+2 PUs).
         assert_eq!(text.lines().count(), 24);
     }
 

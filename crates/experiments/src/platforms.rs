@@ -212,9 +212,8 @@ pub fn run_platform(platform: Platform, blocks: u32, seed: u64) -> PlatformRun {
 
 /// Runs every platform and renders a summary table.
 pub fn run_all_platforms(blocks: u32, seed: u64) -> String {
-    let mut out = String::from(
-        "Platform    runtime(s)  GPU lib     GPU busy%  critical findings\n",
-    );
+    let mut out =
+        String::from("Platform    runtime(s)  GPU lib     GPU busy%  critical findings\n");
     for p in Platform::ALL {
         let r = run_platform(p, blocks, seed);
         writeln!(

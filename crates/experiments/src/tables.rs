@@ -17,7 +17,7 @@ use zerosum_core::{
     ProcessInfo, ZeroSumConfig,
 };
 use zerosum_omp::{OmpEnv, OmptRegistry};
-use zerosum_sched::{NodeSim, SchedParams, SrunConfig};
+use zerosum_sched::{NodeSim, SchedParams, SimAudit, SrunConfig, TraceRecord};
 use zerosum_topology::presets;
 
 /// Which table's configuration to run.
@@ -37,9 +37,7 @@ impl TableConfig {
         match self {
             TableConfig::Table1 => "Table 1: srun -n8 (default, 1 core/process)",
             TableConfig::Table2 => "Table 2: srun -n8 -c7 (unbound threads)",
-            TableConfig::Table3 => {
-                "Table 3: srun -n8 -c7 + OMP_PROC_BIND=spread OMP_PLACES=cores"
-            }
+            TableConfig::Table3 => "Table 3: srun -n8 -c7 + OMP_PROC_BIND=spread OMP_PLACES=cores",
         }
     }
 }
@@ -113,6 +111,28 @@ fn miniqmc_for(config: TableConfig, scale: u32) -> MiniQmcConfig {
 /// Runs one table configuration. `scale` divides the block count
 /// (1 = the full paper-calibrated workload; tests use 50–100).
 pub fn run_table(config: TableConfig, scale: u32, seed: u64) -> TableRun {
+    run_table_impl(config, scale, seed, false).0
+}
+
+/// Like [`run_table`] but with scheduler event tracing enabled: also
+/// returns the full decision trace and the final-counter audit that
+/// `zerosum-analyze` replays it against.
+pub fn run_table_traced(
+    config: TableConfig,
+    scale: u32,
+    seed: u64,
+) -> (TableRun, Vec<TraceRecord>, SimAudit) {
+    let (run, traced) = run_table_impl(config, scale, seed, true);
+    let (trace, audit) = traced.expect("tracing was enabled");
+    (run, trace, audit)
+}
+
+fn run_table_impl(
+    config: TableConfig,
+    scale: u32,
+    seed: u64,
+    trace: bool,
+) -> (TableRun, Option<(Vec<TraceRecord>, SimAudit)>) {
     let topo = presets::frontier();
     let mut sim = NodeSim::new(
         topo.clone(),
@@ -121,6 +141,7 @@ pub fn run_table(config: TableConfig, scale: u32, seed: u64) -> TableRun {
             ..SchedParams::default()
         },
     );
+    sim.set_tracing(trace);
     let qmc = miniqmc_for(config, scale);
     // OMPT: collect thread-begin events the way the real tool does.
     let omp_tids: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
@@ -154,6 +175,10 @@ pub fn run_table(config: TableConfig, scale: u32, seed: u64) -> TableRun {
     attach_monitor_threads(&mut sim, &monitor);
     let out = run_monitored(&mut sim, &mut monitor, None, 3_600_000_000);
     assert!(out.completed, "table run timed out");
+    let traced = trace.then(|| {
+        let audit = sim.audit();
+        (sim.take_trace(), audit)
+    });
     let rank0 = job.teams[0].pid;
     let report = render_process_report(&monitor, rank0, out.duration_s, None);
     let findings = evaluate(&monitor, &topo);
@@ -179,14 +204,17 @@ pub fn run_table(config: TableConfig, scale: u32, seed: u64) -> TableRun {
         .filter(|t| t.is_openmp || t.kind == zerosum_core::LwpKind::Main)
         .map(|t| t.observed_migrations())
         .sum();
-    TableRun {
-        config,
-        duration_s: out.duration_s,
-        rows,
-        report,
-        findings,
-        team_migrations,
-    }
+    (
+        TableRun {
+            config,
+            duration_s: out.duration_s,
+            rows,
+            report,
+            findings,
+            team_migrations,
+        },
+        traced,
+    )
 }
 
 /// Formats the rows like the paper's tables.

@@ -157,8 +157,7 @@ pub fn synthesize(
     let gfx_clock = if busy < 0.01 {
         spec.gfx_clock_mhz.0
     } else {
-        spec.gfx_clock_mhz.0
-            + (spec.gfx_clock_mhz.1 - spec.gfx_clock_mhz.0) * (0.55 + 0.45 * busy)
+        spec.gfx_clock_mhz.0 + (spec.gfx_clock_mhz.1 - spec.gfx_clock_mhz.0) * (0.55 + 0.45 * busy)
     };
     let power = spec.power_w.0 + (spec.power_w.1 - spec.power_w.0) * busy;
     // Temperature: first-order low-pass toward the steady-state for this
@@ -172,8 +171,7 @@ pub fn synthesize(
     state.temp_c += (target_t - state.temp_c) * alpha;
     let voltage = spec.voltage_mv.0
         + (spec.voltage_mv.1 - spec.voltage_mv.0)
-            * ((gfx_clock - spec.gfx_clock_mhz.0)
-                / (spec.gfx_clock_mhz.1 - spec.gfx_clock_mhz.0))
+            * ((gfx_clock - spec.gfx_clock_mhz.0) / (spec.gfx_clock_mhz.1 - spec.gfx_clock_mhz.0))
                 .clamp(0.0, 1.0);
     // Activity counters: scaled accumulations of busyness.
     state.gfx_activity += busy * 38_443.0 * dt_s.min(10.0);
@@ -194,10 +192,7 @@ pub fn synthesize(
         .with(GpuMetricKind::UvdVcnActivity, 0.0)
         .with(GpuMetricKind::UsedGttBytes, 11_624_448.0)
         .with(GpuMetricKind::UsedVramBytes, mem_used as f64)
-        .with(
-            GpuMetricKind::UsedVisibleVramBytes,
-            mem_used as f64 + 232.0,
-        )
+        .with(GpuMetricKind::UsedVisibleVramBytes, mem_used as f64 + 232.0)
         .with(GpuMetricKind::VoltageMv, voltage)
 }
 
@@ -272,7 +267,11 @@ mod tests {
             DeviceSpec::v100(),
             DeviceSpec::pvc_max1550(),
         ] {
-            assert!(spec.gfx_clock_mhz.0 < spec.gfx_clock_mhz.1, "{}", spec.model);
+            assert!(
+                spec.gfx_clock_mhz.0 < spec.gfx_clock_mhz.1,
+                "{}",
+                spec.model
+            );
             assert!(spec.power_w.0 < spec.power_w.1);
             assert!(spec.voltage_mv.0 < spec.voltage_mv.1);
             assert!(spec.memory_bytes > 0);

@@ -19,11 +19,7 @@ pub struct SmiSim {
 
 impl SmiSim {
     /// Builds a backend with explicit specs and feed.
-    pub fn new(
-        library: &'static str,
-        specs: Vec<DeviceSpec>,
-        feed: Box<dyn ActivityFeed>,
-    ) -> Self {
+    pub fn new(library: &'static str, specs: Vec<DeviceSpec>, feed: Box<dyn ActivityFeed>) -> Self {
         let states = vec![SynthState::default(); specs.len()];
         SmiSim {
             library,

@@ -39,7 +39,9 @@ impl GpuMonitor {
     /// A monitor for `n` devices.
     pub fn new(n: usize) -> Self {
         GpuMonitor {
-            stats: (0..n).map(|_| std::array::from_fn(|_| Summary::new())).collect(),
+            stats: (0..n)
+                .map(|_| std::array::from_fn(|_| Summary::new()))
+                .collect(),
             samples: 0,
         }
     }
@@ -120,7 +122,13 @@ mod tests {
             use crate::activity::ActivityFeed;
             let busy = self.feed.busy_fraction(device);
             let mem = self.feed.mem_used_bytes(device);
-            synthesize(&self.spec, &mut self.state[device as usize], busy, mem, dt_s)
+            synthesize(
+                &self.spec,
+                &mut self.state[device as usize],
+                busy,
+                mem,
+                dt_s,
+            )
         }
     }
 

@@ -125,9 +125,7 @@ impl GpuSample {
 
     /// Iterates `(kind, value)` in report order.
     pub fn iter(&self) -> impl Iterator<Item = (GpuMetricKind, f64)> + '_ {
-        GpuMetricKind::ALL
-            .iter()
-            .map(move |&k| (k, self.get(k)))
+        GpuMetricKind::ALL.iter().map(move |&k| (k, self.get(k)))
     }
 }
 
@@ -164,14 +162,14 @@ mod tests {
 
     #[test]
     fn listing2_names_match_paper() {
-        assert_eq!(
-            GpuMetricKind::DeviceBusyPct.report_name(),
-            "Device Busy %"
-        );
+        assert_eq!(GpuMetricKind::DeviceBusyPct.report_name(), "Device Busy %");
         assert_eq!(
             GpuMetricKind::UsedVisibleVramBytes.report_name(),
             "Used Visible VRAM Bytes"
         );
-        assert_eq!(GpuMetricKind::UvdVcnActivity.report_name(), "UVD|VCN Activity");
+        assert_eq!(
+            GpuMetricKind::UvdVcnActivity.report_name(),
+            "UVD|VCN Activity"
+        );
     }
 }

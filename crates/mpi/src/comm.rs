@@ -7,8 +7,7 @@
 //! whose communicators record every `send` into a shared traffic matrix —
 //! exactly the data the real tool's PMPI wrappers accumulate.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// The world: rank count plus the shared traffic matrix.
 #[derive(Debug, Clone)]
@@ -50,7 +49,10 @@ impl CommWorld {
 
     /// A snapshot of the accumulated traffic matrix.
     pub fn matrix(&self) -> CommMatrix {
-        self.matrix.lock().clone()
+        self.matrix
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -80,7 +82,10 @@ impl Communicator {
     /// If `dest >= size`.
     pub fn send(&self, dest: usize, bytes: u64) {
         assert!(dest < self.size, "send to invalid rank {dest}");
-        self.matrix.lock().record(self.rank, dest, bytes);
+        self.matrix
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .record(self.rank, dest, bytes);
     }
 
     /// Receives from `src`. The wrapped receive records nothing (bytes

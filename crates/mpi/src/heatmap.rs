@@ -96,10 +96,7 @@ mod tests {
         halo_1d(&w, 1, 1_000_000);
         let grid = intensity_grid(&w.matrix(), 16);
         assert_eq!(grid.len(), 16);
-        let max = grid
-            .iter()
-            .flatten()
-            .fold(0.0f64, |a, &b| a.max(b));
+        let max = grid.iter().flatten().fold(0.0f64, |a, &b| a.max(b));
         assert!((max - 1.0).abs() < 1e-12);
         // Diagonal cells are the hot ones.
         assert!(grid[5][5] > grid[5][12]);

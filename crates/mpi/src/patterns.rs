@@ -66,7 +66,10 @@ pub fn all_to_all(world: &CommWorld, bytes: u64) {
 /// LCG (deterministic background noise for heatmap contrast tests).
 pub fn random_pairs(world: &CommWorld, count: usize, bytes: u64, seed: u64) {
     let n = world.size() as u64;
-    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493) | 1;
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493)
+        | 1;
     let mut next = || {
         state ^= state >> 12;
         state ^= state << 25;

@@ -21,9 +21,7 @@ pub fn expand_places(
         PlacesSpec::Threads => Some(query::places(topo, PlaceGrain::Threads, process_mask)),
         PlacesSpec::Cores => Some(query::places(topo, PlaceGrain::Cores, process_mask)),
         PlacesSpec::Sockets => Some(query::places(topo, PlaceGrain::Sockets, process_mask)),
-        PlacesSpec::NumaDomains => {
-            Some(query::places(topo, PlaceGrain::NumaDomains, process_mask))
-        }
+        PlacesSpec::NumaDomains => Some(query::places(topo, PlaceGrain::NumaDomains, process_mask)),
         PlacesSpec::LlCaches => Some(query::places(topo, PlaceGrain::L3Caches, process_mask)),
         PlacesSpec::Explicit(groups) => {
             let mut out = Vec::new();
@@ -83,8 +81,7 @@ pub fn bind_team(
             bound: false,
         };
     }
-    let places = places
-        .unwrap_or_else(|| query::places(topo, PlaceGrain::Cores, process_mask));
+    let places = places.unwrap_or_else(|| query::places(topo, PlaceGrain::Cores, process_mask));
     if places.is_empty() {
         return TeamBinding {
             masks: vec![process_mask.clone(); team_size],
@@ -100,7 +97,9 @@ pub fn bind_team(
         ProcBind::Spread => {
             if team_size >= nplaces {
                 // More threads than places: wrap like close.
-                (0..team_size).map(|i| places[i % nplaces].clone()).collect()
+                (0..team_size)
+                    .map(|i| places[i % nplaces].clone())
+                    .collect()
             } else {
                 // Partition places into team_size contiguous groups; bind
                 // thread i to the first place of its group.
@@ -158,11 +157,8 @@ mod tests {
     fn spread_fewer_threads_than_places() {
         // 4 threads over 7 core-places: sub-partitions start at 0,1,3,5.
         let topo = presets::frontier();
-        let env = OmpEnv::from_pairs([
-            ("OMP_PROC_BIND", "spread"),
-            ("OMP_PLACES", "cores"),
-        ])
-        .unwrap();
+        let env =
+            OmpEnv::from_pairs([("OMP_PROC_BIND", "spread"), ("OMP_PLACES", "cores")]).unwrap();
         let b = bind_team(&topo, &env, &frontier_rank0_mask(), 4);
         let lists: Vec<String> = b.masks.iter().map(|m| m.to_list_string()).collect();
         assert_eq!(lists, vec!["1", "2", "4", "6"]);
@@ -171,11 +167,8 @@ mod tests {
     #[test]
     fn close_wraps_places() {
         let topo = presets::frontier();
-        let env = OmpEnv::from_pairs([
-            ("OMP_PROC_BIND", "close"),
-            ("OMP_PLACES", "cores"),
-        ])
-        .unwrap();
+        let env =
+            OmpEnv::from_pairs([("OMP_PROC_BIND", "close"), ("OMP_PLACES", "cores")]).unwrap();
         let b = bind_team(&topo, &env, &CpuSet::parse_list("1-3").unwrap(), 5);
         let lists: Vec<String> = b.masks.iter().map(|m| m.to_list_string()).collect();
         assert_eq!(lists, vec!["1", "2", "3", "1", "2"]);
@@ -184,11 +177,8 @@ mod tests {
     #[test]
     fn master_keeps_all_on_first_place() {
         let topo = presets::frontier();
-        let env = OmpEnv::from_pairs([
-            ("OMP_PROC_BIND", "master"),
-            ("OMP_PLACES", "cores"),
-        ])
-        .unwrap();
+        let env =
+            OmpEnv::from_pairs([("OMP_PROC_BIND", "master"), ("OMP_PLACES", "cores")]).unwrap();
         let b = bind_team(&topo, &env, &frontier_rank0_mask(), 4);
         assert!(b.masks.iter().all(|m| m.to_list_string() == "1"));
     }
@@ -196,11 +186,8 @@ mod tests {
     #[test]
     fn threads_places_with_smt_mask() {
         let topo = presets::frontier();
-        let env = OmpEnv::from_pairs([
-            ("OMP_PROC_BIND", "close"),
-            ("OMP_PLACES", "threads"),
-        ])
-        .unwrap();
+        let env =
+            OmpEnv::from_pairs([("OMP_PROC_BIND", "close"), ("OMP_PLACES", "threads")]).unwrap();
         let mask = CpuSet::parse_list("1-2,65-66").unwrap();
         let b = bind_team(&topo, &env, &mask, 4);
         let lists: Vec<String> = b.masks.iter().map(|m| m.to_list_string()).collect();
@@ -211,11 +198,8 @@ mod tests {
     #[test]
     fn explicit_places_respected() {
         let topo = presets::frontier();
-        let env = OmpEnv::from_pairs([
-            ("OMP_PROC_BIND", "close"),
-            ("OMP_PLACES", "{1,65},{2,66}"),
-        ])
-        .unwrap();
+        let env = OmpEnv::from_pairs([("OMP_PROC_BIND", "close"), ("OMP_PLACES", "{1,65},{2,66}")])
+            .unwrap();
         let mask = CpuSet::parse_list("1-7,65-71").unwrap();
         let b = bind_team(&topo, &env, &mask, 2);
         assert_eq!(b.masks[0].to_list_string(), "1,65");

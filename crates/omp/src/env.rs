@@ -96,8 +96,14 @@ impl PlacesSpec {
                 }
                 if let Some((lo, hi)) = tok.split_once(':') {
                     // OpenMP interval notation {lo:len}.
-                    let lo: u32 = lo.trim().parse().map_err(|_| EnvError::BadPlaces(t.into()))?;
-                    let len: u32 = hi.trim().parse().map_err(|_| EnvError::BadPlaces(t.into()))?;
+                    let lo: u32 = lo
+                        .trim()
+                        .parse()
+                        .map_err(|_| EnvError::BadPlaces(t.into()))?;
+                    let len: u32 = hi
+                        .trim()
+                        .parse()
+                        .map_err(|_| EnvError::BadPlaces(t.into()))?;
                     ids.extend(lo..lo + len);
                 } else {
                     ids.push(tok.parse().map_err(|_| EnvError::BadPlaces(t.into()))?);
@@ -247,7 +253,13 @@ mod tests {
 
     #[test]
     fn numa_and_llc_places() {
-        assert_eq!(PlacesSpec::parse("numa_domains").unwrap(), PlacesSpec::NumaDomains);
-        assert_eq!(PlacesSpec::parse("ll_caches").unwrap(), PlacesSpec::LlCaches);
+        assert_eq!(
+            PlacesSpec::parse("numa_domains").unwrap(),
+            PlacesSpec::NumaDomains
+        );
+        assert_eq!(
+            PlacesSpec::parse("ll_caches").unwrap(),
+            PlacesSpec::LlCaches
+        );
     }
 }

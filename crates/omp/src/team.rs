@@ -142,15 +142,7 @@ mod tests {
         let env = OmpEnv::default();
         let mask = CpuSet::parse_list("1-7").unwrap();
         let mut ompt = OmptRegistry::new();
-        let team = launch_team_process(
-            &mut sim,
-            "app",
-            mask,
-            64,
-            &env,
-            |_, _| spec(1),
-            &mut ompt,
-        );
+        let team = launch_team_process(&mut sim, "app", mask, 64, &env, |_, _| spec(1), &mut ompt);
         // taskset of 7 CPUs ⇒ team of 7 (the §3.1.2 example).
         assert_eq!(team.tids.len(), 7);
         assert!(!team.binding.bound);
@@ -171,6 +163,7 @@ mod tests {
             &mut ompt,
         );
         assert_eq!(team.tids[0], team.pid);
-        sim.run_until_apps_done(5_000, 60_000_000).expect("finishes");
+        sim.run_until_apps_done(5_000, 60_000_000)
+            .expect("finishes");
     }
 }

@@ -82,8 +82,18 @@ pub fn format_task_status(s: &TaskStatus) -> String {
     writeln!(out, "VmSize:\t{:>8} kB", s.vm_size_kib).unwrap();
     writeln!(out, "VmHWM:\t{:>8} kB", s.vm_hwm_kib).unwrap();
     writeln!(out, "VmRSS:\t{:>8} kB", s.vm_rss_kib).unwrap();
-    writeln!(out, "Cpus_allowed_list:\t{}", s.cpus_allowed.to_list_string()).unwrap();
-    writeln!(out, "voluntary_ctxt_switches:\t{}", s.voluntary_ctxt_switches).unwrap();
+    writeln!(
+        out,
+        "Cpus_allowed_list:\t{}",
+        s.cpus_allowed.to_list_string()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "voluntary_ctxt_switches:\t{}",
+        s.voluntary_ctxt_switches
+    )
+    .unwrap();
     writeln!(
         out,
         "nonvoluntary_ctxt_switches:\t{}",

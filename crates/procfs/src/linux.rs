@@ -190,8 +190,16 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("zs-procfix-{}", std::process::id()));
         let task = dir.join("42/task/42");
         std::fs::create_dir_all(&task).unwrap();
-        std::fs::write(dir.join("stat"), "cpu 1 0 1 7 0 0 0 0 0 0\ncpu0 1 0 1 7 0 0 0 0 0 0\nctxt 5\nprocesses 1\n").unwrap();
-        std::fs::write(dir.join("meminfo"), "MemTotal: 100 kB\nMemFree: 50 kB\nMemAvailable: 60 kB\n").unwrap();
+        std::fs::write(
+            dir.join("stat"),
+            "cpu 1 0 1 7 0 0 0 0 0 0\ncpu0 1 0 1 7 0 0 0 0 0 0\nctxt 5\nprocesses 1\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("meminfo"),
+            "MemTotal: 100 kB\nMemFree: 50 kB\nMemAvailable: 60 kB\n",
+        )
+        .unwrap();
         std::fs::write(task.join("stat"), "42 (fix) S 1 42 42 0 -1 0 0 0 0 0 1 2 0 0 20 0 1 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 3 0 0 0 0 0 0 0 0 0 0 0 0 0").unwrap();
         std::fs::write(task.join("status"), "Name: fix\nTgid: 42\nPid: 42\nState: S (sleeping)\nCpus_allowed_list: 0\nvoluntary_ctxt_switches: 1\nnonvoluntary_ctxt_switches: 0\n").unwrap();
         let src = LinuxProc::with_root(&dir);

@@ -175,9 +175,7 @@ pub fn parse_task_stat(line: &str) -> Result<TaskStat, ParseError> {
         majflt: num(12)?,
         utime: num(14)?,
         stime: num(15)?,
-        nice: get(19)?
-            .parse()
-            .map_err(|_| err("task stat", "bad nice"))?,
+        nice: get(19)?.parse().map_err(|_| err("task stat", "bad nice"))?,
         num_threads: num(20)? as u32,
         processor: num(39)? as u32,
         nswap: num(36)?,

@@ -201,7 +201,13 @@ pub struct CpuTimes {
 impl CpuTimes {
     /// Sum of all accounted jiffies.
     pub fn total(&self) -> Jiffies {
-        self.user + self.nice + self.system + self.idle + self.iowait + self.irq + self.softirq
+        self.user
+            + self.nice
+            + self.system
+            + self.idle
+            + self.iowait
+            + self.irq
+            + self.softirq
             + self.steal
     }
 

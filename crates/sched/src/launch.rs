@@ -141,10 +141,7 @@ pub fn plan_launch(topo: &Topology, cfg: &SrunConfig) -> Result<Vec<RankPlacemen
     Ok(placements)
 }
 
-fn find_core(
-    topo: &Topology,
-    id: zerosum_topology::ObjId,
-) -> Option<zerosum_topology::ObjId> {
+fn find_core(topo: &Topology, id: zerosum_topology::ObjId) -> Option<zerosum_topology::ObjId> {
     let o = topo.object(id);
     if o.kind == ObjectKind::Core {
         return Some(id);
@@ -157,10 +154,7 @@ fn find_core(
     None
 }
 
-fn collect_cores(
-    topo: &Topology,
-    id: zerosum_topology::ObjId,
-) -> Vec<zerosum_topology::ObjId> {
+fn collect_cores(topo: &Topology, id: zerosum_topology::ObjId) -> Vec<zerosum_topology::ObjId> {
     let mut out = Vec::new();
     let mut stack = vec![id];
     while let Some(n) = stack.pop() {
@@ -306,7 +300,10 @@ mod tests {
             gpu_bind_closest: false,
         };
         match plan_launch(&topo, &cfg) {
-            Err(LaunchError::NotEnoughCores { needed: 32, available: 4 }) => {}
+            Err(LaunchError::NotEnoughCores {
+                needed: 32,
+                available: 4,
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }

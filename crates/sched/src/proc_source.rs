@@ -286,10 +286,7 @@ mod tests {
     fn unknown_ids_are_not_found() {
         let (sim, pid) = sim_with_app();
         let src = SimProcSource::new(&sim);
-        assert!(matches!(
-            src.list_tasks(99_999),
-            Err(SourceError::NotFound)
-        ));
+        assert!(matches!(src.list_tasks(99_999), Err(SourceError::NotFound)));
         assert!(matches!(
             src.task_stat(pid, 99_999),
             Err(SourceError::NotFound)

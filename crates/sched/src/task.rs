@@ -77,7 +77,11 @@ pub(crate) enum CurrentOp {
     /// Executing kernel-mode work (syscalls, launch overhead).
     Syscall { remaining_us: f64 },
     /// Spinning (user mode) on a barrier, blocking after the deadline.
-    BarrierSpin { barrier: u32, generation: u64, block_at_us: u64 },
+    BarrierSpin {
+        barrier: u32,
+        generation: u64,
+        block_at_us: u64,
+    },
     /// Blocked until an event wakes the task.
     Waiting,
     /// Needs the next op fetched from its behavior.

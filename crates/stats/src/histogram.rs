@@ -65,7 +65,12 @@ impl Histogram {
         let mut out = String::new();
         for (i, &c) in self.bins.iter().enumerate() {
             let bar = "#".repeat((c as usize * width) / max as usize);
-            out.push_str(&format!("{:>10.4} | {:<width$} {}\n", self.bin_center(i), bar, c));
+            out.push_str(&format!(
+                "{:>10.4} | {:<width$} {}\n",
+                self.bin_center(i),
+                bar,
+                c
+            ));
         }
         out
     }

@@ -322,7 +322,11 @@ mod tests {
     #[test]
     fn row_sums_for_stacking() {
         let mut bundle = SeriesBundle::new();
-        for (name, vals) in [("u", [60.0, 70.0]), ("s", [10.0, 12.0]), ("i", [30.0, 18.0])] {
+        for (name, vals) in [
+            ("u", [60.0, 70.0]),
+            ("s", [10.0, 12.0]),
+            ("i", [30.0, 18.0]),
+        ] {
             let mut s = TimeSeries::new(name);
             s.push(0.0, vals[0]);
             s.push(1.0, vals[1]);

@@ -81,7 +81,10 @@ impl TopologyBuilder {
     /// Adds a package and descends into it.
     pub fn package(mut self, f: impl FnOnce(PackageBuilder<'_>) -> PackageBuilder<'_>) -> Self {
         let pkg = self.add(self.root, ObjectKind::Package, None);
-        let pb = PackageBuilder { b: &mut self, id: pkg };
+        let pb = PackageBuilder {
+            b: &mut self,
+            id: pkg,
+        };
         f(pb);
         self
     }
@@ -206,7 +209,8 @@ mod tests {
             .package(|p| {
                 p.numa(128 * 1024, |n| {
                     n.l3(32 * 1024, |l3| {
-                        l3.core_cached(512, 32, &[0, 64]).core_cached(512, 32, &[1, 65])
+                        l3.core_cached(512, 32, &[0, 64])
+                            .core_cached(512, 32, &[1, 65])
                     })
                 })
             })
@@ -248,9 +252,7 @@ mod tests {
     #[test]
     fn cpuset_propagates_through_all_levels() {
         let t = TopologyBuilder::new("prop")
-            .package(|p| {
-                p.numa(1, |n| n.l3(1, |l| l.core_cached(1, 1, &[3, 7])))
-            })
+            .package(|p| p.numa(1, |n| n.l3(1, |l| l.core_cached(1, 1, &[3, 7]))))
             .build();
         for kind in [
             ObjectKind::Package,
@@ -261,11 +263,7 @@ mod tests {
             ObjectKind::Core,
         ] {
             let id = t.objects_of_kind(kind)[0];
-            assert_eq!(
-                t.object(id).cpuset.to_list_string(),
-                "3,7",
-                "kind {kind:?}"
-            );
+            assert_eq!(t.object(id).cpuset.to_list_string(), "3,7", "kind {kind:?}");
         }
     }
 }

@@ -191,8 +191,14 @@ impl CpuSet {
             }
             match part.split_once('-') {
                 Some((lo, hi)) => {
-                    let lo: u32 = lo.trim().parse().map_err(|_| CpuSetParseError::Int(part.into()))?;
-                    let hi: u32 = hi.trim().parse().map_err(|_| CpuSetParseError::Int(part.into()))?;
+                    let lo: u32 = lo
+                        .trim()
+                        .parse()
+                        .map_err(|_| CpuSetParseError::Int(part.into()))?;
+                    let hi: u32 = hi
+                        .trim()
+                        .parse()
+                        .map_err(|_| CpuSetParseError::Int(part.into()))?;
                     if lo > hi {
                         return Err(CpuSetParseError::Range(lo, hi));
                     }
@@ -201,7 +207,9 @@ impl CpuSet {
                     }
                 }
                 None => {
-                    let v: u32 = part.parse().map_err(|_| CpuSetParseError::Int(part.into()))?;
+                    let v: u32 = part
+                        .parse()
+                        .map_err(|_| CpuSetParseError::Int(part.into()))?;
                     set.set(v);
                 }
             }

@@ -104,8 +104,11 @@ mod tests {
             .take_while(|l| !l.contains("NUMA 1"))
             .collect::<Vec<_>>()
             .join("\n");
-        assert!(numa0.contains("GCD #4, AMD MI250X GCD #5") || numa0.contains("#4") && numa0.contains("#5"),
-            "numa0 block: {numa0}");
+        assert!(
+            numa0.contains("GCD #4, AMD MI250X GCD #5")
+                || numa0.contains("#4") && numa0.contains("#5"),
+            "numa0 block: {numa0}"
+        );
         // NUMA 3 carries GCDs 0 and 1.
         let numa3 = d
             .lines()

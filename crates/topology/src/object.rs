@@ -241,9 +241,7 @@ mod tests {
         TopologyBuilder::new("tiny")
             .package(|p| {
                 p.numa(1024, |n| {
-                    n.l3(4096, |l3| {
-                        l3.core_with_pus(&[0, 2]).core_with_pus(&[1, 3])
-                    })
+                    n.l3(4096, |l3| l3.core_with_pus(&[0, 2]).core_with_pus(&[1, 3]))
                 })
             })
             .build()

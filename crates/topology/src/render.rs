@@ -42,7 +42,7 @@ impl RenderOptions {
 }
 
 fn cache_size_str(kib: u64) -> String {
-    if kib % 1024 == 0 {
+    if kib.is_multiple_of(1024) {
         format!("{}MB", kib / 1024)
     } else {
         format!("{kib}KB")
@@ -63,12 +63,7 @@ pub fn render(topo: &Topology, opts: &RenderOptions) -> String {
             writeln!(
                 out,
                 "  GPU L#{} P#{} ({} {}, {}MB, NUMA {})",
-                o.logical_index,
-                a.physical_index,
-                a.vendor,
-                a.model,
-                a.memory_mib,
-                a.local_numa
+                o.logical_index, a.physical_index, a.vendor, a.model, a.memory_mib, a.local_numa
             )
             .unwrap();
         }
@@ -181,7 +176,10 @@ Machine L#0
         assert!(text.contains("GPU L#0 P#4"));
         assert!(text.contains("MI250X"));
         // 128 PU lines (GPU lines also contain the substring "PU L#")
-        let pu_lines = text.lines().filter(|l| l.trim_start().starts_with("PU L#")).count();
+        let pu_lines = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with("PU L#"))
+            .count();
         assert_eq!(pu_lines, 128);
     }
 

@@ -57,7 +57,9 @@ fn main() {
     // A compact cross-device busy summary.
     println!("\nPer-GCD busy (min/avg/max %):");
     for (slot, &phys) in gpus.devices().to_vec().iter().enumerate() {
-        let (min, avg, max) = gpus.monitor.summary(slot as u32, GpuMetricKind::DeviceBusyPct);
+        let (min, avg, max) = gpus
+            .monitor
+            .summary(slot as u32, GpuMetricKind::DeviceBusyPct);
         println!("  GCD {phys}: {min:6.2} {avg:6.2} {max:6.2}");
     }
 }

@@ -47,9 +47,7 @@ fn main() {
                     "rank {:>3}: CPUs [{}]{}",
                     p.rank,
                     p.cpus_allowed.to_list_string(),
-                    p.gpu
-                        .map(|g| format!(", GPU {g}"))
-                        .unwrap_or_default()
+                    p.gpu.map(|g| format!(", GPU {g}")).unwrap_or_default()
                 );
             }
             // Dry-run a short CPU-bound team under this placement and let
@@ -83,10 +81,7 @@ fn main() {
             }
             attach_monitor_threads(&mut sim, &monitor);
             let out = run_monitored(&mut sim, &mut monitor, None, 120_000_000);
-            println!(
-                "\n=== Dry run: {:.2}s (virtual) ===",
-                out.duration_s
-            );
+            println!("\n=== Dry run: {:.2}s (virtual) ===", out.duration_s);
             print!("{}", render_findings(&evaluate(&monitor, &topo)));
         }
         Err(e) => println!("launch plan failed: {e}"),

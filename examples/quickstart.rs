@@ -15,7 +15,9 @@ fn busy_work(ms: u64) {
     let mut acc = 0u64;
     let until = Instant::now() + Duration::from_millis(ms);
     while Instant::now() < until {
-        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        acc = acc
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
     }
     std::hint::black_box(acc);
 }

@@ -50,17 +50,18 @@ fn main() {
     let feed = monitor.feed.subscribe(256);
     attach_monitor_threads(&mut sim, &monitor);
     let out = run_monitored(&mut sim, &mut monitor, None, 120_000_000);
+    let snapshots: Vec<_> = feed.try_iter().collect();
     println!(
         "run finished in {:.2}s (virtual), {} snapshots streamed\n",
         out.duration_s,
-        feed.len()
+        snapshots.len()
     );
 
     // The steering consumer: per snapshot, how many team threads are
     // still burning CPU?
     let mut prev: Option<Vec<(u32, u64)>> = None;
     let mut team_size = 0usize;
-    for snap in feed.try_iter() {
+    for snap in snapshots {
         let team: Vec<(u32, u64)> = snap.processes[0]
             .lwps
             .iter()

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The repo's CI gate. Fully offline: every step resolves from the
+# workspace only. Run from anywhere inside the repo.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test -q --workspace
+
+echo "== zslint"
+cargo run -q -p zerosum-analyze --bin zslint
+
+echo "== trace checker (Table 2 scenario)"
+cargo run -q -p zerosum-cli --bin zerosum -- analyze --scenario table2 --scale 100
+
+echo "CI OK"

@@ -58,7 +58,9 @@ pub mod prelude {
         SampleFeed, SelfMonitor, Severity, SimGpuLink, ZeroSumConfig,
     };
     pub use zerosum_proc::{LinuxProc, ProcSource};
-    pub use zerosum_sched::{Behavior, NodeSim, SchedParams, SimProcSource, SrunConfig, WorkerSpec};
+    pub use zerosum_sched::{
+        Behavior, NodeSim, SchedParams, SimProcSource, SrunConfig, WorkerSpec,
+    };
     pub use zerosum_topology::{presets, CpuSet, Topology};
 }
 

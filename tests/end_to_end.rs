@@ -66,7 +66,7 @@ fn all_ranks_monitored_with_full_reports() {
     // The rank-0 summary lists the other seven ranks.
     let summary = render_summary(&monitor, duration, None);
     assert!(summary.contains("Other ranks:"));
-    assert_eq!(summary.matches("MPI 00").count() >= 8, true);
+    assert!(summary.matches("MPI 00").count() >= 8);
 }
 
 #[test]
@@ -113,10 +113,7 @@ fn csv_exports_are_consistent_with_tracks() {
         if let Some(prev) = last.get(tid) {
             assert!(utime >= *prev, "utime regressed for tid {tid}");
         }
-        last.insert(
-            Box::leak(tid.to_string().into_boxed_str()),
-            utime,
-        );
+        last.insert(Box::leak(tid.to_string().into_boxed_str()), utime);
     }
     // Log files include report + CSVs.
     let dir = std::env::temp_dir().join(format!("zs-e2e-{}", std::process::id()));
@@ -135,9 +132,7 @@ fn evaluator_is_quiet_on_a_well_configured_job() {
     let findings = evaluate(&monitor, &topo);
     // A clean spread/cores run must not produce Critical findings.
     assert!(
-        !findings
-            .iter()
-            .any(|f| f.severity() == Severity::Critical),
+        !findings.iter().any(|f| f.severity() == Severity::Critical),
         "unexpected critical findings: {findings:?}"
     );
 }

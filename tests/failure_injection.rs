@@ -48,10 +48,7 @@ fn deadlocked_team_is_flagged_then_finished_apps_are_not() {
     let out = run_monitored(&mut sim, &mut monitor, None, 5_000_000);
     assert!(!out.completed);
     assert!(
-        matches!(
-            out.liveness.last(),
-            Some(Liveness::PossibleDeadlock { .. })
-        ),
+        matches!(out.liveness.last(), Some(Liveness::PossibleDeadlock { .. })),
         "liveness tail: {:?}",
         &out.liveness[out.liveness.len().saturating_sub(3)..]
     );
@@ -157,7 +154,7 @@ fn monitor_survives_watching_nonexistent_and_mixed_processes() {
     assert_eq!(monitor.stats.errors, 0, "ghost pid must not count as error");
     // The live process was fully tracked regardless.
     let w = monitor.process(alive).unwrap();
-    assert!(w.lwps.len() >= 1);
+    assert!(!w.lwps.is_empty());
     assert!(w.lwps.track(alive).unwrap().cpu_fraction() > 0.5);
 }
 

@@ -5,10 +5,10 @@
 //! workloads) — see EXPERIMENTS.md for full-scale paper-vs-measured
 //! numbers.
 
+use zerosum_apps::PicConfig;
 use zerosum_experiments::figures::{fig5, fig67, fig8};
 use zerosum_experiments::listings::{listing1, listing2};
 use zerosum_experiments::tables::{run_table, TableConfig};
-use zerosum_apps::PicConfig;
 
 #[test]
 fn listing1_topology_output_is_byte_exact() {

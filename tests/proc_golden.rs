@@ -1,0 +1,90 @@
+//! Golden-file tests for the `/proc` parsers: every fixture under
+//! `tests/fixtures/` is a verbatim capture from a real Linux kernel
+//! (`cp /proc/... tests/fixtures/...`), so these tests pin the parsers
+//! to the actual on-disk format rather than hand-typed approximations.
+
+use std::path::Path;
+use zerosum_proc::parse::{
+    parse_meminfo, parse_schedstat, parse_system_stat, parse_task_stat, parse_task_status,
+};
+use zerosum_proc::TaskState;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()))
+}
+
+#[test]
+fn golden_proc_stat() {
+    let stat = parse_system_stat(&fixture("proc_stat.txt")).expect("parse /proc/stat");
+    // The capture machine had one online CPU; the aggregate row must
+    // equal the per-CPU sum.
+    assert_eq!(stat.cpus.len(), 1);
+    assert_eq!(stat.cpus[0].0, 0);
+    assert_eq!(stat.total.user, 80642);
+    assert_eq!(stat.total.system, 6319);
+    assert_eq!(stat.total.idle, 229482);
+    assert_eq!(stat.total.iowait, 2217);
+    assert_eq!(stat.total.steal, 691);
+    assert_eq!(stat.cpus[0].1, stat.total);
+    assert_eq!(stat.ctxt, 832451);
+    assert_eq!(stat.processes, 15250);
+}
+
+#[test]
+fn golden_proc_meminfo() {
+    let mem = parse_meminfo(&fixture("proc_meminfo.txt")).expect("parse /proc/meminfo");
+    assert_eq!(mem.mem_total_kib, 131993292);
+    assert_eq!(mem.mem_free_kib, 128789108);
+    assert_eq!(mem.mem_available_kib, 131378400);
+    assert_eq!(mem.buffers_kib, 25184);
+    assert_eq!(mem.cached_kib, 2741888);
+    assert_eq!(mem.swap_total_kib, 0);
+    assert_eq!(mem.swap_free_kib, 0);
+    assert_eq!(mem.used_kib(), 131993292 - 131378400);
+}
+
+#[test]
+fn golden_proc_pid_stat() {
+    let line = fixture("proc_pid_stat.txt");
+    let st = parse_task_stat(line.trim_end()).expect("parse /proc/pid/stat");
+    assert_eq!(st.tid, 15252);
+    assert_eq!(st.comm, "cp");
+    assert_eq!(st.state, TaskState::Running);
+    assert_eq!(st.minflt, 115);
+    assert_eq!(st.majflt, 0);
+    assert_eq!(st.utime, 0);
+    assert_eq!(st.stime, 0);
+    assert_eq!(st.nice, 0);
+    assert_eq!(st.num_threads, 1);
+    // Field 39 (processor) — NOT field 38, which is exit_signal (17 =
+    // SIGCHLD here); the capture machine allowed only CPU 0.
+    assert_eq!(st.processor, 0);
+    assert_eq!(st.nswap, 0);
+}
+
+#[test]
+fn golden_proc_pid_status() {
+    let st = parse_task_status(&fixture("proc_pid_status.txt")).expect("parse /proc/pid/status");
+    assert_eq!(st.name, "cp");
+    assert_eq!(st.tid, 15253);
+    assert_eq!(st.tgid, 15253);
+    assert_eq!(st.state, TaskState::Running);
+    assert_eq!(st.vm_rss_kib, 1840);
+    assert!(st.vm_size_kib >= st.vm_rss_kib);
+    assert!(st.cpus_allowed.contains(0));
+    assert_eq!(st.cpus_allowed.count(), 1);
+    assert_eq!(st.voluntary_ctxt_switches, 0);
+    assert_eq!(st.nonvoluntary_ctxt_switches, 1);
+}
+
+#[test]
+fn golden_proc_pid_schedstat() {
+    let ss = parse_schedstat(&fixture("proc_pid_schedstat.txt")).expect("parse schedstat");
+    assert_eq!(ss.run_ns, 0);
+    assert_eq!(ss.wait_ns, 58210);
+    assert_eq!(ss.timeslices, 1);
+}

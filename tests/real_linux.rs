@@ -75,7 +75,11 @@ fn live_contention_analysis_runs() {
     let pid = monitor.processes()[0].info.pid;
     let rep = analyze(&monitor, pid).expect("contention report");
     // At least one thread is busy; the analysis must classify it so.
-    assert!(rep.lwps.iter().any(|l| l.busy), "no busy rows: {:?}", rep.lwps);
+    assert!(
+        rep.lwps.iter().any(|l| l.busy),
+        "no busy rows: {:?}",
+        rep.lwps
+    );
     let rendered = rep.render();
     assert!(rendered.contains("Contention Summary:"));
 }
@@ -90,8 +94,8 @@ fn live_procfs_reads_are_self_consistent() {
     // Our own affinity mask fits within the machine's CPU set.
     let st = src.process_status(pid).unwrap();
     assert!(st.cpus_allowed.count() <= ncpu + 64); // offline CPUs tolerated
-    // Task list contains at least this thread; per-task reads agree on
-    // the tgid.
+                                                   // Task list contains at least this thread; per-task reads agree on
+                                                   // the tgid.
     for tid in src.list_tasks(pid).unwrap().into_iter().take(4) {
         let ts = src.task_status(pid, tid).unwrap();
         assert_eq!(ts.tgid, pid);
