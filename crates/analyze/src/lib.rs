@@ -11,16 +11,23 @@
 //!   affinity, context-switch totals, GPU causality).
 //! * **Source linting** ([`lint`]) — repo-specific rules run by the
 //!   `zslint` binary: no panics in monitor hot paths, no wall-clock in
-//!   the scheduler substrate, no prints in library crates.
+//!   the scheduler substrate, no prints in library crates, no bare
+//!   `?`-propagation of `/proc` read errors out of the sampling loop.
+//! * **Chaos checking** ([`chaos`]) — Tables 1–3 under seeded procfs
+//!   fault schedules: zero panics, exact ledger/fault-log
+//!   reconciliation, bounded distortion, and an abnormal-exit drill for
+//!   the crash-safe export path.
 //!
-//! Entry points: `zerosum analyze` (CLI) and
+//! Entry points: `zerosum analyze` / `zerosum chaos` (CLI) and
 //! `cargo run -p zerosum-analyze --bin zslint`.
 
+pub mod chaos;
 pub mod hb;
 pub mod invariants;
 pub mod lint;
 pub mod scenarios;
 
+pub use chaos::{abnormal_exit_drill, realistic_plan, run_suite, ChaosReport};
 pub use hb::{detect_races, Race, VectorClock, KERNEL_CTX};
 pub use invariants::{check_invariants, InvariantKind, Violation};
 pub use lint::{find_workspace_root, lint_repo, lint_source, LintViolation, Rule};

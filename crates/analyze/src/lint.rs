@@ -1,6 +1,6 @@
 //! `zslint`: repo-specific source lints for the ZeroSum tree.
 //!
-//! Three rules, each encoding a project constraint that `clippy` cannot
+//! Four rules, each encoding a project constraint that `clippy` cannot
 //! express:
 //!
 //! * **no-panic-hot-path** — `unwrap()` / `expect(` are banned in the
@@ -17,6 +17,12 @@
 //!   examples, benches, and tests). Libraries report through return
 //!   values or the caller-provided sink; direct prints also panic when
 //!   stdio is closed, violating rule one transitively.
+//! * **no-source-error-bubble** — bare `?`-propagation of a
+//!   [`ProcSource`](zerosum_proc::ProcSource) read error is banned in
+//!   the monitor's per-sample loop (`crates/core/src/monitor.rs`). A
+//!   failed `/proc` read is an observation about the observed system —
+//!   it must be routed through the `HealthLedger` (retry, interpolate,
+//!   quarantine), never allowed to abort the whole sample round.
 //!
 //! The scanner is purely textual but comment/string aware: it strips
 //! `//` comments, block comments, string and char literals, and skips
@@ -35,6 +41,9 @@ pub enum Rule {
     NoWallClockInSched,
     /// `println!`/`eprintln!` in library code.
     NoPrintInLib,
+    /// Bare `?`-propagation of a `ProcSource` read error in the
+    /// monitor's per-sample loop.
+    NoSourceErrorBubble,
 }
 
 impl Rule {
@@ -44,6 +53,7 @@ impl Rule {
             Rule::NoPanicHotPath => "no-panic-hot-path",
             Rule::NoWallClockInSched => "no-wall-clock-in-sched",
             Rule::NoPrintInLib => "no-print-in-lib",
+            Rule::NoSourceErrorBubble => "no-source-error-bubble",
         }
     }
 }
@@ -200,10 +210,37 @@ fn scan_text(rel: &Path, src: &str, rules: &[Rule]) -> Vec<LintViolation> {
     let mut out = Vec::new();
     for (lineno, line) in code.lines().enumerate() {
         for &rule in rules {
+            if rule == Rule::NoSourceErrorBubble {
+                // A `ProcSource` read call with a `?` after its closing
+                // paren on the same line: the error skips the ledger.
+                const READS: [&str; 7] = [
+                    ".system_stat(",
+                    ".meminfo(",
+                    ".list_tasks(",
+                    ".task_stat(",
+                    ".task_status(",
+                    ".task_schedstat(",
+                    ".process_status(",
+                ];
+                for tok in READS {
+                    if let Some(pos) = line.find(tok) {
+                        if line[pos..].contains(")?") {
+                            out.push(LintViolation {
+                                path: rel.to_path_buf(),
+                                line: lineno + 1,
+                                rule,
+                                token: format!("{}..)?", tok.trim_start_matches('.')),
+                            });
+                        }
+                    }
+                }
+                continue;
+            }
             let tokens: &[&str] = match rule {
                 Rule::NoPanicHotPath => &[".unwrap()", ".expect("],
                 Rule::NoWallClockInSched => &["Instant::now", "SystemTime::now"],
                 Rule::NoPrintInLib => &["println!", "eprintln!", "print!", "eprint!"],
+                Rule::NoSourceErrorBubble => unreachable!("handled above"),
             };
             for tok in tokens {
                 if let Some(_pos) = line.find(tok) {
@@ -253,6 +290,9 @@ fn rules_for(rel: &Path) -> Vec<Rule> {
     let mut rules = Vec::new();
     if HOT_PATHS.contains(&s.as_str()) {
         rules.push(Rule::NoPanicHotPath);
+    }
+    if s == "crates/core/src/monitor.rs" {
+        rules.push(Rule::NoSourceErrorBubble);
     }
     if s.starts_with("crates/sched/src/") {
         rules.push(Rule::NoWallClockInSched);
@@ -404,6 +444,40 @@ fn f() -> &'static str {
     \"eprintln!(no)\"
 }
 /* println! */
+";
+        let v = lint_source(Path::new("crates/core/src/monitor.rs"), src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn source_error_bubble_in_monitor_is_flagged() {
+        let src = "\
+fn sample(res: &dyn ProcSource, pid: u32) -> SourceResult<()> {
+    let stat = res.task_stat(pid, pid)?;
+    let _ = stat;
+    Ok(())
+}
+";
+        let v = lint_source(Path::new("crates/core/src/monitor.rs"), src);
+        assert!(
+            v.iter()
+                .any(|x| x.rule == Rule::NoSourceErrorBubble && x.line == 2),
+            "{v:?}"
+        );
+        // Same code outside the monitor is fine.
+        assert!(lint_source(Path::new("crates/core/src/attach.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn source_read_routed_through_ledger_is_allowed() {
+        let src = "\
+fn sample(res: &dyn ProcSource, pid: u32) {
+    match res.task_stat(pid, pid) {
+        Ok(_) => {}
+        Err(_) => {}
+    }
+    let _ = res.task_schedstat(pid, pid).ok();
+}
 ";
         let v = lint_source(Path::new("crates/core/src/monitor.rs"), src);
         assert!(v.is_empty(), "{v:?}");

@@ -7,6 +7,7 @@ fn main() {
     // the first non-flag token as the command to launch.
     match args.first().map(String::as_str) {
         Some("analyze") => std::process::exit(run_analyze(&args[1..])),
+        Some("chaos") => std::process::exit(run_chaos(&args[1..])),
         Some("lint") => std::process::exit(run_lint()),
         _ => {}
     }
@@ -125,6 +126,77 @@ fn run_one_scenario(name: &str, scale: u32, seed: u64) -> Option<zerosum_analyze
             Some(zerosum_analyze::check_comm_matrix(name, &run.matrix))
         }
         _ => None,
+    }
+}
+
+/// `zerosum chaos [--scale N] [--schedules N] [--seed N]` — run the
+/// chaos soak (Tables 1–3 under seeded procfs fault schedules) and the
+/// abnormal-exit drill. Exit 0 iff every schedule passes and the drill
+/// leaves no torn files.
+fn run_chaos(args: &[String]) -> i32 {
+    let mut scale: u32 = 150;
+    let mut schedules: usize = 21;
+    let mut seed: u64 = 0xC4A0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>, flag: &str| match it.next() {
+            Some(v) => Ok(v.clone()),
+            None => Err(format!("{flag} requires a value")),
+        };
+        let parsed = match arg.as_str() {
+            "--scale" => value(&mut it, "--scale").and_then(|v| {
+                v.parse()
+                    .map(|s| scale = s)
+                    .map_err(|e| format!("--scale: {e}"))
+            }),
+            "--schedules" => value(&mut it, "--schedules").and_then(|v| {
+                v.parse()
+                    .map(|s| schedules = s)
+                    .map_err(|e| format!("--schedules: {e}"))
+            }),
+            "--seed" => value(&mut it, "--seed").and_then(|v| {
+                v.parse()
+                    .map(|s| seed = s)
+                    .map_err(|e| format!("--seed: {e}"))
+            }),
+            "--help" | "-h" => {
+                println!("usage: zerosum chaos [--scale N] [--schedules N] [--seed N]");
+                println!("runs Tables 1-3 under seeded procfs fault schedules plus");
+                println!("an abnormal-exit drill of the crash-safe export path");
+                return 0;
+            }
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("zerosum chaos: {e}");
+            return 2;
+        }
+    }
+    let reports = zerosum_analyze::run_suite(scale, schedules, seed);
+    let mut clean = true;
+    for r in &reports {
+        print!("{}", r.render());
+        clean &= r.passed();
+    }
+    let drill_dir =
+        std::env::temp_dir().join(format!("zerosum-chaos-drill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&drill_dir);
+    let drill_problems = zerosum_analyze::abnormal_exit_drill(&drill_dir);
+    let _ = std::fs::remove_dir_all(&drill_dir);
+    if drill_problems.is_empty() {
+        println!("abnormal-exit drill: ok (partial logs intact, no torn files)");
+    } else {
+        clean = false;
+        for p in &drill_problems {
+            println!("abnormal-exit drill problem: {p}");
+        }
+    }
+    if clean {
+        println!("chaos: all {} schedule(s) clean", reports.len());
+        0
+    } else {
+        println!("chaos: FAILED");
+        1
     }
 }
 

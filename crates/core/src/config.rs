@@ -54,6 +54,37 @@ impl MonitorCost {
     }
 }
 
+/// Graceful-degradation knobs for the sampling loop (§3.1.1: the
+/// monitor must tolerate a hostile `/proc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Extra attempts after a transient `Io` failure (bounded retry).
+    pub retry_limit: u32,
+    /// Virtual-time µs charged to the monitor for the first retry;
+    /// doubles per attempt (exponential backoff, drained by the runner
+    /// into the simulation clock).
+    pub backoff_us: u64,
+    /// Consecutive failed rounds before a tid is quarantined.
+    pub quarantine_after: u32,
+    /// Rounds a quarantined tid sleeps before a re-probe.
+    pub reprobe_after: u32,
+    /// Fill failed slots from the last good sample (flagged degraded in
+    /// the ledger) instead of dropping them.
+    pub interpolate: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            retry_limit: 2,
+            backoff_us: 200,
+            quarantine_after: 3,
+            reprobe_after: 5,
+            interpolate: true,
+        }
+    }
+}
+
 /// Top-level ZeroSum configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ZeroSumConfig {
@@ -72,6 +103,8 @@ pub struct ZeroSumConfig {
     pub deadlock_windows: u32,
     /// Directory for per-process log files; `None` keeps logs in memory.
     pub log_dir: Option<PathBuf>,
+    /// Fault-tolerance behaviour of the sampling loop.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for ZeroSumConfig {
@@ -84,6 +117,7 @@ impl Default for ZeroSumConfig {
             heartbeat: false,
             deadlock_windows: 5,
             log_dir: None,
+            resilience: ResilienceConfig::default(),
         }
     }
 }

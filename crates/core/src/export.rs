@@ -9,7 +9,32 @@ use crate::monitor::{Monitor, ProcessWatch};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
-use zerosum_proc::Pid;
+use zerosum_proc::{Pid, SourceErrorKind};
+
+/// Last line of every completely-written log file. Its absence means the
+/// file is torn — which [`atomic_write`] makes impossible short of a
+/// filesystem fault, since readers only ever see fully-renamed files.
+pub const LOG_END_MARKER: &str = "=== END (complete) ===";
+
+/// First line of a log flushed on the abnormal-exit path: the data is
+/// whatever had been collected when the process died, written atomically
+/// (the file still ends with [`LOG_END_MARKER`]).
+pub const LOG_PARTIAL_MARKER: &str = "=== PARTIAL (abnormal exit) ===";
+
+/// Crash-safe file write: the content lands in a temporary file in the
+/// same directory, which is then renamed over the destination. Readers
+/// never observe a half-written file, even if the writer dies mid-write
+/// — the §3.6 log survives the monitored application's own crash.
+pub fn atomic_write(path: &Path, content: &str) -> io::Result<()> {
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "zerosum".into());
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, content)?;
+    std::fs::rename(&tmp, path)
+}
 
 /// The per-LWP CSV dump for one process. Columns follow §3.6: state,
 /// minor/major faults, pages swapped, and the CPU the LWP last ran on,
@@ -79,6 +104,52 @@ pub fn memory_csv(monitor: &Monitor) -> String {
     out
 }
 
+/// The sampling-health CSV: one row for the node-level records plus one
+/// per process, carrying the [`crate::health::HealthLedger`] tallies the
+/// chaos harness reconciles against injected fault logs.
+pub fn health_csv(monitor: &Monitor) -> String {
+    let mut out = String::from(
+        "scope,pid,ok,retried,degraded,dropped,quarantine_events,reprobes,backoff_us,\
+         not_found,io,malformed,denied,supervisor_restarts\n",
+    );
+    let row = |out: &mut String,
+               scope: &str,
+               pid: Pid,
+               l: &crate::health::HealthLedger,
+               restarts: u64| {
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            scope,
+            pid,
+            l.ok,
+            l.retried,
+            l.degraded,
+            l.dropped,
+            l.quarantine_events,
+            l.reprobes,
+            l.backoff_us,
+            l.errors_of(SourceErrorKind::NotFound),
+            l.errors_of(SourceErrorKind::Io),
+            l.errors_of(SourceErrorKind::Malformed),
+            l.errors_of(SourceErrorKind::Denied),
+            restarts
+        )
+        .unwrap();
+    };
+    row(
+        &mut out,
+        "node",
+        0,
+        &monitor.node_health,
+        monitor.supervisor.restarts,
+    );
+    for w in monitor.processes() {
+        row(&mut out, "process", w.info.pid, &w.health.ledger, 0);
+    }
+    out
+}
+
 /// The full log-file content for one process: report + CSV sections, the
 /// §3.6 layout.
 pub fn log_content(monitor: &Monitor, pid: Pid, duration_s: f64, report: &str) -> String {
@@ -107,6 +178,8 @@ pub fn log_content_with_comm(
         out.push_str(&hwt_csv(monitor));
         out.push_str("=== Memory time series (CSV) ===\n");
         out.push_str(&memory_csv(monitor));
+        out.push_str("=== Sampling health (CSV) ===\n");
+        out.push_str(&health_csv(monitor));
         if let Some(m) = comm {
             out.push_str("=== MPI point-to-point (CSV) ===\n");
             out.push_str(&zerosum_mpi::heatmap::to_csv(m));
@@ -132,8 +205,44 @@ pub fn write_logs(
             .map(|r| format!("{r:05}"))
             .unwrap_or_else(|| w.info.pid.to_string());
         let path = dir.join(format!("zerosum.{tag}.log"));
-        let content = log_content(monitor, w.info.pid, duration_s, &report_for(w.info.pid));
-        std::fs::write(&path, content)?;
+        let mut content = log_content(monitor, w.info.pid, duration_s, &report_for(w.info.pid));
+        content.push_str(LOG_END_MARKER);
+        content.push('\n');
+        atomic_write(&path, &content)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// The abnormal-exit flush (§3.1): writes whatever has been collected so
+/// far for every process, atomically, with a `PARTIAL` header naming the
+/// cause. A dying application leaves either no file or a complete one —
+/// never a torn log. Returns the written paths.
+pub fn write_partial_logs(
+    monitor: &Monitor,
+    dir: &Path,
+    cause: &str,
+    mut report_for: impl FnMut(Pid) -> String,
+) -> io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for w in monitor.processes() {
+        let tag = w
+            .info
+            .rank
+            .map(|r| format!("{r:05}"))
+            .unwrap_or_else(|| w.info.pid.to_string());
+        let path = dir.join(format!("zerosum.{tag}.log"));
+        let mut content = format!("{LOG_PARTIAL_MARKER}\ncause: {cause}\n\n");
+        content.push_str(&log_content(
+            monitor,
+            w.info.pid,
+            monitor.last_t_s,
+            &report_for(w.info.pid),
+        ));
+        content.push_str(LOG_END_MARKER);
+        content.push('\n');
+        atomic_write(&path, &content)?;
         paths.push(path);
     }
     Ok(paths)
@@ -232,6 +341,51 @@ mod tests {
         assert!(content.contains("Duration of execution"));
         assert!(content.contains("=== LWP time series (CSV) ==="));
         assert!(content.contains(&format!("LWP {pid}: Main")));
+        assert!(content.ends_with(&format!("{LOG_END_MARKER}\n")));
+        // No temp residue left behind by the atomic write.
+        assert!(std::fs::read_dir(&dir).unwrap().all(|e| !e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .ends_with(".tmp")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing_content() {
+        let dir = std::env::temp_dir().join(format!("zs-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.log");
+        atomic_write(&path, "first\n").unwrap();
+        atomic_write(&path, "second\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second\n");
+        assert!(!path.with_file_name("out.log.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn health_csv_has_node_and_process_rows() {
+        let (mon, pid) = monitored();
+        let csv = health_csv(&mon);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("scope,pid,ok,retried,degraded,dropped"));
+        assert!(lines[1].starts_with("node,0,"));
+        assert!(lines[2].starts_with(&format!("process,{pid},3,0,0,0,")));
+    }
+
+    #[test]
+    fn partial_logs_are_marked_and_complete() {
+        let (mon, _) = monitored();
+        let dir = std::env::temp_dir().join(format!("zs-partial-{}", std::process::id()));
+        let paths = write_partial_logs(&mon, &dir, "SIGSEGV", |p| {
+            report::render_process_report(&mon, p, 3.0, None)
+        })
+        .unwrap();
+        let content = std::fs::read_to_string(&paths[0]).unwrap();
+        assert!(content.starts_with(LOG_PARTIAL_MARKER));
+        assert!(content.contains("cause: SIGSEGV"));
+        assert!(content.contains("=== Sampling health (CSV) ==="));
+        assert!(content.ends_with(&format!("{LOG_END_MARKER}\n")));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,317 @@
+//! Sampling-health accounting: the ledger of what the monitor saw,
+//! retried, interpolated, dropped, and quarantined.
+//!
+//! §3.1.1 of the paper requires the monitor to *tolerate* a hostile
+//! `/proc`; this module makes the toleration auditable. Every
+//! [`zerosum_proc::SourceError`] the monitor receives is tallied by kind
+//! in a [`HealthLedger`], and every task-record slot in a sampling round
+//! ends in exactly one of: observed ok, recovered by retry, degraded
+//! (interpolated from the last good sample), or dropped. The chaos
+//! harness reconciles these tallies *exactly* against the fault
+//! injector's log — an unexplained error is a bug.
+
+use crate::config::ResilienceConfig;
+use std::collections::HashMap;
+use zerosum_proc::{SourceErrorKind, TaskStat, TaskStatus, Tid};
+
+/// Aggregated sampling-health counters for one process (or for the
+/// node-level records when held by the monitor itself).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HealthLedger {
+    /// Task records observed cleanly (both `stat` and `status` read).
+    pub ok: u64,
+    /// Reads that succeeded only after one or more retries.
+    pub retried: u64,
+    /// Task-record slots filled by last-good-sample interpolation.
+    pub degraded: u64,
+    /// Task-record slots lost entirely (no last-good sample to fall
+    /// back on, or interpolation disabled).
+    pub dropped: u64,
+    /// Transitions of a tid into quarantine.
+    pub quarantine_events: u64,
+    /// Re-probe attempts of quarantined tids.
+    pub reprobes: u64,
+    /// Virtual-time µs of retry backoff charged to the monitor.
+    pub backoff_us: u64,
+    /// Every [`zerosum_proc::SourceError`] received, by
+    /// [`SourceErrorKind::index`] — including each failed retry attempt,
+    /// so these totals reconcile 1:1 against an injector's fault log.
+    pub errors_by_kind: [u64; 4],
+}
+
+impl HealthLedger {
+    /// Tallies one received error.
+    pub fn note_error(&mut self, kind: SourceErrorKind) {
+        self.errors_by_kind[kind.index()] += 1;
+    }
+
+    /// Total errors received, all kinds.
+    pub fn errors_total(&self) -> u64 {
+        self.errors_by_kind.iter().sum()
+    }
+
+    /// Errors of one kind.
+    pub fn errors_of(&self, kind: SourceErrorKind) -> u64 {
+        self.errors_by_kind[kind.index()]
+    }
+
+    /// Adds another ledger's tallies into this one (used to aggregate
+    /// process ledgers with the node ledger for reports and
+    /// reconciliation).
+    pub fn merge(&mut self, other: &HealthLedger) {
+        self.ok += other.ok;
+        self.retried += other.retried;
+        self.degraded += other.degraded;
+        self.dropped += other.dropped;
+        self.quarantine_events += other.quarantine_events;
+        self.reprobes += other.reprobes;
+        self.backoff_us += other.backoff_us;
+        for i in 0..self.errors_by_kind.len() {
+            self.errors_by_kind[i] += other.errors_by_kind[i];
+        }
+    }
+
+    /// True if nothing abnormal was ever recorded.
+    pub fn is_clean(&self) -> bool {
+        self.retried == 0
+            && self.degraded == 0
+            && self.dropped == 0
+            && self.quarantine_events == 0
+            && self.errors_total() == 0
+    }
+}
+
+/// Per-tid failure-tracking state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskFailState {
+    /// Consecutive sampling rounds in which this tid's reads failed.
+    pub consecutive: u32,
+    /// The tid is quarantined: reads are skipped until re-probe.
+    pub quarantined: bool,
+    /// Rounds remaining before a quarantined tid is re-probed.
+    pub rounds_until_reprobe: u32,
+}
+
+/// What the monitor should do with a task slot whose reads failed this
+/// round.
+#[derive(Debug)]
+pub enum FailureAction {
+    /// Fill the slot from the last good `(stat, status)` pair, flagged
+    /// degraded in the ledger.
+    Interpolate(Box<(TaskStat, TaskStatus)>),
+    /// No fallback available (or interpolation disabled): drop the slot.
+    Drop,
+}
+
+/// The per-process health state: the public [`HealthLedger`] plus the
+/// private quarantine and last-good-sample machinery behind it.
+#[derive(Debug, Default)]
+pub struct ProcessHealth {
+    /// The public tallies.
+    pub ledger: HealthLedger,
+    states: HashMap<Tid, TaskFailState>,
+    last_good: HashMap<Tid, (TaskStat, TaskStatus)>,
+}
+
+impl ProcessHealth {
+    /// Creates an empty health record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Called once per round per listed tid, *before* reading it.
+    /// Returns `true` if the tid is quarantined and not yet due for a
+    /// re-probe — the caller must skip it this round. Returns `false`
+    /// when the tid is healthy or due for a re-probe (which is tallied).
+    pub fn should_skip(&mut self, tid: Tid) -> bool {
+        let st = self.states.entry(tid).or_default();
+        if !st.quarantined {
+            return false;
+        }
+        if st.rounds_until_reprobe > 0 {
+            st.rounds_until_reprobe -= 1;
+            return true;
+        }
+        self.ledger.reprobes += 1;
+        false
+    }
+
+    /// Records a clean observation: clears any failure state (ending a
+    /// quarantine if the re-probe succeeded) and stores the records as
+    /// the new last-good sample.
+    pub fn record_success(&mut self, tid: Tid, stat: &TaskStat, status: &TaskStatus) {
+        self.ledger.ok += 1;
+        self.states.insert(tid, TaskFailState::default());
+        self.last_good.insert(tid, (stat.clone(), status.clone()));
+    }
+
+    /// Records a failed slot (reads exhausted retries or failed
+    /// unretryably). Advances the quarantine state machine and decides
+    /// between interpolation and dropping.
+    pub fn record_failure(&mut self, tid: Tid, cfg: &ResilienceConfig) -> FailureAction {
+        let st = self.states.entry(tid).or_default();
+        st.consecutive += 1;
+        if st.quarantined {
+            // A failed re-probe: back to sleep for another window.
+            st.rounds_until_reprobe = cfg.reprobe_after;
+        } else if st.consecutive >= cfg.quarantine_after {
+            st.quarantined = true;
+            st.rounds_until_reprobe = cfg.reprobe_after;
+            self.ledger.quarantine_events += 1;
+        }
+        match self.last_good.get(&tid) {
+            Some(pair) if cfg.interpolate => {
+                self.ledger.degraded += 1;
+                FailureAction::Interpolate(Box::new(pair.clone()))
+            }
+            _ => {
+                self.ledger.dropped += 1;
+                FailureAction::Drop
+            }
+        }
+    }
+
+    /// Forgets a tid that exited normally (`NotFound` on a per-task
+    /// read): its failure state and last-good sample are irrelevant now.
+    pub fn forget(&mut self, tid: Tid) {
+        self.states.remove(&tid);
+        self.last_good.remove(&tid);
+    }
+
+    /// Number of tids currently quarantined.
+    pub fn quarantined_now(&self) -> usize {
+        self.states.values().filter(|s| s.quarantined).count()
+    }
+
+    /// The failure state of a tid, if any was ever recorded.
+    pub fn fail_state(&self, tid: Tid) -> Option<TaskFailState> {
+        self.states.get(&tid).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerosum_proc::TaskState;
+
+    fn cfg() -> ResilienceConfig {
+        ResilienceConfig {
+            quarantine_after: 3,
+            reprobe_after: 2,
+            ..Default::default()
+        }
+    }
+
+    fn stat(tid: Tid) -> TaskStat {
+        TaskStat {
+            tid,
+            comm: "t".into(),
+            state: TaskState::Running,
+            minflt: 0,
+            majflt: 0,
+            utime: 5,
+            stime: 1,
+            nice: 0,
+            num_threads: 1,
+            processor: 0,
+            nswap: 0,
+        }
+    }
+
+    fn status(tid: Tid) -> TaskStatus {
+        TaskStatus {
+            name: "t".into(),
+            tid,
+            tgid: tid,
+            state: TaskState::Running,
+            vm_rss_kib: 100,
+            vm_size_kib: 200,
+            vm_hwm_kib: 100,
+            cpus_allowed: Default::default(),
+            voluntary_ctxt_switches: 0,
+            nonvoluntary_ctxt_switches: 0,
+        }
+    }
+
+    #[test]
+    fn failure_without_history_drops_with_history_interpolates() {
+        let mut h = ProcessHealth::new();
+        assert!(matches!(h.record_failure(9, &cfg()), FailureAction::Drop));
+        h.record_success(9, &stat(9), &status(9));
+        match h.record_failure(9, &cfg()) {
+            FailureAction::Interpolate(pair) => assert_eq!(pair.0.utime, 5),
+            other => panic!("expected interpolation, got {other:?}"),
+        }
+        assert_eq!(h.ledger.dropped, 1);
+        assert_eq!(h.ledger.degraded, 1);
+        assert_eq!(h.ledger.ok, 1);
+    }
+
+    #[test]
+    fn interpolation_can_be_disabled() {
+        let mut h = ProcessHealth::new();
+        h.record_success(9, &stat(9), &status(9));
+        let off = ResilienceConfig {
+            interpolate: false,
+            ..cfg()
+        };
+        assert!(matches!(h.record_failure(9, &off), FailureAction::Drop));
+        assert_eq!(h.ledger.dropped, 1);
+    }
+
+    #[test]
+    fn quarantine_engages_after_threshold_and_reprobes() {
+        let mut h = ProcessHealth::new();
+        let c = cfg();
+        // Three consecutive failures → quarantined.
+        for _ in 0..3 {
+            assert!(!h.should_skip(9));
+            h.record_failure(9, &c);
+        }
+        assert_eq!(h.ledger.quarantine_events, 1);
+        assert_eq!(h.quarantined_now(), 1);
+        // Skipped for reprobe_after rounds, then re-probed.
+        assert!(h.should_skip(9));
+        assert!(h.should_skip(9));
+        assert!(!h.should_skip(9), "due for re-probe");
+        assert_eq!(h.ledger.reprobes, 1);
+        // Failed re-probe re-arms the window.
+        h.record_failure(9, &c);
+        assert!(h.should_skip(9));
+        assert!(h.should_skip(9));
+        assert!(!h.should_skip(9));
+        // Successful re-probe clears the quarantine.
+        h.record_success(9, &stat(9), &status(9));
+        assert_eq!(h.quarantined_now(), 0);
+        assert!(!h.should_skip(9));
+        assert_eq!(h.ledger.quarantine_events, 1, "no re-entry counted yet");
+    }
+
+    #[test]
+    fn ledger_merges_and_reports_cleanliness() {
+        let mut a = HealthLedger::default();
+        assert!(a.is_clean());
+        a.note_error(SourceErrorKind::Io);
+        a.note_error(SourceErrorKind::Io);
+        a.note_error(SourceErrorKind::Denied);
+        let mut b = HealthLedger {
+            ok: 5,
+            retried: 1,
+            ..Default::default()
+        };
+        b.merge(&a);
+        assert_eq!(b.errors_of(SourceErrorKind::Io), 2);
+        assert_eq!(b.errors_total(), 3);
+        assert!(!b.is_clean());
+    }
+
+    #[test]
+    fn forget_clears_state_and_history() {
+        let mut h = ProcessHealth::new();
+        h.record_success(9, &stat(9), &status(9));
+        h.record_failure(9, &cfg());
+        h.forget(9);
+        assert!(h.fail_state(9).is_none());
+        assert!(matches!(h.record_failure(9, &cfg()), FailureAction::Drop));
+    }
+}

@@ -182,6 +182,87 @@ mod tests {
     }
 
     #[test]
+    fn deadlock_fires_exactly_at_threshold_window() {
+        // deadlock_windows = 3: windows 1 and 2 are Stalled, window 3 —
+        // not 2, not 4 — escalates, and the count is carried verbatim.
+        let (mut sim, mut mon, _) = setup(Behavior::Sleeper);
+        let mut tracker = ProgressTracker::new();
+        let mut seq = Vec::new();
+        for i in 1..=5u64 {
+            sim.run_for(1_000_000);
+            mon.sample(i as f64, &SimProcSource::new(&sim));
+            seq.push(tracker.assess(&mon));
+        }
+        // First observation of a new thread counts as progress; the
+        // stall clock starts at the second sample.
+        assert_eq!(seq[0], Liveness::Progressing);
+        assert_eq!(seq[1], Liveness::Stalled { windows: 1 });
+        assert_eq!(seq[2], Liveness::Stalled { windows: 2 });
+        assert_eq!(
+            seq[3],
+            Liveness::PossibleDeadlock {
+                windows: 3,
+                blocked_threads: 1
+            }
+        );
+        assert_eq!(
+            seq[4],
+            Liveness::PossibleDeadlock {
+                windows: 4,
+                blocked_threads: 1
+            }
+        );
+    }
+
+    #[test]
+    fn recovery_one_window_before_threshold_restarts_count() {
+        // Stall right up to the edge (2 of 3 windows), recover, then
+        // stall again: the counter restarts at 1 — a recovered stall
+        // must not inherit the old window count.
+        let (mut sim, mut mon, _) = setup(Behavior::FiniteCompute {
+            remaining_us: 20_000_000,
+            chunk_us: 10_000,
+        });
+        let mut tracker = ProgressTracker::new();
+        sim.run_for(1_000_000);
+        mon.sample(1.0, &SimProcSource::new(&sim));
+        tracker.assess(&mon);
+        mon.sample(2.0, &SimProcSource::new(&sim));
+        assert_eq!(tracker.assess(&mon), Liveness::Stalled { windows: 1 });
+        mon.sample(3.0, &SimProcSource::new(&sim));
+        assert_eq!(tracker.assess(&mon), Liveness::Stalled { windows: 2 });
+        sim.run_for(1_000_000);
+        mon.sample(4.0, &SimProcSource::new(&sim));
+        assert_eq!(tracker.assess(&mon), Liveness::Progressing);
+        mon.sample(5.0, &SimProcSource::new(&sim));
+        assert_eq!(tracker.assess(&mon), Liveness::Stalled { windows: 1 });
+    }
+
+    #[test]
+    fn finish_during_stalled_window_reports_finished_not_deadlock() {
+        // The app stalls for two windows, then its last thread exits:
+        // the next assessment is Finished (and stays Finished), never
+        // passing through PossibleDeadlock.
+        let (mut sim, mut mon, _) = setup(Behavior::FiniteCompute {
+            remaining_us: 100_000,
+            chunk_us: 10_000,
+        });
+        let mut tracker = ProgressTracker::new();
+        sim.run_for(10_000);
+        mon.sample(1.0, &SimProcSource::new(&sim));
+        tracker.assess(&mon);
+        mon.sample(2.0, &SimProcSource::new(&sim));
+        assert_eq!(tracker.assess(&mon), Liveness::Stalled { windows: 1 });
+        mon.sample(3.0, &SimProcSource::new(&sim));
+        assert_eq!(tracker.assess(&mon), Liveness::Stalled { windows: 2 });
+        sim.run_until_apps_done(10_000, 60_000_000).unwrap();
+        mon.sample(4.0, &SimProcSource::new(&sim));
+        assert_eq!(tracker.assess(&mon), Liveness::Finished);
+        mon.sample(5.0, &SimProcSource::new(&sim));
+        assert_eq!(tracker.assess(&mon), Liveness::Finished);
+    }
+
+    #[test]
     fn stall_counter_resets_on_progress() {
         let (mut sim, mut mon, _) = setup(Behavior::FiniteCompute {
             remaining_us: 10_000_000,

@@ -34,6 +34,7 @@ pub mod evaluator;
 pub mod export;
 pub mod feed;
 pub mod gpu_link;
+pub mod health;
 pub mod heartbeat;
 pub mod hwt;
 pub mod lwp;
@@ -45,13 +46,16 @@ pub mod signal;
 
 pub use attach::SelfMonitor;
 pub use cluster::{ClusterMonitor, NodeAggregate};
-pub use config::{MonitorCost, MonitorPlacement, ZeroSumConfig};
+pub use config::{MonitorCost, MonitorPlacement, ResilienceConfig, ZeroSumConfig};
 pub use contention::{analyze, ContentionReport};
 pub use evaluator::{evaluate, evaluate_gpu_memory, render_findings, Finding, Severity};
 pub use feed::{LwpSnapshot, ProcessSnapshot, SampleFeed, SampleSnapshot};
 pub use gpu_link::{GpuStack, SimGpuLink};
+pub use health::{FailureAction, HealthLedger, ProcessHealth, TaskFailState};
 pub use heartbeat::{Liveness, ProgressTracker};
 pub use lwp::{LwpKind, LwpRegistry, LwpTrack};
-pub use monitor::{Monitor, ProcessInfo, ProcessWatch};
+pub use monitor::{Monitor, ProcessInfo, ProcessWatch, SupervisorStats};
 pub use report::{render_process_report, render_summary, GpuReportContext};
-pub use runner::{attach_monitor_threads, run_baseline, run_monitored, RunOutcome};
+pub use runner::{
+    attach_monitor_threads, run_baseline, run_monitored, run_monitored_faulty, RunOutcome,
+};

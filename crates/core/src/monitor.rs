@@ -8,11 +8,12 @@
 //! exiting threads exactly as a live `/proc` consumer must. The same
 //! code drives the live-Linux backend and the node simulation.
 
-use crate::config::ZeroSumConfig;
+use crate::config::{ResilienceConfig, ZeroSumConfig};
+use crate::health::{FailureAction, HealthLedger, ProcessHealth};
 use crate::hwt::HwtTracker;
 use crate::lwp::LwpRegistry;
 use crate::memory::MemoryTracker;
-use zerosum_proc::{Pid, ProcSource, SourceError, Tid};
+use zerosum_proc::{Pid, ProcSource, SourceError, SourceErrorKind, SourceResult, Tid};
 use zerosum_topology::CpuSet;
 
 /// Static identity of a monitored process.
@@ -47,6 +48,8 @@ pub struct ProcessWatch {
     pub rss_series: Vec<(f64, u64)>,
     /// True once the process has disappeared.
     pub gone: bool,
+    /// Sampling-health ledger and quarantine state for this process.
+    pub health: ProcessHealth,
 }
 
 impl ProcessWatch {
@@ -65,8 +68,21 @@ pub struct SampleStats {
     /// Individual record reads that failed with `NotFound` (normal
     /// thread-exit races).
     pub vanished: u64,
-    /// Other read errors.
+    /// Other read errors (counted once per failed record slot; the
+    /// per-attempt tally lives in the [`HealthLedger`]s).
     pub errors: u64,
+}
+
+/// The sampling supervisor's record of caught panics (§3.1: the monitor
+/// must never take the application down with it).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SupervisorStats {
+    /// Panics caught by the sampling supervisor; each one cost (at
+    /// most) the remainder of one round, after which sampling resumed.
+    pub restarts: u64,
+    /// The observation times (seconds) of the interrupted rounds — the
+    /// gaps in the record.
+    pub gap_times_s: Vec<f64>,
 }
 
 /// The ZeroSum monitor.
@@ -81,6 +97,14 @@ pub struct Monitor {
     pub mem: MemoryTracker,
     /// Sampling health counters.
     pub stats: SampleStats,
+    /// Health ledger for node-level records (`/proc/stat`,
+    /// `/proc/meminfo`) and per-process `list_tasks` scans.
+    pub node_health: HealthLedger,
+    /// Caught-panic record of the sampling supervisor.
+    pub supervisor: SupervisorStats,
+    /// Retry-backoff µs accrued since the last [`Monitor::take_backoff_us`]
+    /// drain (charged to the monitor's CPU cost by the runner).
+    pending_backoff_us: u64,
     /// Time of the last sample, seconds.
     pub last_t_s: f64,
     /// Live snapshot feed (§3.6): subscribers receive a
@@ -97,6 +121,9 @@ impl Monitor {
             hwt: HwtTracker::new(),
             mem: MemoryTracker::new(),
             stats: SampleStats::default(),
+            node_health: HealthLedger::default(),
+            supervisor: SupervisorStats::default(),
+            pending_backoff_us: 0,
             last_t_s: 0.0,
             feed: crate::feed::SampleFeed::new(),
         }
@@ -111,6 +138,7 @@ impl Monitor {
             cpus_allowed,
             rss_series: Vec::new(),
             gone: false,
+            health: ProcessHealth::new(),
         });
     }
 
@@ -144,10 +172,50 @@ impl Monitor {
 
     /// Performs one periodic observation at time `t_s` (seconds since
     /// monitoring began).
+    ///
+    /// The observation body runs under a supervisor: a panic anywhere in
+    /// the sampling path is caught, recorded as a gap in
+    /// [`Monitor::supervisor`], and sampling resumes at the next period —
+    /// the monitor never takes the application down with it (§3.1).
     pub fn sample(&mut self, t_s: f64, src: &dyn ProcSource) {
+        let body = std::panic::AssertUnwindSafe(|| self.sample_inner(t_s, src));
+        if std::panic::catch_unwind(body).is_err() {
+            // `self` may hold a partially-updated round; every tracker
+            // tolerates that (observations are append-only), so restart
+            // amounts to recording the gap and carrying on.
+            self.supervisor.restarts += 1;
+            self.supervisor.gap_times_s.push(t_s);
+        }
+    }
+
+    /// Drains the retry-backoff µs accrued since the last drain. The
+    /// runner charges this to the monitor's simulated CPU cost, so a
+    /// retry storm shows up as monitor overhead exactly as it would on a
+    /// live node.
+    pub fn take_backoff_us(&mut self) -> u64 {
+        std::mem::take(&mut self.pending_backoff_us)
+    }
+
+    /// The node ledger merged with every process ledger — the totals the
+    /// chaos harness reconciles against an injected fault log.
+    pub fn health_total(&self) -> HealthLedger {
+        let mut total = self.node_health.clone();
+        for w in &self.processes {
+            total.merge(&w.health.ledger);
+        }
+        total
+    }
+
+    fn sample_inner(&mut self, t_s: f64, src: &dyn ProcSource) {
         self.stats.rounds += 1;
         self.last_t_s = t_s;
-        match src.system_stat() {
+        let res = self.config.resilience;
+        match with_retry(
+            &res,
+            &mut self.node_health,
+            &mut self.pending_backoff_us,
+            || src.system_stat(),
+        ) {
             Ok(stat) => self.hwt.observe(t_s, &stat),
             Err(_) => self.stats.errors += 1,
         }
@@ -157,7 +225,12 @@ impl Monitor {
                 continue;
             }
             let pid = w.info.pid;
-            let tids = match src.list_tasks(pid) {
+            let tids = match with_retry(
+                &res,
+                &mut self.node_health,
+                &mut self.pending_backoff_us,
+                || src.list_tasks(pid),
+            ) {
                 Ok(t) => t,
                 Err(SourceError::NotFound) => {
                     w.gone = true;
@@ -170,28 +243,50 @@ impl Monitor {
                 }
             };
             for &tid in &tids {
-                let stat = match src.task_stat(pid, tid) {
-                    Ok(s) => s,
+                if w.health.should_skip(tid) {
+                    // Quarantined after persistent failures; re-probed
+                    // once per `reprobe_after` rounds.
+                    continue;
+                }
+                let read = match with_retry(
+                    &res,
+                    &mut w.health.ledger,
+                    &mut self.pending_backoff_us,
+                    || src.task_stat(pid, tid),
+                ) {
+                    Ok(stat) => with_retry(
+                        &res,
+                        &mut w.health.ledger,
+                        &mut self.pending_backoff_us,
+                        || src.task_status(pid, tid),
+                    )
+                    .map(|status| (stat, status)),
+                    Err(e) => Err(e),
+                };
+                let (stat, status, fresh) = match read {
+                    Ok((stat, status)) => {
+                        w.health.record_success(tid, &stat, &status);
+                        (stat, status, true)
+                    }
                     Err(SourceError::NotFound) => {
                         // Thread exited between the directory listing and
                         // the read: the normal race of §3.1.1.
                         self.stats.vanished += 1;
+                        w.health.forget(tid);
                         continue;
                     }
                     Err(_) => {
                         self.stats.errors += 1;
-                        continue;
-                    }
-                };
-                let status = match src.task_status(pid, tid) {
-                    Ok(s) => s,
-                    Err(SourceError::NotFound) => {
-                        self.stats.vanished += 1;
-                        continue;
-                    }
-                    Err(_) => {
-                        self.stats.errors += 1;
-                        continue;
+                        match w.health.record_failure(tid, &res) {
+                            FailureAction::Interpolate(pair) => {
+                                // Degraded: repeat the last good sample so
+                                // the time series stays continuous; the
+                                // ledger flags the substitution.
+                                let (stat, status) = *pair;
+                                (stat, status, false)
+                            }
+                            FailureAction::Drop => continue,
+                        }
                     }
                 };
                 if tid == pid {
@@ -202,20 +297,67 @@ impl Monitor {
                     watched_rss.push((pid, status.vm_rss_kib));
                 }
                 // schedstat is optional (CONFIG_SCHED_INFO); absence is
-                // not an error.
-                let schedstat = src.task_schedstat(pid, tid).ok();
+                // not an error. Interpolated rounds skip it — a fresh
+                // schedstat against a stale stat would skew wait deltas.
+                let schedstat = if fresh {
+                    src.task_schedstat(pid, tid).ok()
+                } else {
+                    None
+                };
                 w.lwps
                     .observe_with_schedstat(pid, t_s, &stat, &status, schedstat);
             }
             w.lwps.mark_exited(&tids);
         }
-        match src.meminfo() {
+        match with_retry(
+            &res,
+            &mut self.node_health,
+            &mut self.pending_backoff_us,
+            || src.meminfo(),
+        ) {
             Ok(mi) => self.mem.observe(t_s, &mi, &watched_rss),
             Err(_) => self.stats.errors += 1,
         }
         if self.feed.subscriber_count() > 0 {
             let snap = crate::feed::snapshot_of(self);
             self.feed.publish(snap);
+        }
+    }
+}
+
+/// Runs a source read with bounded retry on transient `Io` failures.
+///
+/// Every error received — including each failed retry attempt — is
+/// tallied in `ledger.errors_by_kind`, so ledger totals reconcile 1:1
+/// against a fault injector's log. Retry backoff doubles per attempt and
+/// is accrued into `backoff_acc` as virtual-time monitor cost rather
+/// than sleeping (sampling stays deterministic).
+fn with_retry<T>(
+    cfg: &ResilienceConfig,
+    ledger: &mut HealthLedger,
+    backoff_acc: &mut u64,
+    mut call: impl FnMut() -> SourceResult<T>,
+) -> SourceResult<T> {
+    let mut attempts = 0u32;
+    loop {
+        match call() {
+            Ok(v) => {
+                if attempts > 0 {
+                    ledger.retried += 1;
+                }
+                return Ok(v);
+            }
+            Err(e) => {
+                ledger.note_error(e.kind());
+                if e.kind() == SourceErrorKind::Io && attempts < cfg.retry_limit {
+                    let backoff = cfg.backoff_us << attempts.min(16);
+                    ledger.backoff_us += backoff;
+                    *backoff_acc += backoff;
+                    attempts += 1;
+                    continue;
+                }
+                return Err(e);
+            }
         }
     }
 }
@@ -330,6 +472,149 @@ mod tests {
         mon.sample(1.0, &SimProcSource::new(&sim));
         assert!(mon.process(99_999).unwrap().gone);
         assert!(mon.stats.vanished >= 1);
+    }
+
+    #[test]
+    fn transient_io_recovers_by_retry() {
+        use zerosum_proc::fault::{FaultInjector, FaultKind, FaultPlan, ScriptedFault};
+        let (mut sim, mut mon, pid) = sim_and_monitor();
+        // Call order per round: system_stat, list_tasks, then per tid
+        // stat/status/schedstat. Call 3 is the first task_stat.
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 5,
+            scripted: vec![ScriptedFault {
+                call: 3,
+                kind: FaultKind::IoTransient,
+            }],
+            ..Default::default()
+        });
+        sim.run_for(1_000_000);
+        let src = SimProcSource::new(&sim);
+        mon.sample(1.0, &inj.wrap(&src));
+        let ledger = mon.process(pid).unwrap().health.ledger.clone();
+        assert_eq!(ledger.retried, 1);
+        assert_eq!(ledger.degraded, 0);
+        assert!(ledger.backoff_us > 0);
+        assert_eq!(mon.take_backoff_us(), ledger.backoff_us);
+        assert_eq!(mon.take_backoff_us(), 0, "drain empties the accrual");
+        // The slot completed: both threads observed this round.
+        assert_eq!(ledger.ok, 2);
+        assert_eq!(mon.stats.errors, 0, "recovered reads are not errors");
+    }
+
+    #[test]
+    fn persistent_failure_interpolates_then_quarantines() {
+        use zerosum_proc::fault::{FaultInjector, FaultPlan, FaultRates, Op};
+        let (mut sim, mut mon, pid) = sim_and_monitor();
+        mon.config.resilience.retry_limit = 0;
+        mon.config.resilience.quarantine_after = 2;
+        mon.config.resilience.reprobe_after = 3;
+        // The main thread's stat reads fail permanently from round 2 on.
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 9,
+            ..Default::default()
+        });
+        sim.run_for(1_000_000);
+        let src = SimProcSource::new(&sim);
+        mon.sample(1.0, &inj.wrap(&src));
+        let rss_after_good = mon.process(pid).unwrap().rss_kib();
+        assert!(rss_after_good > 0);
+        let inj_bad = FaultInjector::new(FaultPlan {
+            seed: 9,
+            per_op: vec![(
+                Op::TaskStat,
+                FaultRates {
+                    io_transient: 1.0,
+                    ..Default::default()
+                },
+            )],
+            ..Default::default()
+        });
+        for round in 2..=6u64 {
+            sim.run_for(1_000_000);
+            let src = SimProcSource::new(&sim);
+            mon.sample(round as f64, &inj_bad.wrap(&src));
+        }
+        let w = mon.process(pid).unwrap();
+        // Rounds 2 and 3 fail and interpolate; the quarantine then
+        // silences rounds 4-6 for both tids.
+        assert_eq!(w.health.ledger.degraded, 4, "2 rounds x 2 tids");
+        assert_eq!(w.health.ledger.quarantine_events, 2);
+        assert_eq!(w.health.quarantined_now(), 2);
+        // Interpolation kept the main thread's series continuous.
+        let main = w.lwps.track(pid).unwrap();
+        assert_eq!(main.samples.len(), 3);
+        assert_eq!(w.rss_series.len(), 3);
+        assert_eq!(w.rss_kib(), rss_after_good, "stale RSS repeated");
+        // Ledger error totals reconcile exactly against the fault log.
+        let totals = mon.health_total();
+        let injected = inj_bad.error_counts_excluding(&[Op::SchedStat]);
+        assert_eq!(totals.errors_by_kind, injected);
+    }
+
+    #[test]
+    fn quarantined_tid_reprobes_and_recovers() {
+        use zerosum_proc::fault::{FaultInjector, FaultPlan, FaultRates, Op};
+        let (mut sim, mut mon, pid) = sim_and_monitor();
+        mon.config.resilience.retry_limit = 0;
+        mon.config.resilience.quarantine_after = 1;
+        mon.config.resilience.reprobe_after = 1;
+        let inj_bad = FaultInjector::new(FaultPlan {
+            seed: 3,
+            per_op: vec![(
+                Op::TaskStat,
+                FaultRates {
+                    io_transient: 1.0,
+                    ..Default::default()
+                },
+            )],
+            ..Default::default()
+        });
+        sim.run_for(1_000_000);
+        let src = SimProcSource::new(&sim);
+        mon.sample(1.0, &inj_bad.wrap(&src));
+        assert_eq!(mon.process(pid).unwrap().health.quarantined_now(), 2);
+        // Round 2: skipped (no reads). Round 3: re-probe against a healthy
+        // source succeeds and lifts the quarantine.
+        for round in 2..=3u64 {
+            sim.run_for(1_000_000);
+            let src = SimProcSource::new(&sim);
+            mon.sample(round as f64, &src);
+        }
+        let w = mon.process(pid).unwrap();
+        assert_eq!(w.health.quarantined_now(), 0);
+        assert_eq!(w.health.ledger.reprobes, 2);
+        assert_eq!(w.health.ledger.ok, 2, "re-probed round observed both tids");
+    }
+
+    #[test]
+    fn supervisor_catches_injected_panic_and_sampling_resumes() {
+        use zerosum_proc::fault::{FaultInjector, FaultKind, FaultPlan, ScriptedFault};
+        let (mut sim, mut mon, pid) = sim_and_monitor();
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 1,
+            scripted: vec![ScriptedFault {
+                call: 1,
+                kind: FaultKind::Panic,
+            }],
+            ..Default::default()
+        });
+        // Keep the default hook from spamming test output.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        sim.run_for(1_000_000);
+        let src = SimProcSource::new(&sim);
+        mon.sample(1.0, &inj.wrap(&src));
+        std::panic::set_hook(prev);
+        assert_eq!(mon.supervisor.restarts, 1);
+        assert_eq!(mon.supervisor.gap_times_s, vec![1.0]);
+        // The next (clean) round proceeds normally.
+        sim.run_for(1_000_000);
+        let src = SimProcSource::new(&sim);
+        mon.sample(2.0, &src);
+        assert_eq!(mon.stats.rounds, 2);
+        let w = mon.process(pid).unwrap();
+        assert_eq!(w.lwps.track(pid).unwrap().samples.len(), 1);
     }
 
     #[test]

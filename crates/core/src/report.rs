@@ -38,6 +38,8 @@ pub fn render_process_report(
     render_lwp_summary(&mut out, watch);
     writeln!(out).unwrap();
     render_hardware_summary(&mut out, monitor, watch);
+    writeln!(out).unwrap();
+    render_health_summary(&mut out, monitor, watch);
     if let Some(g) = gpu {
         writeln!(out).unwrap();
         for &(slot, _phys, visible) in &g.devices {
@@ -114,6 +116,45 @@ fn render_lwp_summary(out: &mut String, w: &ProcessWatch) {
             t.total_nvcsw(),
             t.total_vcsw(),
             t.affinity.to_list_string()
+        )
+        .unwrap();
+    }
+}
+
+fn render_health_summary(out: &mut String, monitor: &Monitor, w: &ProcessWatch) {
+    let l = &w.health.ledger;
+    writeln!(out, "Sampling Health:").unwrap();
+    writeln!(
+        out,
+        "samples ok: {}, retried: {}, degraded: {}, dropped: {}, quarantined: {}",
+        l.ok,
+        l.retried,
+        l.degraded,
+        l.dropped,
+        w.health.quarantined_now()
+    )
+    .unwrap();
+    let mut errs = String::new();
+    for kind in zerosum_proc::SourceErrorKind::ALL {
+        if !errs.is_empty() {
+            errs.push_str(", ");
+        }
+        let total = l.errors_of(kind) + monitor.node_health.errors_of(kind);
+        write!(errs, "{}: {}", kind.label(), total).unwrap();
+    }
+    writeln!(out, "errors (incl. node records): {errs}").unwrap();
+    if monitor.supervisor.restarts > 0 {
+        let gaps: Vec<String> = monitor
+            .supervisor
+            .gap_times_s
+            .iter()
+            .map(|t| format!("{t:.3}s"))
+            .collect();
+        writeln!(
+            out,
+            "supervisor restarts: {} (gaps at: {})",
+            monitor.supervisor.restarts,
+            gaps.join(", ")
         )
         .unwrap();
     }

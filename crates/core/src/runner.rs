@@ -9,6 +9,7 @@
 use crate::gpu_link::SimGpuLink;
 use crate::heartbeat::{Liveness, ProgressTracker};
 use crate::monitor::Monitor;
+use zerosum_proc::fault::FaultInjector;
 use zerosum_proc::Tid;
 use zerosum_sched::{Behavior, NodeSim, SimProcSource};
 
@@ -60,8 +61,33 @@ pub fn attach_monitor_threads(sim: &mut NodeSim, monitor: &Monitor) -> Vec<Tid> 
 pub fn run_monitored(
     sim: &mut NodeSim,
     monitor: &mut Monitor,
+    gpu: Option<&mut SimGpuLink>,
+    max_us: u64,
+) -> RunOutcome {
+    run_monitored_impl(sim, monitor, gpu, max_us, None)
+}
+
+/// Like [`run_monitored`], but every `/proc` read passes through the
+/// given fault injector — the chaos harness's entry point. Injected
+/// latency and the monitor's retry backoff are charged to virtual time
+/// after each sample, so slow or flaky reads perturb the application the
+/// way they would on a real node.
+pub fn run_monitored_faulty(
+    sim: &mut NodeSim,
+    monitor: &mut Monitor,
+    gpu: Option<&mut SimGpuLink>,
+    max_us: u64,
+    injector: &FaultInjector,
+) -> RunOutcome {
+    run_monitored_impl(sim, monitor, gpu, max_us, Some(injector))
+}
+
+fn run_monitored_impl(
+    sim: &mut NodeSim,
+    monitor: &mut Monitor,
     mut gpu: Option<&mut SimGpuLink>,
     max_us: u64,
+    injector: Option<&FaultInjector>,
 ) -> RunOutcome {
     let start_us = sim.now_us();
     let period = monitor.config.period_us.max(1_000);
@@ -70,12 +96,24 @@ pub fn run_monitored(
     let mut liveness = Vec::new();
     let mut heartbeats = Vec::new();
     let mut completed = false;
+    let sample_once = |sim: &mut NodeSim, monitor: &mut Monitor, t_s: f64| {
+        {
+            let src = SimProcSource::new(sim);
+            match injector {
+                Some(inj) => monitor.sample(t_s, &inj.wrap(&src)),
+                None => monitor.sample(t_s, &src),
+            }
+        }
+        // Charge injected read latency and retry backoff to the clock:
+        // monitoring cost the application real time.
+        let extra = monitor.take_backoff_us() + injector.map(|i| i.drain_latency_us()).unwrap_or(0);
+        if extra > 0 {
+            sim.run_for(extra);
+        }
+    };
     // Initial configuration detection (§3, phase 1): observe the process
     // and thread state immediately at startup.
-    {
-        let src = SimProcSource::new(sim);
-        monitor.sample(0.0, &src);
-    }
+    sample_once(sim, monitor, 0.0);
     while sim.now_us() < deadline {
         let budget = period.min(deadline - sim.now_us());
         // Advance up to one period, stopping exactly when the app exits.
@@ -83,10 +121,7 @@ pub fn run_monitored(
             completed = true;
         }
         let t_s = (sim.now_us() - start_us) as f64 / 1e6;
-        {
-            let src = SimProcSource::new(sim);
-            monitor.sample(t_s, &src);
-        }
+        sample_once(sim, monitor, t_s);
         if let Some(link) = gpu.as_deref_mut() {
             link.poll(sim, budget as f64 / 1e6);
         }

@@ -11,12 +11,13 @@
 //!   OMP_PLACES=cores` (one thread pinned per core).
 
 use std::sync::{Arc, Mutex};
-use zerosum_apps::{launch_miniqmc, MiniQmcConfig};
+use zerosum_apps::{launch_miniqmc, MiniQmcConfig, MiniQmcJob};
 use zerosum_core::{
-    attach_monitor_threads, evaluate, render_process_report, run_monitored, Finding, Monitor,
-    ProcessInfo, ZeroSumConfig,
+    attach_monitor_threads, evaluate, render_process_report, run_monitored, run_monitored_faulty,
+    Finding, HealthLedger, Monitor, ProcessInfo, ZeroSumConfig,
 };
 use zerosum_omp::{OmpEnv, OmptRegistry};
+use zerosum_proc::fault::{FaultInjector, FaultPlan, Op};
 use zerosum_sched::{NodeSim, SchedParams, SimAudit, SrunConfig, TraceRecord};
 use zerosum_topology::presets;
 
@@ -127,12 +128,21 @@ pub fn run_table_traced(
     (run, trace, audit)
 }
 
-fn run_table_impl(
-    config: TableConfig,
-    scale: u32,
-    seed: u64,
-    trace: bool,
-) -> (TableRun, Option<(Vec<TraceRecord>, SimAudit)>) {
+/// A launched-and-watched table scenario, ready to drive: the simulated
+/// node with miniQMC running on it, and a monitor already watching every
+/// rank with its monitor threads attached.
+struct PreparedTable {
+    topo: zerosum_topology::Topology,
+    sim: NodeSim,
+    job: MiniQmcJob,
+    monitor: Monitor,
+}
+
+/// Builds the simulation, launches miniQMC per the table's `srun`/OMP
+/// configuration, wires OMPT discovery into a fresh monitor, and attaches
+/// the monitor threads — everything up to (but excluding) the run itself,
+/// shared by the plain, traced, and chaos drivers.
+fn prepare_table(config: TableConfig, scale: u32, seed: u64, trace: bool) -> PreparedTable {
     let topo = presets::frontier();
     let mut sim = NodeSim::new(
         topo.clone(),
@@ -173,15 +183,20 @@ fn run_table_impl(
         }
     }
     attach_monitor_threads(&mut sim, &monitor);
-    let out = run_monitored(&mut sim, &mut monitor, None, 3_600_000_000);
-    assert!(out.completed, "table run timed out");
-    let traced = trace.then(|| {
-        let audit = sim.audit();
-        (sim.take_trace(), audit)
-    });
-    let rank0 = job.teams[0].pid;
-    let report = render_process_report(&monitor, rank0, out.duration_s, None);
-    let findings = evaluate(&monitor, &topo);
+    PreparedTable {
+        topo,
+        sim,
+        job,
+        monitor,
+    }
+}
+
+/// Digests a finished run into the paper-table rows and findings.
+fn finish_table(config: TableConfig, duration_s: f64, prep: &PreparedTable) -> TableRun {
+    let monitor = &prep.monitor;
+    let rank0 = prep.job.teams[0].pid;
+    let report = render_process_report(monitor, rank0, duration_s, None);
+    let findings = evaluate(monitor, &prep.topo);
     let watch = monitor.process(rank0).expect("rank 0 watched");
     let mut rows: Vec<LwpRow> = watch
         .lwps
@@ -204,17 +219,102 @@ fn run_table_impl(
         .filter(|t| t.is_openmp || t.kind == zerosum_core::LwpKind::Main)
         .map(|t| t.observed_migrations())
         .sum();
-    (
-        TableRun {
-            config,
-            duration_s: out.duration_s,
-            rows,
-            report,
-            findings,
-            team_migrations,
-        },
-        traced,
-    )
+    TableRun {
+        config,
+        duration_s,
+        rows,
+        report,
+        findings,
+        team_migrations,
+    }
+}
+
+fn run_table_impl(
+    config: TableConfig,
+    scale: u32,
+    seed: u64,
+    trace: bool,
+) -> (TableRun, Option<(Vec<TraceRecord>, SimAudit)>) {
+    let mut prep = prepare_table(config, scale, seed, trace);
+    let out = run_monitored(&mut prep.sim, &mut prep.monitor, None, 3_600_000_000);
+    assert!(out.completed, "table run timed out");
+    let traced = trace.then(|| {
+        let audit = prep.sim.audit();
+        (prep.sim.take_trace(), audit)
+    });
+    (finish_table(config, out.duration_s, &prep), traced)
+}
+
+/// The chaos harness's view of one faulted table run: the monitor's
+/// health accounting side-by-side with the injector's ground truth.
+#[derive(Debug)]
+pub struct ChaosAudit {
+    /// The node ledger merged with every process ledger.
+    pub ledger: HealthLedger,
+    /// Errors the monitor accounted for, by `SourceErrorKind` index.
+    pub ledger_errors: [u64; 4],
+    /// Errors the injector delivered (injected + passed through),
+    /// excluding `schedstat` reads — the monitor treats a missing
+    /// schedstat as an absent kernel feature, not an error.
+    pub injected_errors: [u64; 4],
+    /// Sampling-loop panics caught by the supervisor.
+    pub supervisor_restarts: u64,
+    /// Tids still quarantined at run end, across all ranks.
+    pub quarantined: usize,
+    /// Stale (cached) reads the injector served.
+    pub stale_serves: u64,
+    /// Read latency injected, µs.
+    pub injected_latency_us: u64,
+    /// Total fault-log entries.
+    pub fault_events: usize,
+    /// Whether the application ran to completion under fault load.
+    pub completed: bool,
+}
+
+impl ChaosAudit {
+    /// Exact reconciliation: every error the injector delivered is
+    /// accounted for in the ledgers, and nothing more.
+    pub fn reconciles(&self) -> bool {
+        self.ledger_errors == self.injected_errors
+    }
+}
+
+/// Runs one table configuration with every `/proc` read routed through a
+/// seeded fault injector, and audits the monitor's health accounting
+/// against the injected fault log.
+pub fn run_table_chaos(
+    config: TableConfig,
+    scale: u32,
+    seed: u64,
+    plan: FaultPlan,
+) -> (TableRun, ChaosAudit) {
+    let mut prep = prepare_table(config, scale, seed, false);
+    let injector = FaultInjector::new(plan);
+    let out = run_monitored_faulty(
+        &mut prep.sim,
+        &mut prep.monitor,
+        None,
+        3_600_000_000,
+        &injector,
+    );
+    let ledger = prep.monitor.health_total();
+    let audit = ChaosAudit {
+        ledger_errors: ledger.errors_by_kind,
+        injected_errors: injector.error_counts_excluding(&[Op::SchedStat]),
+        supervisor_restarts: prep.monitor.supervisor.restarts,
+        quarantined: prep
+            .monitor
+            .processes()
+            .iter()
+            .map(|w| w.health.quarantined_now())
+            .sum(),
+        stale_serves: injector.stale_count(),
+        injected_latency_us: injector.injected_latency_us(),
+        fault_events: injector.log().len(),
+        completed: out.completed,
+        ledger,
+    };
+    (finish_table(config, out.duration_s, &prep), audit)
 }
 
 /// Formats the rows like the paper's tables.

@@ -16,17 +16,23 @@
 //!   the monitor always exercises the real parsers.
 //! * [`source::ProcSource`] — the trait boundary the monitor observes
 //!   through; [`linux::LinuxProc`] is the live-system implementation.
+//! * [`fault`] — a deterministic, seeded fault injector wrapping any
+//!   source, used by the chaos harness to prove graceful degradation.
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod format;
 pub mod linux;
 pub mod parse;
 pub mod source;
 pub mod types;
 
+pub use fault::{
+    FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRates, FaultyProc, Op, ScriptedFault,
+};
 pub use linux::LinuxProc;
-pub use source::{ProcSource, SourceError, SourceResult};
+pub use source::{ProcSource, SourceError, SourceErrorKind, SourceResult};
 pub use types::{
     CpuTimes, Jiffies, MemInfo, Pid, SchedStat, SystemStat, TaskStat, TaskState, TaskStatus, Tid,
     USER_HZ,

@@ -7,13 +7,31 @@
 use crate::parse;
 use crate::source::{ProcSource, SourceError, SourceResult};
 use crate::types::{MemInfo, Pid, SchedStat, SystemStat, TaskStat, TaskStatus, Tid};
+use std::cell::Cell;
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
+
+/// Maps a filesystem error on a procfs read to the source taxonomy:
+/// vanished records are [`SourceError::NotFound`], permission failures
+/// are [`SourceError::Denied`] (so callers can skip-with-count instead
+/// of aborting a scan), everything else is [`SourceError::Io`].
+fn classify_read_error(kind: ErrorKind, context: impl std::fmt::Display) -> SourceError {
+    match kind {
+        ErrorKind::NotFound => SourceError::NotFound,
+        ErrorKind::PermissionDenied => SourceError::Denied(context.to_string()),
+        _ => SourceError::Io(context.to_string()),
+    }
+}
 
 /// A [`ProcSource`] reading a (real or fixture) procfs directory tree.
 #[derive(Debug, Clone)]
 pub struct LinuxProc {
     root: PathBuf,
+    /// Directory entries skipped during [`ProcSource::list_tasks`] scans
+    /// because the entry itself could not be stat'ed (racing exits,
+    /// permission churn). A count, not an error: the rest of the scan
+    /// proceeds.
+    scan_skips: Cell<u64>,
 }
 
 impl Default for LinuxProc {
@@ -27,12 +45,22 @@ impl LinuxProc {
     pub fn new() -> Self {
         LinuxProc {
             root: PathBuf::from("/proc"),
+            scan_skips: Cell::new(0),
         }
     }
 
     /// Uses an alternate root (for tests / containers).
     pub fn with_root(root: impl Into<PathBuf>) -> Self {
-        LinuxProc { root: root.into() }
+        LinuxProc {
+            root: root.into(),
+            scan_skips: Cell::new(0),
+        }
+    }
+
+    /// Total task-list entries skipped (rather than aborting the scan)
+    /// since this source was created.
+    pub fn scan_skips(&self) -> u64 {
+        self.scan_skips.get()
     }
 
     /// The pid of the calling process, read from `/proc/self/status`
@@ -51,13 +79,8 @@ impl LinuxProc {
     }
 
     fn read(&self, path: PathBuf) -> SourceResult<String> {
-        std::fs::read_to_string(&path).map_err(|e| match e.kind() {
-            ErrorKind::NotFound => SourceError::NotFound,
-            // A task exiting mid-read surfaces as ESRCH (InvalidInput-ish);
-            // treat every non-existence-like error as NotFound.
-            ErrorKind::PermissionDenied => SourceError::Io(format!("{}: {e}", path.display())),
-            _ => SourceError::Io(format!("{}: {e}", path.display())),
-        })
+        std::fs::read_to_string(&path)
+            .map_err(|e| classify_read_error(e.kind(), format_args!("{}: {e}", path.display())))
     }
 
     fn task_dir(&self, pid: Pid) -> PathBuf {
@@ -87,13 +110,21 @@ impl ProcSource for LinuxProc {
 
     fn list_tasks(&self, pid: Pid) -> SourceResult<Vec<Tid>> {
         let dir = self.task_dir(pid);
-        let entries = std::fs::read_dir(&dir).map_err(|e| match e.kind() {
-            ErrorKind::NotFound => SourceError::NotFound,
-            _ => SourceError::Io(format!("{}: {e}", dir.display())),
-        })?;
+        let entries = std::fs::read_dir(&dir)
+            .map_err(|e| classify_read_error(e.kind(), format_args!("{}: {e}", dir.display())))?;
         let mut tids = Vec::new();
         for entry in entries {
-            let entry = entry.map_err(|e| SourceError::Io(e.to_string()))?;
+            // A single unreadable entry (a task racing to exit, or a
+            // permission-restricted sibling) must not abort the whole
+            // scan — skip it and count, mirroring the NotFound tolerance
+            // of the per-task reads.
+            let entry = match entry {
+                Ok(e) => e,
+                Err(_) => {
+                    self.scan_skips.set(self.scan_skips.get() + 1);
+                    continue;
+                }
+            };
             if let Some(tid) = entry.file_name().to_str().and_then(|s| s.parse().ok()) {
                 tids.push(tid);
             }
@@ -173,6 +204,31 @@ mod tests {
             Err(SourceError::NotFound) => {}
             Err(other) => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn read_errors_classify_by_kind() {
+        assert_eq!(
+            classify_read_error(ErrorKind::NotFound, "x"),
+            SourceError::NotFound
+        );
+        match classify_read_error(ErrorKind::PermissionDenied, "/proc/1/task/1/stat: EPERM") {
+            SourceError::Denied(msg) => assert!(msg.contains("EPERM")),
+            other => panic!("expected Denied, got {other:?}"),
+        }
+        match classify_read_error(ErrorKind::TimedOut, "slow") {
+            SourceError::Io(msg) => assert!(msg.contains("slow")),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_skip_counter_starts_at_zero_and_survives_scans() {
+        let src = LinuxProc::new();
+        let pid = src.self_pid().unwrap();
+        src.list_tasks(pid).unwrap();
+        // A healthy scan of our own task dir skips nothing.
+        assert_eq!(src.scan_skips(), 0);
     }
 
     #[test]

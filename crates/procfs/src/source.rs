@@ -21,6 +21,67 @@ pub enum SourceError {
     Io(String),
     /// The record existed but could not be parsed.
     Malformed(String),
+    /// The record exists but the caller may not read it (`EPERM` /
+    /// `EACCES`) — e.g. a setuid task inside the watched process. The
+    /// monitor must skip-with-count, never abort the scan.
+    Denied(String),
+}
+
+/// The kind of a [`SourceError`], with the payload stripped — used as an
+/// index by fault accounting (the monitor's `HealthLedger` and the fault
+/// injector's log reconcile per kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceErrorKind {
+    /// [`SourceError::NotFound`].
+    NotFound,
+    /// [`SourceError::Io`].
+    Io,
+    /// [`SourceError::Malformed`].
+    Malformed,
+    /// [`SourceError::Denied`].
+    Denied,
+}
+
+impl SourceErrorKind {
+    /// All kinds, in stable order (the index order used by counters).
+    pub const ALL: [SourceErrorKind; 4] = [
+        SourceErrorKind::NotFound,
+        SourceErrorKind::Io,
+        SourceErrorKind::Malformed,
+        SourceErrorKind::Denied,
+    ];
+
+    /// Stable dense index, matching [`Self::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            SourceErrorKind::NotFound => 0,
+            SourceErrorKind::Io => 1,
+            SourceErrorKind::Malformed => 2,
+            SourceErrorKind::Denied => 3,
+        }
+    }
+
+    /// Short label for reports and CSV.
+    pub fn label(self) -> &'static str {
+        match self {
+            SourceErrorKind::NotFound => "not_found",
+            SourceErrorKind::Io => "io",
+            SourceErrorKind::Malformed => "malformed",
+            SourceErrorKind::Denied => "denied",
+        }
+    }
+}
+
+impl SourceError {
+    /// The payload-free kind of this error.
+    pub fn kind(&self) -> SourceErrorKind {
+        match self {
+            SourceError::NotFound => SourceErrorKind::NotFound,
+            SourceError::Io(_) => SourceErrorKind::Io,
+            SourceError::Malformed(_) => SourceErrorKind::Malformed,
+            SourceError::Denied(_) => SourceErrorKind::Denied,
+        }
+    }
 }
 
 impl fmt::Display for SourceError {
@@ -29,6 +90,7 @@ impl fmt::Display for SourceError {
             SourceError::NotFound => write!(f, "no such process or task"),
             SourceError::Io(e) => write!(f, "procfs I/O error: {e}"),
             SourceError::Malformed(e) => write!(f, "malformed procfs record: {e}"),
+            SourceError::Denied(e) => write!(f, "procfs access denied: {e}"),
         }
     }
 }
@@ -82,5 +144,26 @@ mod tests {
         assert_eq!(SourceError::NotFound.to_string(), "no such process or task");
         assert!(SourceError::Io("x".into()).to_string().contains("x"));
         assert!(SourceError::Malformed("y".into()).to_string().contains("y"));
+        assert!(SourceError::Denied("z".into())
+            .to_string()
+            .contains("denied"));
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        for (i, k) in SourceErrorKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert_eq!(SourceError::NotFound.kind(), SourceErrorKind::NotFound);
+        assert_eq!(SourceError::Io("x".into()).kind(), SourceErrorKind::Io);
+        assert_eq!(
+            SourceError::Malformed("y".into()).kind(),
+            SourceErrorKind::Malformed
+        );
+        assert_eq!(
+            SourceError::Denied("z".into()).kind(),
+            SourceErrorKind::Denied
+        );
+        assert_eq!(SourceErrorKind::Io.label(), "io");
     }
 }

@@ -20,4 +20,7 @@ cargo run -q -p zerosum-analyze --bin zslint
 echo "== trace checker (Table 2 scenario)"
 cargo run -q -p zerosum-cli --bin zerosum -- analyze --scenario table2 --scale 100
 
+echo "== chaos soak (21 seeded fault schedules + abnormal-exit drill)"
+cargo run -q -p zerosum-cli --bin zerosum -- chaos --scale 150 --schedules 21 --seed 50336
+
 echo "CI OK"

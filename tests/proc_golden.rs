@@ -88,3 +88,49 @@ fn golden_proc_pid_schedstat() {
     assert_eq!(ss.wait_ns, 58210);
     assert_eq!(ss.timeslices, 1);
 }
+
+// --- Pathological captures (§3.1.1: the observation surface is hostile).
+// `comm` is attacker-controlled via prctl(PR_SET_NAME) and may contain
+// spaces, parentheses, even newlines; reads can race an exiting task and
+// return truncated or zeroed content. The parsers must return data or
+// `Err` — never panic, never mis-split on the wrong parenthesis.
+
+#[test]
+fn golden_proc_pid_stat_evil_comm() {
+    let line = fixture("proc_pid_stat_evil_comm.txt");
+    let st = parse_task_stat(line.trim_end()).expect("parse evil comm");
+    assert_eq!(st.tid, 4242);
+    // Everything between the first '(' and the *last* ')': spaces,
+    // nested parens, and an embedded newline survive verbatim.
+    assert_eq!(st.comm, "tmux: new-server ((o_o)\n !");
+    assert_eq!(st.state, TaskState::Running);
+    assert_eq!(st.minflt, 115);
+    assert_eq!(st.utime, 0);
+    assert_eq!(st.num_threads, 1);
+    assert_eq!(st.processor, 0);
+}
+
+#[test]
+fn golden_proc_pid_stat_truncated() {
+    // A read racing task exit can return the line cut mid-field. That is
+    // an error (`missing field`), not a panic and not zeroed garbage.
+    let line = fixture("proc_pid_stat_truncated.txt");
+    let err = parse_task_stat(line.trim_end()).expect_err("truncated stat must not parse");
+    assert!(err.to_string().contains("field"), "{err}");
+}
+
+#[test]
+fn golden_proc_pid_stat_zero() {
+    // All-zero rows (e.g. kernel threads, or a tid observed in the first
+    // jiffy of its life) are valid data, not an error.
+    let line = fixture("proc_pid_stat_zero.txt");
+    let st = parse_task_stat(line.trim_end()).expect("parse all-zero stat");
+    assert_eq!(st.tid, 0);
+    assert_eq!(st.comm, "swapper/0");
+    assert_eq!(st.state, TaskState::Running);
+    assert_eq!(st.minflt, 0);
+    assert_eq!(st.utime, 0);
+    assert_eq!(st.stime, 0);
+    assert_eq!(st.nswap, 0);
+    assert_eq!(st.processor, 0);
+}
