@@ -45,16 +45,20 @@ fn main() -> ExitCode {
         }
     };
     match lint::lint_repo(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("zslint: clean ({})", root.display());
-            ExitCode::SUCCESS
-        }
         Ok(violations) => {
             for v in &violations {
                 println!("{v}");
             }
-            println!("zslint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
+            // Note-level findings inform; only error-level rules fail.
+            let errors = violations.iter().filter(|v| !v.rule.is_note()).count();
+            let notes = violations.len() - errors;
+            if errors == 0 {
+                println!("zslint: clean ({}), {notes} note(s)", root.display());
+                ExitCode::SUCCESS
+            } else {
+                println!("zslint: {errors} violation(s), {notes} note(s)");
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("zslint: {e}");

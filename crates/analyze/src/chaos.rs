@@ -79,8 +79,8 @@ pub fn realistic_plan(fault_seed: u64) -> FaultPlan {
 /// sampling round — exercises the `catch_unwind` supervisor end-to-end.
 pub fn panic_plan(fault_seed: u64) -> FaultPlan {
     let mut plan = FaultPlan::quiet(fault_seed);
-    // Call 3 is the first per-task `stat` read of round one (after
-    // `system_stat` and `list_tasks`).
+    // Call 3 is the first per-task read of round one (the `schedstat`
+    // that leads each task slot, after `system_stat` and `list_tasks`).
     plan.scripted = vec![ScriptedFault {
         call: 3,
         kind: FaultKind::Panic,
@@ -239,27 +239,39 @@ fn sim_seed_for(config: TableConfig) -> u64 {
 /// then `schedules` seeded fault schedules distributed round-robin over
 /// the three configurations, each judged against its baseline.
 pub fn run_suite(scale: u32, schedules: usize, base_fault_seed: u64) -> Vec<ChaosReport> {
-    let baselines: Vec<TableRun> = CONFIGS
-        .iter()
-        .map(|&c| run_table(c, scale, sim_seed_for(c)))
-        .collect();
-    let mut reports = Vec::with_capacity(schedules);
-    for i in 0..schedules {
-        let idx = i % CONFIGS.len();
-        let config = CONFIGS[idx];
-        let fault_seed = base_fault_seed
-            .wrapping_add(7919u64.wrapping_mul(i as u64))
-            .wrapping_add(1);
-        let (run, audit) = run_table_chaos(
-            config,
-            scale,
-            sim_seed_for(config),
-            realistic_plan(fault_seed),
-        );
-        let name = format!("{}-f{:02}", short_label(config), i);
-        reports.push(judge(&name, fault_seed, &run, &audit, &baselines[idx]));
-    }
-    reports
+    // Baselines and fault schedules are independent simulations; both
+    // stages fan out on the experiment engine. Results come back in
+    // submission order, so reports are identical to a sequential run.
+    let baselines: Vec<TableRun> = zerosum_experiments::parallel::run_jobs(
+        CONFIGS
+            .iter()
+            .map(|&c| move || run_table(c, scale, sim_seed_for(c)))
+            .collect(),
+        0,
+    );
+    let baselines = &baselines;
+    zerosum_experiments::parallel::run_jobs(
+        (0..schedules)
+            .map(|i| {
+                move || {
+                    let idx = i % CONFIGS.len();
+                    let config = CONFIGS[idx];
+                    let fault_seed = base_fault_seed
+                        .wrapping_add(7919u64.wrapping_mul(i as u64))
+                        .wrapping_add(1);
+                    let (run, audit) = run_table_chaos(
+                        config,
+                        scale,
+                        sim_seed_for(config),
+                        realistic_plan(fault_seed),
+                    );
+                    let name = format!("{}-f{:02}", short_label(config), i);
+                    judge(&name, fault_seed, &run, &audit, &baselines[idx])
+                }
+            })
+            .collect(),
+        0,
+    )
 }
 
 /// Rehearses the crash-safe export path and returns every problem found

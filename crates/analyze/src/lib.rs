@@ -21,12 +21,14 @@
 //! Entry points: `zerosum analyze` / `zerosum chaos` (CLI) and
 //! `cargo run -p zerosum-analyze --bin zslint`.
 
+pub mod bench;
 pub mod chaos;
 pub mod hb;
 pub mod invariants;
 pub mod lint;
 pub mod scenarios;
 
+pub use bench::{check as bench_check, compare as bench_compare, run_bench, BenchReport, Metric};
 pub use chaos::{abnormal_exit_drill, realistic_plan, run_suite, ChaosReport};
 pub use hb::{detect_races, Race, VectorClock, KERNEL_CTX};
 pub use invariants::{check_invariants, InvariantKind, Violation};

@@ -7,6 +7,7 @@ fn main() {
     // the first non-flag token as the command to launch.
     match args.first().map(String::as_str) {
         Some("analyze") => std::process::exit(run_analyze(&args[1..])),
+        Some("bench") => std::process::exit(run_bench(&args[1..])),
         Some("chaos") => std::process::exit(run_chaos(&args[1..])),
         Some("lint") => std::process::exit(run_lint()),
         _ => {}
@@ -129,6 +130,109 @@ fn run_one_scenario(name: &str, scale: u32, seed: u64) -> Option<zerosum_analyze
     }
 }
 
+/// `zerosum bench [--quick] [--json] [--out FILE] [--check BASELINE]
+/// [--max-regress PCT]` — run the performance suite and optionally gate
+/// it against a committed baseline. `--compare A B` diffs two saved
+/// bench files without measuring anything. Exit 0 on success, 1 when a
+/// gated metric regresses past the limit, 2 on usage/IO errors.
+fn run_bench(args: &[String]) -> i32 {
+    let mut quick = false;
+    let mut json = false;
+    let mut out_file: Option<String> = None;
+    let mut check_file: Option<String> = None;
+    let mut max_regress = 15.0f64;
+    let mut compare_files: Option<(String, String)> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>, flag: &str| match it.next() {
+            Some(v) => Ok(v.clone()),
+            None => Err(format!("{flag} requires a value")),
+        };
+        let parsed = match arg.as_str() {
+            "--quick" => {
+                quick = true;
+                Ok(())
+            }
+            "--json" => {
+                json = true;
+                Ok(())
+            }
+            "--out" => value(&mut it, "--out").map(|v| out_file = Some(v)),
+            "--check" => value(&mut it, "--check").map(|v| check_file = Some(v)),
+            "--max-regress" => value(&mut it, "--max-regress").and_then(|v| {
+                v.parse()
+                    .map(|p| max_regress = p)
+                    .map_err(|e| format!("--max-regress: {e}"))
+            }),
+            "--compare" => value(&mut it, "--compare A").and_then(|a| {
+                value(&mut it, "--compare A B").map(|b| compare_files = Some((a, b)))
+            }),
+            "--help" | "-h" => {
+                println!(
+                    "usage: zerosum bench [--quick] [--json] [--out FILE] \
+                     [--check BASELINE [--max-regress PCT]]"
+                );
+                println!("       zerosum bench --compare A.json B.json");
+                return 0;
+            }
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("zerosum bench: {e}");
+            return 2;
+        }
+    }
+    let load = |path: &str| -> Result<zerosum_analyze::BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        zerosum_analyze::BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    if let Some((a, b)) = compare_files {
+        return match (load(&a), load(&b)) {
+            (Ok(ra), Ok(rb)) => {
+                print!("{}", zerosum_analyze::bench_compare(&ra, &rb));
+                0
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("zerosum bench: {e}");
+                2
+            }
+        };
+    }
+    let report = zerosum_analyze::run_bench(quick);
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if let Some(path) = out_file {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("zerosum bench: {path}: {e}");
+            return 2;
+        }
+        eprintln!("zerosum bench: wrote {path}");
+    }
+    if let Some(path) = check_file {
+        let baseline = match load(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("zerosum bench: {e}");
+                return 2;
+            }
+        };
+        let failures = zerosum_analyze::bench_check(&report, &baseline, max_regress);
+        if failures.is_empty() {
+            println!("bench: within {max_regress:.0}% of {path}");
+        } else {
+            for f in &failures {
+                println!("bench regression: {f}");
+            }
+            println!("bench: FAILED ({} regression(s))", failures.len());
+            return 1;
+        }
+    }
+    0
+}
+
 /// `zerosum chaos [--scale N] [--schedules N] [--seed N]` — run the
 /// chaos soak (Tables 1–3 under seeded procfs fault schedules) and the
 /// abnormal-exit drill. Exit 0 iff every schedule passes and the drill
@@ -217,16 +321,19 @@ fn run_lint() -> i32 {
         return 2;
     };
     match zerosum_analyze::lint_repo(&root) {
-        Ok(v) if v.is_empty() => {
-            println!("lint: clean ({})", root.display());
-            0
-        }
         Ok(v) => {
             for x in &v {
                 println!("{x}");
             }
-            println!("lint: {} violation(s)", v.len());
-            1
+            let errors = v.iter().filter(|x| !x.rule.is_note()).count();
+            let notes = v.len() - errors;
+            if errors == 0 {
+                println!("lint: clean ({}), {notes} note(s)", root.display());
+                0
+            } else {
+                println!("lint: {errors} violation(s), {notes} note(s)");
+                1
+            }
         }
         Err(e) => {
             eprintln!("zerosum lint: {e}");

@@ -105,6 +105,13 @@ pub struct ZeroSumConfig {
     pub log_dir: Option<PathBuf>,
     /// Fault-tolerance behaviour of the sampling loop.
     pub resilience: ResilienceConfig,
+    /// Delta sampling: skip re-reading `stat`/`status` for worker
+    /// threads whose `schedstat` is unchanged since the last fresh read.
+    /// A thread whose on-CPU time, wait time, and timeslice count are
+    /// all identical has not been dispatched, so those records cannot
+    /// have changed. The main thread is always read fresh (it carries
+    /// the process-wide RSS, which moves without the thread running).
+    pub delta_sampling: bool,
 }
 
 impl Default for ZeroSumConfig {
@@ -118,6 +125,7 @@ impl Default for ZeroSumConfig {
             deadlock_windows: 5,
             log_dir: None,
             resilience: ResilienceConfig::default(),
+            delta_sampling: true,
         }
     }
 }
@@ -132,6 +140,12 @@ impl ZeroSumConfig {
     /// Builder: sets the monitor placement.
     pub fn with_placement(mut self, p: MonitorPlacement) -> Self {
         self.placement = p;
+        self
+    }
+
+    /// Builder: enables or disables delta sampling.
+    pub fn with_delta_sampling(mut self, on: bool) -> Self {
+        self.delta_sampling = on;
         self
     }
 

@@ -142,7 +142,24 @@ impl ProcessHealth {
     pub fn record_success(&mut self, tid: Tid, stat: &TaskStat, status: &TaskStatus) {
         self.ledger.ok += 1;
         self.states.insert(tid, TaskFailState::default());
-        self.last_good.insert(tid, (stat.clone(), status.clone()));
+        // `clone_from` into the existing pair reuses its string and
+        // cpuset buffers — this runs once per tid per round.
+        match self.last_good.entry(tid) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let (s, st) = e.get_mut();
+                s.clone_from(stat);
+                st.clone_from(status);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((stat.clone(), status.clone()));
+            }
+        }
+    }
+
+    /// The last cleanly observed `(stat, status)` pair for a tid, if any.
+    /// Delta sampling re-uses it for threads that provably have not run.
+    pub fn last_good(&self, tid: Tid) -> Option<&(TaskStat, TaskStatus)> {
+        self.last_good.get(&tid)
     }
 
     /// Records a failed slot (reads exhausted retries or failed

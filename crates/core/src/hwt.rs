@@ -75,7 +75,12 @@ impl HwtTracker {
                 self.cpus.push((*idx, Vec::new()));
             }
         }
-        self.prev = Some(stat.clone());
+        // Reuse the previous snapshot's cpu vector rather than cloning a
+        // fresh one every sample.
+        match &mut self.prev {
+            Some(prev) => prev.clone_from(stat),
+            None => self.prev = Some(stat.clone()),
+        }
     }
 
     /// Overall utilization of one CPU across the whole run:

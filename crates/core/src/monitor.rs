@@ -13,7 +13,11 @@ use crate::health::{FailureAction, HealthLedger, ProcessHealth};
 use crate::hwt::HwtTracker;
 use crate::lwp::LwpRegistry;
 use crate::memory::MemoryTracker;
-use zerosum_proc::{Pid, ProcSource, SourceError, SourceErrorKind, SourceResult, Tid};
+use std::collections::HashMap;
+use zerosum_proc::{
+    Pid, ProcSource, SchedStat, SourceError, SourceErrorKind, SourceResult, SystemStat, TaskStat,
+    TaskStatus, Tid,
+};
 use zerosum_topology::CpuSet;
 
 /// Static identity of a monitored process.
@@ -50,6 +54,10 @@ pub struct ProcessWatch {
     pub gone: bool,
     /// Sampling-health ledger and quarantine state for this process.
     pub health: ProcessHealth,
+    /// Last `schedstat` seen per tid on a *fresh* read — the delta-
+    /// sampling gate: an unchanged schedstat proves the thread was never
+    /// dispatched, so its `stat`/`status` need not be re-read.
+    last_schedstat: HashMap<Tid, SchedStat>,
 }
 
 impl ProcessWatch {
@@ -71,6 +79,10 @@ pub struct SampleStats {
     /// Other read errors (counted once per failed record slot; the
     /// per-attempt tally lives in the [`HealthLedger`]s).
     pub errors: u64,
+    /// Task slots filled from the last good sample because the thread's
+    /// `schedstat` was unchanged (delta sampling) — two record reads
+    /// saved each.
+    pub delta_hits: u64,
 }
 
 /// The sampling supervisor's record of caught panics (§3.1: the monitor
@@ -110,6 +122,20 @@ pub struct Monitor {
     /// Live snapshot feed (§3.6): subscribers receive a
     /// [`crate::feed::SampleSnapshot`] after every sample.
     pub feed: crate::feed::SampleFeed,
+    /// Reusable per-round records, overwritten by the `_into` reads —
+    /// the sampling hot path allocates nothing in the steady state.
+    scratch: SampleScratch,
+}
+
+/// One record of each kind plus the per-round vectors, reused across
+/// rounds.
+#[derive(Debug, Default)]
+struct SampleScratch {
+    sys: SystemStat,
+    tids: Vec<Tid>,
+    stat: TaskStat,
+    status: TaskStatus,
+    watched_rss: Vec<(Pid, u64)>,
 }
 
 impl Monitor {
@@ -126,6 +152,7 @@ impl Monitor {
             pending_backoff_us: 0,
             last_t_s: 0.0,
             feed: crate::feed::SampleFeed::new(),
+            scratch: SampleScratch::default(),
         }
     }
 
@@ -139,6 +166,7 @@ impl Monitor {
             rss_series: Vec::new(),
             gone: false,
             health: ProcessHealth::new(),
+            last_schedstat: HashMap::new(),
         });
     }
 
@@ -210,28 +238,29 @@ impl Monitor {
         self.stats.rounds += 1;
         self.last_t_s = t_s;
         let res = self.config.resilience;
+        let delta_on = self.config.delta_sampling;
         match with_retry(
             &res,
             &mut self.node_health,
             &mut self.pending_backoff_us,
-            || src.system_stat(),
+            || src.system_stat_into(&mut self.scratch.sys),
         ) {
-            Ok(stat) => self.hwt.observe(t_s, &stat),
+            Ok(()) => self.hwt.observe(t_s, &self.scratch.sys),
             Err(_) => self.stats.errors += 1,
         }
-        let mut watched_rss: Vec<(Pid, u64)> = Vec::new();
+        self.scratch.watched_rss.clear();
         for w in &mut self.processes {
             if w.gone {
                 continue;
             }
             let pid = w.info.pid;
-            let tids = match with_retry(
+            match with_retry(
                 &res,
                 &mut self.node_health,
                 &mut self.pending_backoff_us,
-                || src.list_tasks(pid),
+                || src.list_tasks_into(pid, &mut self.scratch.tids),
             ) {
-                Ok(t) => t,
+                Ok(()) => {}
                 Err(SourceError::NotFound) => {
                     w.gone = true;
                     self.stats.vanished += 1;
@@ -241,38 +270,64 @@ impl Monitor {
                     self.stats.errors += 1;
                     continue;
                 }
-            };
-            for &tid in &tids {
+            }
+            for &tid in &self.scratch.tids {
                 if w.health.should_skip(tid) {
                     // Quarantined after persistent failures; re-probed
                     // once per `reprobe_after` rounds.
                     continue;
                 }
+                // schedstat first: it is both the wait-time source and
+                // the delta gate. Optional (CONFIG_SCHED_INFO); absence
+                // is not an error and is never retried.
+                let schedstat = src.task_schedstat(pid, tid).ok();
+                if delta_on && tid != pid {
+                    // Unchanged schedstat ⇒ the thread was never
+                    // dispatched since the last fresh read ⇒ its `stat`
+                    // and `status` are bytewise unchanged; reuse the
+                    // last good pair. The main thread is exempt: it
+                    // carries the process-wide RSS, which moves without
+                    // the thread running.
+                    if let (Some(ss), Some(prev)) = (schedstat, w.last_schedstat.get(&tid)) {
+                        if ss == *prev {
+                            if let Some((stat, status)) = w.health.last_good(tid) {
+                                self.stats.delta_hits += 1;
+                                w.lwps
+                                    .observe_with_schedstat(pid, t_s, stat, status, Some(ss));
+                                continue;
+                            }
+                        }
+                    }
+                }
                 let read = match with_retry(
                     &res,
                     &mut w.health.ledger,
                     &mut self.pending_backoff_us,
-                    || src.task_stat(pid, tid),
+                    || src.task_stat_into(pid, tid, &mut self.scratch.stat),
                 ) {
-                    Ok(stat) => with_retry(
+                    Ok(()) => with_retry(
                         &res,
                         &mut w.health.ledger,
                         &mut self.pending_backoff_us,
-                        || src.task_status(pid, tid),
-                    )
-                    .map(|status| (stat, status)),
+                        || src.task_status_into(pid, tid, &mut self.scratch.status),
+                    ),
                     Err(e) => Err(e),
                 };
-                let (stat, status, fresh) = match read {
-                    Ok((stat, status)) => {
-                        w.health.record_success(tid, &stat, &status);
-                        (stat, status, true)
+                let fresh = match read {
+                    Ok(()) => {
+                        w.health
+                            .record_success(tid, &self.scratch.stat, &self.scratch.status);
+                        if let Some(ss) = schedstat {
+                            w.last_schedstat.insert(tid, ss);
+                        }
+                        true
                     }
                     Err(SourceError::NotFound) => {
                         // Thread exited between the directory listing and
                         // the read: the normal race of §3.1.1.
                         self.stats.vanished += 1;
                         w.health.forget(tid);
+                        w.last_schedstat.remove(&tid);
                         continue;
                     }
                     Err(_) => {
@@ -282,8 +337,9 @@ impl Monitor {
                                 // Degraded: repeat the last good sample so
                                 // the time series stays continuous; the
                                 // ledger flags the substitution.
-                                let (stat, status) = *pair;
-                                (stat, status, false)
+                                self.scratch.stat.clone_from(&pair.0);
+                                self.scratch.status.clone_from(&pair.1);
+                                false
                             }
                             FailureAction::Drop => continue,
                         }
@@ -291,23 +347,25 @@ impl Monitor {
                 };
                 if tid == pid {
                     if w.cpus_allowed.is_empty() {
-                        w.cpus_allowed = status.cpus_allowed.clone();
+                        w.cpus_allowed.copy_from(&self.scratch.status.cpus_allowed);
                     }
-                    w.rss_series.push((t_s, status.vm_rss_kib));
-                    watched_rss.push((pid, status.vm_rss_kib));
+                    w.rss_series.push((t_s, self.scratch.status.vm_rss_kib));
+                    self.scratch
+                        .watched_rss
+                        .push((pid, self.scratch.status.vm_rss_kib));
                 }
-                // schedstat is optional (CONFIG_SCHED_INFO); absence is
-                // not an error. Interpolated rounds skip it — a fresh
+                // Interpolated rounds report no schedstat — a fresh
                 // schedstat against a stale stat would skew wait deltas.
-                let schedstat = if fresh {
-                    src.task_schedstat(pid, tid).ok()
-                } else {
-                    None
-                };
-                w.lwps
-                    .observe_with_schedstat(pid, t_s, &stat, &status, schedstat);
+                let ss = if fresh { schedstat } else { None };
+                w.lwps.observe_with_schedstat(
+                    pid,
+                    t_s,
+                    &self.scratch.stat,
+                    &self.scratch.status,
+                    ss,
+                );
             }
-            w.lwps.mark_exited(&tids);
+            w.lwps.mark_exited(&self.scratch.tids);
         }
         match with_retry(
             &res,
@@ -315,7 +373,7 @@ impl Monitor {
             &mut self.pending_backoff_us,
             || src.meminfo(),
         ) {
-            Ok(mi) => self.mem.observe(t_s, &mi, &watched_rss),
+            Ok(mi) => self.mem.observe(t_s, &mi, &self.scratch.watched_rss),
             Err(_) => self.stats.errors += 1,
         }
         if self.feed.subscriber_count() > 0 {
@@ -479,11 +537,11 @@ mod tests {
         use zerosum_proc::fault::{FaultInjector, FaultKind, FaultPlan, ScriptedFault};
         let (mut sim, mut mon, pid) = sim_and_monitor();
         // Call order per round: system_stat, list_tasks, then per tid
-        // stat/status/schedstat. Call 3 is the first task_stat.
+        // schedstat/stat/status. Call 4 is the first task_stat.
         let inj = FaultInjector::new(FaultPlan {
             seed: 5,
             scripted: vec![ScriptedFault {
-                call: 3,
+                call: 4,
                 kind: FaultKind::IoTransient,
             }],
             ..Default::default()

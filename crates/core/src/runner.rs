@@ -146,8 +146,8 @@ fn run_monitored_impl(
 /// Returns the duration in seconds, or `None` on timeout.
 pub fn run_baseline(sim: &mut NodeSim, max_us: u64) -> Option<f64> {
     let start = sim.now_us();
-    // Same 200 µs completion-detection granularity as the monitored path,
-    // so overhead comparisons are unbiased.
+    // Same exact-tick completion detection as the monitored path, so
+    // overhead comparisons are unbiased.
     sim.run_until_apps_done(200, max_us)
         .map(|done| (done - start) as f64 / 1e6)
 }

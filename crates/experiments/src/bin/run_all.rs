@@ -15,9 +15,25 @@ fn main() {
     print!("{}", listings::listing1());
 
     println!("\n--- Tables 1-3 ---");
-    let t1 = run_table(TableConfig::Table1, scale, seed);
-    let t2 = run_table(TableConfig::Table2, scale, seed);
-    let t3 = run_table(TableConfig::Table3, scale, seed);
+    // The three table runs are independent simulations; the parallel
+    // engine runs them on worker threads and returns them in order.
+    let mut tables = zerosum_experiments::parallel::run_jobs(
+        [
+            TableConfig::Table1,
+            TableConfig::Table2,
+            TableConfig::Table3,
+        ]
+        .into_iter()
+        .map(|c| move || run_table(c, scale, seed))
+        .collect(),
+        0,
+    )
+    .into_iter();
+    let (t1, t2, t3) = (
+        tables.next().unwrap(),
+        tables.next().unwrap(),
+        tables.next().unwrap(),
+    );
     let nv = |r: &zerosum_experiments::tables::TableRun| -> u64 {
         r.rows
             .iter()

@@ -23,6 +23,7 @@
 pub mod cluster_demo;
 pub mod figures;
 pub mod listings;
+pub mod parallel;
 pub mod platforms;
 pub mod sweep;
 pub mod tables;

@@ -44,7 +44,7 @@ impl TableConfig {
 }
 
 /// One row of the paper's LWP table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LwpRow {
     /// Thread id.
     pub tid: u32,
@@ -112,7 +112,19 @@ fn miniqmc_for(config: TableConfig, scale: u32) -> MiniQmcConfig {
 /// Runs one table configuration. `scale` divides the block count
 /// (1 = the full paper-calibrated workload; tests use 50–100).
 pub fn run_table(config: TableConfig, scale: u32, seed: u64) -> TableRun {
-    run_table_impl(config, scale, seed, false).0
+    run_table_impl(config, scale, seed, false, ZeroSumConfig::scaled(scale)).0
+}
+
+/// Like [`run_table`] but with an explicit monitor configuration —
+/// used by the differential suites (e.g. delta sampling on vs off must
+/// produce identical tables).
+pub fn run_table_configured(
+    config: TableConfig,
+    scale: u32,
+    seed: u64,
+    zs: ZeroSumConfig,
+) -> TableRun {
+    run_table_impl(config, scale, seed, false, zs).0
 }
 
 /// Like [`run_table`] but with scheduler event tracing enabled: also
@@ -123,7 +135,7 @@ pub fn run_table_traced(
     scale: u32,
     seed: u64,
 ) -> (TableRun, Vec<TraceRecord>, SimAudit) {
-    let (run, traced) = run_table_impl(config, scale, seed, true);
+    let (run, traced) = run_table_impl(config, scale, seed, true, ZeroSumConfig::scaled(scale));
     let (trace, audit) = traced.expect("tracing was enabled");
     (run, trace, audit)
 }
@@ -142,7 +154,13 @@ struct PreparedTable {
 /// configuration, wires OMPT discovery into a fresh monitor, and attaches
 /// the monitor threads — everything up to (but excluding) the run itself,
 /// shared by the plain, traced, and chaos drivers.
-fn prepare_table(config: TableConfig, scale: u32, seed: u64, trace: bool) -> PreparedTable {
+fn prepare_table(
+    config: TableConfig,
+    scale: u32,
+    seed: u64,
+    trace: bool,
+    zs: ZeroSumConfig,
+) -> PreparedTable {
     let topo = presets::frontier();
     let mut sim = NodeSim::new(
         topo.clone(),
@@ -161,7 +179,7 @@ fn prepare_table(config: TableConfig, scale: u32, seed: u64, trace: bool) -> Pre
         ompt.on_thread_begin(move |ev| omp_tids.lock().unwrap().push(ev.tid));
     }
     let job = launch_miniqmc(&mut sim, &topo, &qmc, &mut ompt).expect("launch");
-    let mut monitor = Monitor::new(ZeroSumConfig::scaled(scale));
+    let mut monitor = Monitor::new(zs);
     for team in &job.teams {
         let rank = sim.process(team.pid).and_then(|p| p.rank);
         monitor.watch_process(ProcessInfo {
@@ -234,8 +252,9 @@ fn run_table_impl(
     scale: u32,
     seed: u64,
     trace: bool,
+    zs: ZeroSumConfig,
 ) -> (TableRun, Option<(Vec<TraceRecord>, SimAudit)>) {
-    let mut prep = prepare_table(config, scale, seed, trace);
+    let mut prep = prepare_table(config, scale, seed, trace, zs);
     let out = run_monitored(&mut prep.sim, &mut prep.monitor, None, 3_600_000_000);
     assert!(out.completed, "table run timed out");
     let traced = trace.then(|| {
@@ -288,7 +307,7 @@ pub fn run_table_chaos(
     seed: u64,
     plan: FaultPlan,
 ) -> (TableRun, ChaosAudit) {
-    let mut prep = prepare_table(config, scale, seed, false);
+    let mut prep = prepare_table(config, scale, seed, false, ZeroSumConfig::scaled(scale));
     let injector = FaultInjector::new(plan);
     let out = run_monitored_faulty(
         &mut prep.sim,
@@ -395,6 +414,52 @@ mod tests {
             assert!(!r.cpus.contains('-'), "row {r:?}");
         }
         assert_eq!(run.team_migrations, 0, "bound threads never migrate");
+    }
+
+    #[test]
+    fn delta_sampling_is_table_equivalent_over_twenty_seeds() {
+        // Delta sampling replays a thread's last good records when its
+        // schedstat is unchanged; those records are identical to what a
+        // fresh read would return, so the published tables must match
+        // the delta-off run bit for bit. Twenty seeds across all three
+        // configurations, fanned out on the experiment engine.
+        let seeds: Vec<u64> = (0..20u64).map(|i| 101 + i * 37).collect();
+        let scale = 300;
+        let runs = crate::parallel::run_seeded(&seeds, 0, |seed| {
+            let config = match seed % 3 {
+                0 => TableConfig::Table1,
+                1 => TableConfig::Table2,
+                _ => TableConfig::Table3,
+            };
+            let on = run_table_configured(config, scale, seed, ZeroSumConfig::scaled(scale));
+            let off = run_table_configured(
+                config,
+                scale,
+                seed,
+                ZeroSumConfig::scaled(scale).with_delta_sampling(false),
+            );
+            (seed, on, off)
+        });
+        for (seed, on, off) in runs {
+            assert_eq!(on.rows, off.rows, "rows diverged at seed {seed}");
+            assert_eq!(
+                on.duration_s, off.duration_s,
+                "virtual runtime diverged at seed {seed}"
+            );
+            assert_eq!(
+                on.team_migrations, off.team_migrations,
+                "migrations diverged at seed {seed}"
+            );
+            // The health ledger counts fresh reads, and delta hits
+            // replace fresh reads by design — compare everything above
+            // the Sampling Health section (the published report body).
+            let body = |r: &str| r.split("\nSampling Health:").next().unwrap().to_string();
+            assert_eq!(
+                body(&on.report),
+                body(&off.report),
+                "report body diverged at seed {seed}"
+            );
+        }
     }
 
     #[test]

@@ -220,6 +220,11 @@ enum Decision {
 #[derive(Debug)]
 pub struct FaultInjector {
     plan: FaultPlan,
+    /// Whether this plan can ever serve a stale read. Precomputed so the
+    /// pass-through path skips last-good caching entirely when the answer
+    /// is no — the common case for latency/error-only plans, where caching
+    /// every successful read would clone every record the monitor samples.
+    can_stale: bool,
     state: RefCell<InjState>,
 }
 
@@ -243,8 +248,16 @@ impl FaultInjector {
             rng: plan.seed ^ 0xD6E8_FEB8_6659_FD93,
             ..Default::default()
         };
+        let can_stale = plan.default_rates.stale > 0.0
+            || plan.per_op.iter().any(|(_, r)| r.stale > 0.0)
+            || plan.per_pid.iter().any(|(_, r)| r.stale > 0.0)
+            || plan
+                .scripted
+                .iter()
+                .any(|s| matches!(s.kind, FaultKind::Stale));
         FaultInjector {
             plan,
+            can_stale,
             state: RefCell::new(state),
         }
     }
@@ -489,8 +502,60 @@ impl FaultyProc<'_> {
             Decision::Panic => panic!("FaultyProc: injected panic on {op:?}"),
             Decision::Pass => match call() {
                 Ok(v) => {
-                    self.inj.cache_ok(op, pid, tid, to_cache(&v));
+                    if self.inj.can_stale {
+                        self.inj.cache_ok(op, pid, tid, to_cache(&v));
+                    }
                     Ok(v)
+                }
+                Err(e) => {
+                    self.inj.log_passthrough(op, pid, tid, &e);
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// The `_into` twin of [`Self::run`]: `out` is threaded through the
+    /// callbacks as an argument (never captured), so the borrow checker
+    /// accepts one mutable record shared by the read and the stale-serve
+    /// paths. The argument count mirrors [`Self::run`] plus the output
+    /// slot and its cache adapters; splitting it would hide the symmetry.
+    #[allow(clippy::too_many_arguments)]
+    fn run_into<T>(
+        &self,
+        op: Op,
+        pid: Pid,
+        tid: Tid,
+        out: &mut T,
+        call: impl Fn(&dyn ProcSource, &mut T) -> SourceResult<()>,
+        to_cache: impl Fn(&T) -> CachedOk,
+        from_cache: impl Fn(&CachedOk, &mut T) -> bool,
+    ) -> SourceResult<()> {
+        match self.inj.decide(op, pid, tid) {
+            Decision::Fail(e) => Err(e),
+            Decision::Panic => panic!("FaultyProc: injected panic on {op:?}"),
+            Decision::Stale => {
+                let hit = {
+                    let st = self.inj.state.borrow();
+                    match st.cache.get(&(op, pid, tid)) {
+                        Some(c) => from_cache(c, out),
+                        None => false,
+                    }
+                };
+                if hit {
+                    Ok(())
+                } else {
+                    // Cache said present at decision time; if the variant
+                    // mismatched somehow, fall back to a real read.
+                    call(self.inner, out)
+                }
+            }
+            Decision::Pass => match call(self.inner, out) {
+                Ok(()) => {
+                    if self.inj.can_stale {
+                        self.inj.cache_ok(op, pid, tid, to_cache(out));
+                    }
+                    Ok(())
                 }
                 Err(e) => {
                     self.inj.log_passthrough(op, pid, tid, &e);
@@ -582,6 +647,83 @@ impl ProcSource for FaultyProc<'_> {
             |c| match c {
                 CachedOk::Sched(v) => Some(v),
                 _ => None,
+            },
+        )
+    }
+
+    // The `_into` overrides keep the wrapper allocation-free on the
+    // pass-through path: the inner source's buffer-reusing reads land
+    // directly in the caller's record, and the injector's decision logic
+    // runs identically (same call numbering, same log).
+
+    fn system_stat_into(&self, out: &mut SystemStat) -> SourceResult<()> {
+        self.run_into(
+            Op::SystemStat,
+            0,
+            0,
+            out,
+            |inner, out| inner.system_stat_into(out),
+            |v| CachedOk::System(v.clone()),
+            |c, out| match c {
+                CachedOk::System(v) => {
+                    out.clone_from(v);
+                    true
+                }
+                _ => false,
+            },
+        )
+    }
+
+    fn list_tasks_into(&self, pid: Pid, out: &mut Vec<Tid>) -> SourceResult<()> {
+        self.run_into(
+            Op::ListTasks,
+            pid,
+            0,
+            out,
+            |inner, out| inner.list_tasks_into(pid, out),
+            |v| CachedOk::Tasks(v.clone()),
+            |c, out| match c {
+                CachedOk::Tasks(v) => {
+                    out.clone_from(v);
+                    true
+                }
+                _ => false,
+            },
+        )
+    }
+
+    fn task_stat_into(&self, pid: Pid, tid: Tid, out: &mut TaskStat) -> SourceResult<()> {
+        self.run_into(
+            Op::TaskStat,
+            pid,
+            tid,
+            out,
+            |inner, out| inner.task_stat_into(pid, tid, out),
+            |v| CachedOk::Stat(v.clone()),
+            |c, out| match c {
+                CachedOk::Stat(v) => {
+                    out.clone_from(v);
+                    true
+                }
+                _ => false,
+            },
+        )
+    }
+
+    fn task_status_into(&self, pid: Pid, tid: Tid, out: &mut TaskStatus) -> SourceResult<()> {
+        self.run_into(
+            Op::TaskStatus,
+            pid,
+            tid,
+            out,
+            |inner, out| inner.task_status_into(pid, tid, out),
+            |v| CachedOk::Status(v.clone()),
+            |c, out| match c {
+                CachedOk::Status(v) => {
+                    out.clone_from(v);
+                    true
+                }
+                _ => false,
             },
         )
     }
@@ -881,6 +1023,68 @@ mod tests {
         }));
         assert!(result.is_err());
         assert_eq!(inj.count(|k| matches!(k, FaultKind::Panic)), 1);
+    }
+
+    #[test]
+    fn stale_free_plan_never_populates_the_cache() {
+        let src = TickSource::new();
+        let plan = FaultPlan {
+            seed: 3,
+            default_rates: rates(|r| {
+                r.io_transient = 0.2;
+                r.latency_prob = 0.5;
+                r.latency_us = 10;
+            }),
+            ..Default::default()
+        };
+        let inj = FaultInjector::new(plan);
+        assert!(!inj.can_stale);
+        let f = inj.wrap(&src);
+        for _ in 0..50 {
+            let _ = f.task_stat(42, 42);
+            let mut out = TaskStat::default();
+            let _ = f.task_stat_into(42, 42, &mut out);
+        }
+        assert!(
+            inj.state.borrow().cache.is_empty(),
+            "no stale in the plan => pass-through must not clone into the cache"
+        );
+    }
+
+    #[test]
+    fn into_forms_follow_the_same_schedule() {
+        let src = TickSource::new();
+        let plan = FaultPlan {
+            seed: 1,
+            scripted: vec![
+                ScriptedFault {
+                    call: 2,
+                    kind: FaultKind::IoTransient,
+                },
+                ScriptedFault {
+                    call: 3,
+                    kind: FaultKind::Stale,
+                },
+            ],
+            ..Default::default()
+        };
+        let inj = FaultInjector::new(plan);
+        assert!(inj.can_stale);
+        let f = inj.wrap(&src);
+        let mut out = TaskStat::default();
+        f.task_stat_into(42, 42, &mut out).unwrap();
+        let first_utime = out.utime;
+        assert!(matches!(
+            f.task_stat_into(42, 42, &mut out),
+            Err(SourceError::Io(_))
+        ));
+        // Call 3 serves the cached call-1 value into the same record.
+        f.task_stat_into(42, 42, &mut out).unwrap();
+        assert_eq!(out.utime, first_utime);
+        assert_eq!(inj.stale_count(), 1);
+        f.task_stat_into(42, 42, &mut out).unwrap();
+        assert!(out.utime > first_utime, "fresh reads advance again");
+        assert_eq!(inj.total_calls(), 4);
     }
 
     #[test]

@@ -4,102 +4,158 @@
 //! formats, and the monitor re-parses it with [`crate::parse`]. Feeding the
 //! real parsers keeps the simulation honest: the monitor exercises exactly
 //! the code path it uses against a live `/proc`.
+//!
+//! Every record has two entry points: `format_*` returns a fresh
+//! `String`, and `write_*` appends to a caller-owned buffer. The
+//! sampling hot path renders thousands of records per second, so the
+//! simulator reuses one buffer across reads via the `write_*` forms.
 
 use crate::types::{CpuTimes, MemInfo, SystemStat, TaskStat, TaskStatus};
 use std::fmt::Write;
 
+/// Appends one `cpu` row of `/proc/stat`. `idx` of `None` renders the
+/// aggregate `cpu` row; `Some(n)` renders `cpuN`.
+pub fn write_cpu_row(out: &mut String, idx: Option<u32>, t: &CpuTimes) {
+    match idx {
+        None => out.push_str("cpu"),
+        Some(n) => {
+            let _ = write!(out, "cpu{n}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        " {} {} {} {} {} {} {} {} 0 0",
+        t.user, t.nice, t.system, t.idle, t.iowait, t.irq, t.softirq, t.steal
+    );
+}
+
+/// Appends a [`SystemStat`] in `/proc/stat` format.
+pub fn write_system_stat(s: &SystemStat, out: &mut String) {
+    write_cpu_row(out, None, &s.total);
+    for (idx, t) in &s.cpus {
+        write_cpu_row(out, Some(*idx), t);
+    }
+    let _ = writeln!(out, "ctxt {}", s.ctxt);
+    let _ = writeln!(out, "btime 1700000000");
+    let _ = writeln!(out, "processes {}", s.processes);
+}
+
 /// Renders a [`SystemStat`] in `/proc/stat` format.
 pub fn format_system_stat(s: &SystemStat) -> String {
     let mut out = String::new();
-    let row = |out: &mut String, name: &str, t: &CpuTimes| {
-        writeln!(
-            out,
-            "{name} {} {} {} {} {} {} {} {} 0 0",
-            t.user, t.nice, t.system, t.idle, t.iowait, t.irq, t.softirq, t.steal
-        )
-        .unwrap();
-    };
-    row(&mut out, "cpu", &s.total);
-    for (idx, t) in &s.cpus {
-        row(&mut out, &format!("cpu{idx}"), t);
-    }
-    writeln!(out, "ctxt {}", s.ctxt).unwrap();
-    writeln!(out, "btime 1700000000").unwrap();
-    writeln!(out, "processes {}", s.processes).unwrap();
+    write_system_stat(s, &mut out);
     out
+}
+
+/// Appends a [`MemInfo`] in `/proc/meminfo` format.
+pub fn write_meminfo(m: &MemInfo, out: &mut String) {
+    let row = |out: &mut String, k: &str, v: u64| {
+        let _ = writeln!(out, "{k}:{:>12} kB", v);
+    };
+    row(out, "MemTotal", m.mem_total_kib);
+    row(out, "MemFree", m.mem_free_kib);
+    row(out, "MemAvailable", m.mem_available_kib);
+    row(out, "Buffers", m.buffers_kib);
+    row(out, "Cached", m.cached_kib);
+    row(out, "SwapTotal", m.swap_total_kib);
+    row(out, "SwapFree", m.swap_free_kib);
 }
 
 /// Renders a [`MemInfo`] in `/proc/meminfo` format.
 pub fn format_meminfo(m: &MemInfo) -> String {
     let mut out = String::new();
-    let row = |out: &mut String, k: &str, v: u64| {
-        writeln!(out, "{k}:{:>12} kB", v).unwrap();
-    };
-    row(&mut out, "MemTotal", m.mem_total_kib);
-    row(&mut out, "MemFree", m.mem_free_kib);
-    row(&mut out, "MemAvailable", m.mem_available_kib);
-    row(&mut out, "Buffers", m.buffers_kib);
-    row(&mut out, "Cached", m.cached_kib);
-    row(&mut out, "SwapTotal", m.swap_total_kib);
-    row(&mut out, "SwapFree", m.swap_free_kib);
+    write_meminfo(m, &mut out);
     out
 }
 
-/// Renders a [`TaskStat`] as one `/proc/<pid>/task/<tid>/stat` line.
+/// Appends a [`TaskStat`] as one `/proc/<pid>/task/<tid>/stat` line.
 ///
 /// Fields ZeroSum does not consume are emitted as zeros, at the correct
-/// positions, so any conformant parser can read the line.
+/// positions, so any conformant parser can read the line. 52 fields per
+/// modern kernels; modeled fields are placed by 1-based field number.
+pub fn write_task_stat(t: &TaskStat, out: &mut String) {
+    let _ = write!(out, "{} ({}) {}", t.tid, t.comm, t.state.code());
+    for field in 4..=52u32 {
+        match field {
+            10 => {
+                let _ = write!(out, " {}", t.minflt);
+            }
+            12 => {
+                let _ = write!(out, " {}", t.majflt);
+            }
+            14 => {
+                let _ = write!(out, " {}", t.utime);
+            }
+            15 => {
+                let _ = write!(out, " {}", t.stime);
+            }
+            18 => out.push_str(" 20"), // priority
+            19 => {
+                let _ = write!(out, " {}", t.nice);
+            }
+            20 => {
+                let _ = write!(out, " {}", t.num_threads);
+            }
+            36 => {
+                let _ = write!(out, " {}", t.nswap);
+            }
+            39 => {
+                let _ = write!(out, " {}", t.processor);
+            }
+            _ => out.push_str(" 0"),
+        }
+    }
+}
+
+/// Renders a [`TaskStat`] as one `/proc/<pid>/task/<tid>/stat` line.
 pub fn format_task_stat(t: &TaskStat) -> String {
-    // 52 fields per modern kernels; we fill the ones we model.
-    let mut fields: Vec<String> = vec!["0".to_string(); 52];
-    fields[0] = t.tid.to_string();
-    fields[1] = format!("({})", t.comm);
-    fields[2] = t.state.code().to_string();
-    fields[9] = t.minflt.to_string(); // field 10
-    fields[11] = t.majflt.to_string(); // field 12
-    fields[13] = t.utime.to_string(); // field 14
-    fields[14] = t.stime.to_string(); // field 15
-    fields[17] = "20".to_string(); // priority
-    fields[18] = t.nice.to_string(); // field 19
-    fields[19] = t.num_threads.to_string(); // field 20
-    fields[35] = t.nswap.to_string(); // field 36
-    fields[38] = t.processor.to_string(); // field 39
-    fields.join(" ")
+    let mut out = String::new();
+    write_task_stat(t, &mut out);
+    out
+}
+
+/// Appends a [`crate::types::SchedStat`] in schedstat format.
+pub fn write_schedstat(s: &crate::types::SchedStat, out: &mut String) {
+    let _ = writeln!(out, "{} {} {}", s.run_ns, s.wait_ns, s.timeslices);
 }
 
 /// Renders a [`crate::types::SchedStat`] in schedstat format.
 pub fn format_schedstat(s: &crate::types::SchedStat) -> String {
-    format!("{} {} {}\n", s.run_ns, s.wait_ns, s.timeslices)
+    let mut out = String::new();
+    write_schedstat(s, &mut out);
+    out
+}
+
+/// Appends a [`TaskStatus`] in `/proc/<pid>/task/<tid>/status` format.
+pub fn write_task_status(s: &TaskStatus, out: &mut String) {
+    let _ = writeln!(out, "Name:\t{}", s.name);
+    let _ = writeln!(out, "State:\t{} ({})", s.state.code(), s.state.long_name());
+    let _ = writeln!(out, "Tgid:\t{}", s.tgid);
+    let _ = writeln!(out, "Pid:\t{}", s.tid);
+    let _ = writeln!(out, "VmSize:\t{:>8} kB", s.vm_size_kib);
+    let _ = writeln!(out, "VmHWM:\t{:>8} kB", s.vm_hwm_kib);
+    let _ = writeln!(out, "VmRSS:\t{:>8} kB", s.vm_rss_kib);
+    // CpuSet::write_list streams the mask without the intermediate
+    // to_list_string allocation.
+    out.push_str("Cpus_allowed_list:\t");
+    let _ = s.cpus_allowed.write_list(out);
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "voluntary_ctxt_switches:\t{}",
+        s.voluntary_ctxt_switches
+    );
+    let _ = writeln!(
+        out,
+        "nonvoluntary_ctxt_switches:\t{}",
+        s.nonvoluntary_ctxt_switches
+    );
 }
 
 /// Renders a [`TaskStatus`] in `/proc/<pid>/task/<tid>/status` format.
 pub fn format_task_status(s: &TaskStatus) -> String {
     let mut out = String::new();
-    writeln!(out, "Name:\t{}", s.name).unwrap();
-    writeln!(out, "State:\t{} ({})", s.state.code(), s.state.long_name()).unwrap();
-    writeln!(out, "Tgid:\t{}", s.tgid).unwrap();
-    writeln!(out, "Pid:\t{}", s.tid).unwrap();
-    writeln!(out, "VmSize:\t{:>8} kB", s.vm_size_kib).unwrap();
-    writeln!(out, "VmHWM:\t{:>8} kB", s.vm_hwm_kib).unwrap();
-    writeln!(out, "VmRSS:\t{:>8} kB", s.vm_rss_kib).unwrap();
-    writeln!(
-        out,
-        "Cpus_allowed_list:\t{}",
-        s.cpus_allowed.to_list_string()
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "voluntary_ctxt_switches:\t{}",
-        s.voluntary_ctxt_switches
-    )
-    .unwrap();
-    writeln!(
-        out,
-        "nonvoluntary_ctxt_switches:\t{}",
-        s.nonvoluntary_ctxt_switches
-    )
-    .unwrap();
+    write_task_status(s, &mut out);
     out
 }
 
@@ -177,6 +233,40 @@ mod tests {
         };
         let back = parse::parse_task_stat(&format_task_stat(&t)).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn task_stat_line_has_52_fields_and_priority() {
+        let t = TaskStat {
+            tid: 1,
+            comm: "x".into(),
+            state: TaskState::Sleeping,
+            minflt: 0,
+            majflt: 0,
+            utime: 0,
+            stime: 0,
+            nice: -5,
+            num_threads: 1,
+            processor: 0,
+            nswap: 0,
+        };
+        let line = format_task_stat(&t);
+        let fields: Vec<&str> = line.split(' ').collect();
+        assert_eq!(fields.len(), 52);
+        assert_eq!(fields[17], "20", "static priority at field 18");
+        assert_eq!(fields[18], "-5", "nice at field 19");
+    }
+
+    #[test]
+    fn write_forms_append_to_existing_buffers() {
+        let mut buf = String::from("prefix\n");
+        let ss = crate::types::SchedStat {
+            run_ns: 1,
+            wait_ns: 2,
+            timeslices: 3,
+        };
+        write_schedstat(&ss, &mut buf);
+        assert_eq!(buf, "prefix\n1 2 3\n");
     }
 
     #[test]

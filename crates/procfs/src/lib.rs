@@ -32,6 +32,7 @@ pub use fault::{
     FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRates, FaultyProc, Op, ScriptedFault,
 };
 pub use linux::LinuxProc;
+pub use parse::TaskStatView;
 pub use source::{ProcSource, SourceError, SourceErrorKind, SourceResult};
 pub use types::{
     CpuTimes, Jiffies, MemInfo, Pid, SchedStat, SystemStat, TaskStat, TaskState, TaskStatus, Tid,

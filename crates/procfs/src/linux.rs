@@ -7,7 +7,7 @@
 use crate::parse;
 use crate::source::{ProcSource, SourceError, SourceResult};
 use crate::types::{MemInfo, Pid, SchedStat, SystemStat, TaskStat, TaskStatus, Tid};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::io::ErrorKind;
 use std::path::{Path, PathBuf};
 
@@ -32,6 +32,13 @@ pub struct LinuxProc {
     /// permission churn). A count, not an error: the rest of the scan
     /// proceeds.
     scan_skips: Cell<u64>,
+    /// Read buffer shared by the `_into` reads: one `/proc` record is in
+    /// flight at a time, so the text lands in the same allocation every
+    /// period instead of a fresh `read_to_string` String per read.
+    buf: RefCell<String>,
+    /// Scratch path reused across reads (`/proc/<pid>/task/<tid>/stat`
+    /// path assembly otherwise allocates three times per read).
+    path_buf: RefCell<String>,
 }
 
 impl Default for LinuxProc {
@@ -43,10 +50,7 @@ impl Default for LinuxProc {
 impl LinuxProc {
     /// Uses the system `/proc`.
     pub fn new() -> Self {
-        LinuxProc {
-            root: PathBuf::from("/proc"),
-            scan_skips: Cell::new(0),
-        }
+        Self::with_root("/proc")
     }
 
     /// Uses an alternate root (for tests / containers).
@@ -54,6 +58,8 @@ impl LinuxProc {
         LinuxProc {
             root: root.into(),
             scan_skips: Cell::new(0),
+            buf: RefCell::new(String::new()),
+            path_buf: RefCell::new(String::new()),
         }
     }
 
@@ -83,6 +89,35 @@ impl LinuxProc {
             .map_err(|e| classify_read_error(e.kind(), format_args!("{}: {e}", path.display())))
     }
 
+    /// Reads `path` into `buf` (cleared first), reusing its allocation.
+    fn read_into_buf(&self, path: &str, buf: &mut String) -> SourceResult<()> {
+        buf.clear();
+        let mut f = std::fs::File::open(path)
+            .map_err(|e| classify_read_error(e.kind(), format_args!("{path}: {e}")))?;
+        std::io::Read::read_to_string(&mut f, buf)
+            .map_err(|e| classify_read_error(e.kind(), format_args!("{path}: {e}")))?;
+        Ok(())
+    }
+
+    /// Assembles `<root>/<pid>/task/<tid>/<leaf>` in the reusable path
+    /// scratch.
+    fn task_path(&self, pid: Pid, tid: Tid, leaf: &str) -> std::cell::RefMut<'_, String> {
+        use std::fmt::Write as _;
+        let mut s = self.path_buf.borrow_mut();
+        s.clear();
+        let _ = write!(s, "{}/{pid}/task/{tid}/{leaf}", self.root.display());
+        s
+    }
+
+    /// Assembles `<root>/<leaf>` in the reusable path scratch.
+    fn task_root_path(&self, leaf: &str) -> std::cell::RefMut<'_, String> {
+        use std::fmt::Write as _;
+        let mut s = self.path_buf.borrow_mut();
+        s.clear();
+        let _ = write!(s, "{}/{leaf}", self.root.display());
+        s
+    }
+
     fn task_dir(&self, pid: Pid) -> PathBuf {
         self.root.join(pid.to_string()).join("task")
     }
@@ -99,20 +134,74 @@ fn malformed(e: impl std::fmt::Display) -> SourceError {
 
 impl ProcSource for LinuxProc {
     fn system_stat(&self) -> SourceResult<SystemStat> {
-        let text = self.read(self.root.join("stat"))?;
-        parse::parse_system_stat(&text).map_err(malformed)
+        let mut out = SystemStat::default();
+        self.system_stat_into(&mut out)?;
+        Ok(out)
+    }
+
+    fn system_stat_into(&self, out: &mut SystemStat) -> SourceResult<()> {
+        let path = self.task_root_path("stat");
+        let mut buf = self.buf.borrow_mut();
+        self.read_into_buf(&path, &mut buf)?;
+        drop(path);
+        parse::parse_system_stat_into(&buf, out).map_err(malformed)
     }
 
     fn meminfo(&self) -> SourceResult<MemInfo> {
-        let text = self.read(self.root.join("meminfo"))?;
-        parse::parse_meminfo(&text).map_err(malformed)
+        let path = self.task_root_path("meminfo");
+        let mut buf = self.buf.borrow_mut();
+        self.read_into_buf(&path, &mut buf)?;
+        drop(path);
+        parse::parse_meminfo(&buf).map_err(malformed)
     }
 
     fn list_tasks(&self, pid: Pid) -> SourceResult<Vec<Tid>> {
+        let mut tids = Vec::new();
+        self.list_tasks_into(pid, &mut tids)?;
+        Ok(tids)
+    }
+
+    fn task_stat(&self, pid: Pid, tid: Tid) -> SourceResult<TaskStat> {
+        let mut out = TaskStat::default();
+        self.task_stat_into(pid, tid, &mut out)?;
+        Ok(out)
+    }
+
+    fn task_stat_into(&self, pid: Pid, tid: Tid, out: &mut TaskStat) -> SourceResult<()> {
+        let path = self.task_path(pid, tid, "stat");
+        let mut buf = self.buf.borrow_mut();
+        self.read_into_buf(&path, &mut buf)?;
+        drop(path);
+        parse::parse_task_stat_into(buf.trim_end(), out).map_err(malformed)
+    }
+
+    fn task_status(&self, pid: Pid, tid: Tid) -> SourceResult<TaskStatus> {
+        let mut out = TaskStatus::default();
+        self.task_status_into(pid, tid, &mut out)?;
+        Ok(out)
+    }
+
+    fn task_status_into(&self, pid: Pid, tid: Tid, out: &mut TaskStatus) -> SourceResult<()> {
+        let path = self.task_path(pid, tid, "status");
+        let mut buf = self.buf.borrow_mut();
+        self.read_into_buf(&path, &mut buf)?;
+        drop(path);
+        parse::parse_task_status_into(&buf, out).map_err(malformed)
+    }
+
+    fn task_schedstat(&self, pid: Pid, tid: Tid) -> SourceResult<SchedStat> {
+        let path = self.task_path(pid, tid, "schedstat");
+        let mut buf = self.buf.borrow_mut();
+        self.read_into_buf(&path, &mut buf)?;
+        drop(path);
+        parse::parse_schedstat(&buf).map_err(malformed)
+    }
+
+    fn list_tasks_into(&self, pid: Pid, out: &mut Vec<Tid>) -> SourceResult<()> {
+        out.clear();
         let dir = self.task_dir(pid);
         let entries = std::fs::read_dir(&dir)
             .map_err(|e| classify_read_error(e.kind(), format_args!("{}: {e}", dir.display())))?;
-        let mut tids = Vec::new();
         for entry in entries {
             // A single unreadable entry (a task racing to exit, or a
             // permission-restricted sibling) must not abort the whole
@@ -126,26 +215,11 @@ impl ProcSource for LinuxProc {
                 }
             };
             if let Some(tid) = entry.file_name().to_str().and_then(|s| s.parse().ok()) {
-                tids.push(tid);
+                out.push(tid);
             }
         }
-        tids.sort_unstable();
-        Ok(tids)
-    }
-
-    fn task_stat(&self, pid: Pid, tid: Tid) -> SourceResult<TaskStat> {
-        let text = self.read(self.task_dir(pid).join(tid.to_string()).join("stat"))?;
-        parse::parse_task_stat(text.trim_end()).map_err(malformed)
-    }
-
-    fn task_status(&self, pid: Pid, tid: Tid) -> SourceResult<TaskStatus> {
-        let text = self.read(self.task_dir(pid).join(tid.to_string()).join("status"))?;
-        parse::parse_task_status(&text).map_err(malformed)
-    }
-
-    fn task_schedstat(&self, pid: Pid, tid: Tid) -> SourceResult<SchedStat> {
-        let text = self.read(self.task_dir(pid).join(tid.to_string()).join("schedstat"))?;
-        parse::parse_schedstat(&text).map_err(malformed)
+        out.sort_unstable();
+        Ok(())
     }
 }
 

@@ -7,7 +7,6 @@
 
 use crate::types::{CpuTimes, MemInfo, SystemStat, TaskStat, TaskState, TaskStatus};
 use std::fmt;
-use zerosum_topology::CpuSet;
 
 /// Error produced when a `/proc` record cannot be parsed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +35,19 @@ fn err(what: &'static str, detail: impl Into<String>) -> ParseError {
 /// Parses the full text of `/proc/stat`.
 pub fn parse_system_stat(text: &str) -> Result<SystemStat, ParseError> {
     let mut out = SystemStat::default();
+    parse_system_stat_into(text, &mut out)?;
+    Ok(out)
+}
+
+/// Parses `/proc/stat` into an existing record, reusing its per-CPU
+/// vector (the sampling hot path re-reads this every period; on a
+/// many-core node the row vector is the dominant allocation). On error
+/// the contents of `out` are unspecified.
+pub fn parse_system_stat_into(text: &str, out: &mut SystemStat) -> Result<(), ParseError> {
+    out.cpus.clear();
+    out.total = CpuTimes::default();
+    out.ctxt = 0;
+    out.processes = 0;
     let mut saw_total = false;
     for line in text.lines() {
         let mut it = line.split_ascii_whitespace();
@@ -58,7 +70,7 @@ pub fn parse_system_stat(text: &str) -> Result<SystemStat, ParseError> {
         return Err(err("/proc/stat", "missing aggregate cpu row"));
     }
     out.cpus.sort_by_key(|(i, _)| *i);
-    Ok(out)
+    Ok(())
 }
 
 fn next_u64<'a>(
@@ -131,8 +143,68 @@ pub fn parse_meminfo(text: &str) -> Result<MemInfo, ParseError> {
     Ok(m)
 }
 
-/// Parses one `/proc/<pid>/task/<tid>/stat` line.
-pub fn parse_task_stat(line: &str) -> Result<TaskStat, ParseError> {
+/// A borrowed view of one `/proc/<pid>/task/<tid>/stat` line: the same
+/// fields as [`TaskStat`], with `comm` borrowing from the input text.
+///
+/// Produced by [`parse_task_stat_view`], this is the zero-allocation
+/// form the sampling hot path uses; [`TaskStatView::to_owned`] and
+/// [`TaskStatView::assign_to`] convert to the owning record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskStatView<'a> {
+    /// Thread id.
+    pub tid: u32,
+    /// Executable / thread name, borrowed from the line.
+    pub comm: &'a str,
+    /// Scheduler state.
+    pub state: TaskState,
+    /// Minor page faults.
+    pub minflt: u64,
+    /// Major page faults.
+    pub majflt: u64,
+    /// User-mode jiffies.
+    pub utime: u64,
+    /// Kernel-mode jiffies.
+    pub stime: u64,
+    /// Nice value.
+    pub nice: i32,
+    /// Threads in the owning process.
+    pub num_threads: u32,
+    /// CPU last executed on (field 39).
+    pub processor: u32,
+    /// Pages swapped (field 36).
+    pub nswap: u64,
+}
+
+impl TaskStatView<'_> {
+    /// Copies the view into a fresh owning [`TaskStat`].
+    pub fn to_owned(&self) -> TaskStat {
+        let mut out = TaskStat::default();
+        self.assign_to(&mut out);
+        out
+    }
+
+    /// Copies the view into an existing [`TaskStat`], reusing its `comm`
+    /// buffer.
+    pub fn assign_to(&self, out: &mut TaskStat) {
+        out.tid = self.tid;
+        out.comm.clear();
+        out.comm.push_str(self.comm);
+        out.state = self.state;
+        out.minflt = self.minflt;
+        out.majflt = self.majflt;
+        out.utime = self.utime;
+        out.stime = self.stime;
+        out.nice = self.nice;
+        out.num_threads = self.num_threads;
+        out.processor = self.processor;
+        out.nswap = self.nswap;
+    }
+}
+
+/// Parses one `/proc/<pid>/task/<tid>/stat` line without allocating: the
+/// returned view borrows `comm` from the input. Single pass over the
+/// post-comm fields — no token vector is collected.
+pub fn parse_task_stat_view(line: &str) -> Result<TaskStatView<'_>, ParseError> {
     // Format: "tid (comm) S field4 field5 ..." where comm may contain
     // anything including ')' — find the *last* ')'.
     let open = line
@@ -148,38 +220,74 @@ pub fn parse_task_stat(line: &str) -> Result<TaskStat, ParseError> {
         .trim()
         .parse()
         .map_err(|_| err("task stat", "bad tid"))?;
-    let comm = line[open + 1..close].to_string();
-    let rest: Vec<&str> = line[close + 1..].split_ascii_whitespace().collect();
-    // rest[0] is field 3 (state); field numbering per man 5 proc.
-    let get = |field: usize| -> Result<&str, ParseError> {
-        rest.get(field - 3)
-            .copied()
-            .ok_or_else(|| err("task stat", format!("missing field {field}")))
-    };
-    let state_ch = get(3)?
-        .chars()
-        .next()
-        .ok_or_else(|| err("task stat", "empty state"))?;
-    let state = TaskState::from_code(state_ch)
-        .ok_or_else(|| err("task stat", format!("unknown state {state_ch:?}")))?;
-    let num = |field: usize| -> Result<u64, ParseError> {
-        get(field)?
-            .parse()
-            .map_err(|_| err("task stat", format!("bad numeric field {field}")))
-    };
-    Ok(TaskStat {
+    let comm = &line[open + 1..close];
+    // Walk fields 3.. once, picking out the ones ZeroSum samples
+    // (numbering per man 5 proc; the last one needed is 39).
+    let mut state = None;
+    let mut nice: i32 = 0;
+    let mut picked = [0u64; 8];
+    const FIELDS: [usize; 8] = [10, 12, 14, 15, 19, 20, 36, 39];
+    let mut it = line[close + 1..].split_ascii_whitespace();
+    let mut field = 2usize;
+    while field < 39 {
+        field += 1;
+        let tok = match it.next() {
+            Some(t) => t,
+            // Report the first *sampled* field that is missing, like the
+            // indexed accessor this replaces.
+            None => {
+                let missing = if field <= 3 {
+                    3
+                } else {
+                    *FIELDS.iter().find(|&&f| f >= field).unwrap_or(&39)
+                };
+                return Err(err("task stat", format!("missing field {missing}")));
+            }
+        };
+        if field == 3 {
+            let state_ch = tok
+                .chars()
+                .next()
+                .ok_or_else(|| err("task stat", "empty state"))?;
+            state = Some(
+                TaskState::from_code(state_ch)
+                    .ok_or_else(|| err("task stat", format!("unknown state {state_ch:?}")))?,
+            );
+        } else if field == 19 {
+            // nice is the one signed field.
+            nice = tok.parse().map_err(|_| err("task stat", "bad nice"))?;
+        } else if let Some(slot) = FIELDS.iter().position(|&f| f == field) {
+            picked[slot] = tok
+                .parse()
+                .map_err(|_| err("task stat", format!("bad numeric field {field}")))?;
+        }
+    }
+    Ok(TaskStatView {
         tid,
         comm,
-        state,
-        minflt: num(10)?,
-        majflt: num(12)?,
-        utime: num(14)?,
-        stime: num(15)?,
-        nice: get(19)?.parse().map_err(|_| err("task stat", "bad nice"))?,
-        num_threads: num(20)? as u32,
-        processor: num(39)? as u32,
-        nswap: num(36)?,
+        state: state.expect("field 3 visited"),
+        minflt: picked[0],
+        majflt: picked[1],
+        utime: picked[2],
+        stime: picked[3],
+        nice,
+        num_threads: picked[5] as u32,
+        processor: picked[7] as u32,
+        nswap: picked[6],
     })
+}
+
+/// Parses one `/proc/<pid>/task/<tid>/stat` line.
+pub fn parse_task_stat(line: &str) -> Result<TaskStat, ParseError> {
+    parse_task_stat_view(line).map(|v| v.to_owned())
+}
+
+/// Parses a `stat` line into an existing record, reusing its `comm`
+/// buffer. On error the contents of `out` are unspecified.
+pub fn parse_task_stat_into(line: &str, out: &mut TaskStat) -> Result<(), ParseError> {
+    let view = parse_task_stat_view(line)?;
+    view.assign_to(out);
+    Ok(())
 }
 
 /// Parses `/proc/<pid>/task/<tid>/schedstat` (three space-separated
@@ -201,55 +309,61 @@ pub fn parse_schedstat(text: &str) -> Result<crate::types::SchedStat, ParseError
 
 /// Parses `/proc/<pid>/task/<tid>/status`.
 pub fn parse_task_status(text: &str) -> Result<TaskStatus, ParseError> {
-    let mut name = String::new();
+    let mut out = TaskStatus::default();
+    parse_task_status_into(text, &mut out)?;
+    Ok(out)
+}
+
+/// Parses a `status` record into an existing one, reusing its name
+/// buffer and affinity-mask allocation. On error the contents of `out`
+/// are unspecified.
+pub fn parse_task_status_into(text: &str, out: &mut TaskStatus) -> Result<(), ParseError> {
+    out.name.clear();
+    out.state = TaskState::Sleeping;
+    out.vm_rss_kib = 0;
+    out.vm_size_kib = 0;
+    out.vm_hwm_kib = 0;
+    out.cpus_allowed.clear_all();
+    out.voluntary_ctxt_switches = 0;
+    out.nonvoluntary_ctxt_switches = 0;
     let mut tid = None;
     let mut tgid = None;
-    let mut state = TaskState::Sleeping;
-    let mut vm_rss = 0;
-    let mut vm_size = 0;
-    let mut vm_hwm = 0;
-    let mut cpus = CpuSet::new();
-    let mut vol = 0;
-    let mut nonvol = 0;
     for line in text.lines() {
         let Some((key, rest)) = line.split_once(':') else {
             continue;
         };
         let rest = rest.trim();
         match key.trim() {
-            "Name" => name = rest.to_string(),
+            "Name" => {
+                out.name.clear();
+                out.name.push_str(rest);
+            }
             "Pid" => tid = rest.parse().ok(),
             "Tgid" => tgid = rest.parse().ok(),
             "State" => {
                 if let Some(c) = rest.chars().next() {
-                    state = TaskState::from_code(c)
+                    out.state = TaskState::from_code(c)
                         .ok_or_else(|| err("task status", format!("unknown state {c:?}")))?;
                 }
             }
-            "VmRSS" => vm_rss = kib_value(rest),
-            "VmSize" => vm_size = kib_value(rest),
-            "VmHWM" => vm_hwm = kib_value(rest),
+            "VmRSS" => out.vm_rss_kib = kib_value(rest),
+            "VmSize" => out.vm_size_kib = kib_value(rest),
+            "VmHWM" => out.vm_hwm_kib = kib_value(rest),
             "Cpus_allowed_list" => {
-                cpus = CpuSet::parse_list(rest)
+                out.cpus_allowed
+                    .parse_list_into(rest)
                     .map_err(|e| err("task status", format!("bad cpu list: {e}")))?;
             }
-            "voluntary_ctxt_switches" => vol = rest.parse().unwrap_or(0),
-            "nonvoluntary_ctxt_switches" => nonvol = rest.parse().unwrap_or(0),
+            "voluntary_ctxt_switches" => out.voluntary_ctxt_switches = rest.parse().unwrap_or(0),
+            "nonvoluntary_ctxt_switches" => {
+                out.nonvoluntary_ctxt_switches = rest.parse().unwrap_or(0)
+            }
             _ => {}
         }
     }
-    Ok(TaskStatus {
-        name,
-        tid: tid.ok_or_else(|| err("task status", "missing Pid"))?,
-        tgid: tgid.ok_or_else(|| err("task status", "missing Tgid"))?,
-        state,
-        vm_rss_kib: vm_rss,
-        vm_size_kib: vm_size,
-        vm_hwm_kib: vm_hwm,
-        cpus_allowed: cpus,
-        voluntary_ctxt_switches: vol,
-        nonvoluntary_ctxt_switches: nonvol,
-    })
+    out.tid = tid.ok_or_else(|| err("task status", "missing Pid"))?;
+    out.tgid = tgid.ok_or_else(|| err("task status", "missing Tgid"))?;
+    Ok(())
 }
 
 fn kib_value(rest: &str) -> u64 {
@@ -353,6 +467,61 @@ SwapFree:              0 kB
     fn task_stat_rejects_garbage() {
         assert!(parse_task_stat("no parens here").is_err());
         assert!(parse_task_stat("1 (x) R 1").is_err()); // too short
+    }
+
+    #[test]
+    fn view_and_owning_parsers_agree_on_all_fixtures() {
+        // Differential check over the golden lines, the evil-comm trap,
+        // garbage, and every byte-truncation of the golden lines (torn
+        // procfs reads): the borrowed-view parser, the owning parser,
+        // and the buffer-reusing `_into` form must accept exactly the
+        // same inputs and produce identical records.
+        let basic = "51334 (miniqmc) R 51000 51334 51334 0 -1 4194304 \
+            1234 0 5 0 6394 1248 0 0 20 0 9 0 100 123456789 4321 \
+            18446744073709551615 1 1 0 0 0 0 0 0 0 0 0 0 17 1 0 0 0 0 0 0 0 0 0 0 0 0 0";
+        let evil = "7 (evil) name)) S 1 7 7 0 -1 0 \
+            0 0 0 0 1 2 0 0 20 0 1 0 0 0 0 \
+            18446744073709551615 0 0 0 0 0 0 0 0 0 0 0 0 17 3 0 0 0 0 0 0 0 0 0 0 0 0 0";
+        let mut fixtures: Vec<String> = vec![
+            basic.to_string(),
+            evil.to_string(),
+            "no parens here".into(),
+            "1 (x) R 1".into(),
+            String::new(),
+        ];
+        for line in [basic, evil] {
+            for i in 0..line.len() {
+                fixtures.push(line[..i].to_string());
+            }
+        }
+        let soiled = || TaskStat {
+            comm: "stale-garbage".into(),
+            utime: u64::MAX,
+            nice: -7,
+            ..Default::default()
+        };
+        for fx in &fixtures {
+            match (parse_task_stat(fx), parse_task_stat_view(fx)) {
+                (Ok(owned), Ok(view)) => {
+                    assert_eq!(view.to_owned(), owned, "to_owned on {fx:?}");
+                    let mut assigned = soiled();
+                    view.assign_to(&mut assigned);
+                    assert_eq!(assigned, owned, "assign_to on {fx:?}");
+                    let mut reused = soiled();
+                    parse_task_stat_into(fx, &mut reused).unwrap();
+                    assert_eq!(reused, owned, "parse_task_stat_into on {fx:?}");
+                }
+                (Err(_), Err(_)) => {
+                    assert!(
+                        parse_task_stat_into(fx, &mut soiled()).is_err(),
+                        "`_into` accepted what the owning parser rejected: {fx:?}"
+                    );
+                }
+                (owned, view) => {
+                    panic!("parsers disagree on {fx:?}: owned {owned:?}, view {view:?}")
+                }
+            }
+        }
     }
 
     #[test]

@@ -133,6 +133,42 @@ pub trait ProcSource {
     fn process_status(&self, pid: Pid) -> SourceResult<TaskStatus> {
         self.task_status(pid, pid)
     }
+
+    // ---- Buffer-reusing forms -------------------------------------------
+    //
+    // The monitor samples every watched thread every period; the `_into`
+    // forms let it reuse one record per kind instead of allocating fresh
+    // strings and vectors each read. Defaults delegate to the owning
+    // reads, so wrappers (fault injectors, live backends without an
+    // override) stay correct automatically. On error the contents of
+    // `out` are unspecified.
+
+    /// Reads `/proc/stat` into an existing record, reusing its per-CPU
+    /// vector.
+    fn system_stat_into(&self, out: &mut SystemStat) -> SourceResult<()> {
+        *out = self.system_stat()?;
+        Ok(())
+    }
+
+    /// Reads the LWP list into an existing vector.
+    fn list_tasks_into(&self, pid: Pid, out: &mut Vec<Tid>) -> SourceResult<()> {
+        *out = self.list_tasks(pid)?;
+        Ok(())
+    }
+
+    /// Reads a task's `stat` into an existing record, reusing its `comm`
+    /// buffer.
+    fn task_stat_into(&self, pid: Pid, tid: Tid, out: &mut TaskStat) -> SourceResult<()> {
+        *out = self.task_stat(pid, tid)?;
+        Ok(())
+    }
+
+    /// Reads a task's `status` into an existing record, reusing its name
+    /// buffer and affinity mask.
+    fn task_status_into(&self, pid: Pid, tid: Tid, out: &mut TaskStatus) -> SourceResult<()> {
+        *out = self.task_status(pid, tid)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,14 @@ pub enum TaskState {
     Dead,
 }
 
+impl Default for TaskState {
+    /// `S` — the state an otherwise-uninitialized record slot reports;
+    /// sleeping is what most threads are at any instant.
+    fn default() -> Self {
+        TaskState::Sleeping
+    }
+}
+
 impl TaskState {
     /// The single-character code used in `/proc/<pid>/stat`.
     pub fn code(self) -> char {
@@ -83,7 +91,7 @@ impl TaskState {
 }
 
 /// Fields of `/proc/<pid>/task/<tid>/stat` that ZeroSum samples.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct TaskStat {
     /// Thread id.
     pub tid: Tid,
@@ -111,8 +119,47 @@ pub struct TaskStat {
     pub nswap: u64,
 }
 
+impl Clone for TaskStat {
+    fn clone(&self) -> Self {
+        TaskStat {
+            comm: self.comm.clone(),
+            ..*self
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        // Reuses the `comm` buffer — the monitor refreshes last-good
+        // records every sample, so the derived `clone` would allocate
+        // once per thread per period.
+        self.comm.clone_from(&src.comm);
+        let TaskStat {
+            tid,
+            comm: _,
+            state,
+            minflt,
+            majflt,
+            utime,
+            stime,
+            nice,
+            num_threads,
+            processor,
+            nswap,
+        } = *src;
+        self.tid = tid;
+        self.state = state;
+        self.minflt = minflt;
+        self.majflt = majflt;
+        self.utime = utime;
+        self.stime = stime;
+        self.nice = nice;
+        self.num_threads = num_threads;
+        self.processor = processor;
+        self.nswap = nswap;
+    }
+}
+
 /// Fields of `/proc/<pid>/task/<tid>/status` that ZeroSum samples.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct TaskStatus {
     /// Thread name (`Name:`).
     pub name: String,
@@ -135,6 +182,37 @@ pub struct TaskStatus {
     /// Non-voluntary context switches (`nonvoluntary_ctxt_switches:`) —
     /// the paper's primary contention signal.
     pub nonvoluntary_ctxt_switches: u64,
+}
+
+impl Clone for TaskStatus {
+    fn clone(&self) -> Self {
+        TaskStatus {
+            name: self.name.clone(),
+            tid: self.tid,
+            tgid: self.tgid,
+            state: self.state,
+            vm_rss_kib: self.vm_rss_kib,
+            vm_size_kib: self.vm_size_kib,
+            vm_hwm_kib: self.vm_hwm_kib,
+            cpus_allowed: self.cpus_allowed.clone(),
+            voluntary_ctxt_switches: self.voluntary_ctxt_switches,
+            nonvoluntary_ctxt_switches: self.nonvoluntary_ctxt_switches,
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        // Reuses the name buffer and the affinity mask's word vector.
+        self.name.clone_from(&src.name);
+        self.cpus_allowed.clone_from(&src.cpus_allowed);
+        self.tid = src.tid;
+        self.tgid = src.tgid;
+        self.state = src.state;
+        self.vm_rss_kib = src.vm_rss_kib;
+        self.vm_size_kib = src.vm_size_kib;
+        self.vm_hwm_kib = src.vm_hwm_kib;
+        self.voluntary_ctxt_switches = src.voluntary_ctxt_switches;
+        self.nonvoluntary_ctxt_switches = src.nonvoluntary_ctxt_switches;
+    }
 }
 
 /// The scheduler statistics from `/proc/<pid>/task/<tid>/schedstat`:
@@ -242,7 +320,7 @@ impl CpuTimes {
 }
 
 /// The system-wide snapshot from `/proc/stat`.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, PartialEq, Eq, Default)]
 pub struct SystemStat {
     /// The aggregate `cpu` row.
     pub total: CpuTimes,
@@ -252,6 +330,26 @@ pub struct SystemStat {
     pub ctxt: u64,
     /// Processes/threads created since boot (`processes`).
     pub processes: u64,
+}
+
+impl Clone for SystemStat {
+    fn clone(&self) -> Self {
+        SystemStat {
+            total: self.total,
+            cpus: self.cpus.clone(),
+            ctxt: self.ctxt,
+            processes: self.processes,
+        }
+    }
+
+    /// Reuses the per-CPU vector — the monitor keeps a previous snapshot
+    /// per sample, and a node has up to hundreds of rows.
+    fn clone_from(&mut self, src: &Self) {
+        self.total = src.total;
+        self.cpus.clone_from(&src.cpus);
+        self.ctxt = src.ctxt;
+        self.processes = src.processes;
+    }
 }
 
 #[cfg(test)]

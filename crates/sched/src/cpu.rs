@@ -10,6 +10,9 @@ pub struct CpuState {
     pub os_index: u32,
     /// OS index of the sibling hardware thread on the same core, if SMT.
     pub smt_sibling: Option<u32>,
+    /// Position of the sibling in the node's CPU vector, precomputed so
+    /// the per-tick SMT speed check needs no map lookup.
+    pub smt_sibling_pos: Option<usize>,
     /// FIFO runqueue of waiting tasks.
     pub runqueue: VecDeque<TaskId>,
     /// The task currently executing, if any.

@@ -31,8 +31,42 @@ use crate::task::{CurrentOp, RunState, SimTask, TaskCounters, TaskId};
 use crate::trace::{ChargeKind, SimAudit, TaskAudit, TraceEvent, TraceRecord};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::sync::Arc;
 use zerosum_proc::{Pid, Tid};
 use zerosum_topology::{CpuSet, ObjectKind, Topology};
+
+/// Sets or clears bit `pos` in a `u64`-word bitmask.
+#[inline]
+fn mask_set(mask: &mut [u64], pos: usize, on: bool) {
+    let bit = 1u64 << (pos % 64);
+    if on {
+        mask[pos / 64] |= bit;
+    } else {
+        mask[pos / 64] &= !bit;
+    }
+}
+
+/// True if any bit is set.
+#[inline]
+fn mask_any(mask: &[u64]) -> bool {
+    mask.iter().any(|&w| w != 0)
+}
+
+/// Iterates the set bits of a word snapshot in ascending position order.
+/// Visiting from a snapshot is safe because every consumer re-checks the
+/// underlying condition (`current` / `runqueue`) at the visit.
+macro_rules! for_each_set_bit {
+    ($mask:expr, $pos:ident, $body:block) => {
+        for wi in 0..$mask.len() {
+            let mut w = $mask[wi];
+            while w != 0 {
+                let $pos = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                $body
+            }
+        }
+    };
+}
 
 /// A simulated process: a group of tasks sharing a pid, an affinity mask,
 /// and a memory footprint.
@@ -98,6 +132,20 @@ pub struct NodeSim {
     next_balance_us: u64,
     ctxt_total: u64,
     alive_app_tasks: usize,
+    /// Bit `pos` set when `cpus[pos].current` is occupied. Lets the main
+    /// loop visit only busy hardware threads instead of scanning all of
+    /// them every tick (a 128-HWT Frontier node is mostly idle bits).
+    busy_mask: Vec<u64>,
+    /// Bit `pos` set when `cpus[pos].runqueue` is non-empty.
+    queued_mask: Vec<u64>,
+    /// When true (the default), `run_for` bulk-executes runs of ticks in
+    /// which no scheduling decision can occur. Produces byte-identical
+    /// results to naive stepping; disabled automatically while tracing so
+    /// per-tick `JiffyCharge` events stay exact.
+    skip_ahead: bool,
+    /// Interned task names: spawning many "OpenMP" workers shares one
+    /// allocation.
+    name_cache: HashMap<String, Arc<str>>,
     /// Event trace buffer; `None` (the default) records nothing.
     trace: Option<Vec<TraceRecord>>,
     /// Pending GPU-kernel completions `(wake_t, task) -> device`, kept
@@ -120,11 +168,15 @@ impl NodeSim {
             }
         }
         cpus.sort_by_key(|c| c.os_index);
-        let cpu_pos = cpus
+        let cpu_pos: HashMap<u32, usize> = cpus
             .iter()
             .enumerate()
             .map(|(i, c)| (c.os_index, i))
             .collect();
+        for cpu in &mut cpus {
+            cpu.smt_sibling_pos = cpu.smt_sibling.and_then(|os| cpu_pos.get(&os).copied());
+        }
+        let mask_words = cpus.len().div_ceil(64).max(1);
         let total_mem_kib = topology
             .object(topology.root())
             .attrs
@@ -151,9 +203,47 @@ impl NodeSim {
             next_balance_us: balance,
             ctxt_total: 0,
             alive_app_tasks: 0,
+            busy_mask: vec![0; mask_words],
+            queued_mask: vec![0; mask_words],
+            skip_ahead: true,
+            name_cache: HashMap::new(),
             trace: None,
             gpu_pending: HashMap::new(),
         }
+    }
+
+    /// Enables or disables quiet-tick batching. Off means the engine steps
+    /// every tick naively — useful only for differential testing; results
+    /// are identical either way.
+    pub fn set_skip_ahead(&mut self, on: bool) {
+        self.skip_ahead = on;
+    }
+
+    /// True when quiet-tick batching is enabled (the default).
+    pub fn skip_ahead(&self) -> bool {
+        self.skip_ahead
+    }
+
+    /// Returns the interned copy of `name`.
+    fn intern_name(&mut self, name: &str) -> Arc<str> {
+        if let Some(n) = self.name_cache.get(name) {
+            return n.clone();
+        }
+        let interned: Arc<str> = Arc::from(name);
+        self.name_cache.insert(name.to_string(), interned.clone());
+        interned
+    }
+
+    /// Re-derives the busy/queued bits for CPU `pos`. Must be called after
+    /// any mutation of `cpus[pos].current` or `cpus[pos].runqueue`.
+    #[inline]
+    fn refresh_cpu_flags(&mut self, pos: usize) {
+        mask_set(&mut self.busy_mask, pos, self.cpus[pos].current.is_some());
+        mask_set(
+            &mut self.queued_mask,
+            pos,
+            !self.cpus[pos].runqueue.is_empty(),
+        );
     }
 
     /// Turns structured event tracing on or off. Enabling starts a fresh
@@ -273,14 +363,15 @@ impl NodeSim {
             SimProcess {
                 pid,
                 name: name.to_string(),
-                cpus_allowed: cpus_allowed.clone(),
+                cpus_allowed,
                 tasks: Vec::new(),
                 memory: ProcessMemory::new(self.now_us, rss_target_kib),
                 rank: None,
             },
         );
-        // Main thread: tid == pid, like Linux.
-        self.spawn_task_with_tid(pid, pid, name, Some(cpus_allowed), behavior, false);
+        // Main thread: tid == pid, like Linux. It inherits the process
+        // mask (no extra clone of the mask we just stored).
+        self.spawn_task_with_tid(pid, pid, name, None, behavior, false);
         pid
     }
 
@@ -317,13 +408,13 @@ impl NodeSim {
         behavior: Behavior,
         service: bool,
     ) -> Tid {
-        let proc_mask = self
+        let proc_mask = &self
             .processes
             .get(&pid)
             .expect("spawn_task: unknown pid")
-            .cpus_allowed
-            .clone();
-        let affinity = affinity.unwrap_or(proc_mask);
+            .cpus_allowed;
+        // Clone the process mask only when the task has no explicit one.
+        let affinity = affinity.unwrap_or_else(|| proc_mask.clone());
         assert!(
             !affinity.is_empty(),
             "task affinity must not be empty (pid {pid}, {name})"
@@ -341,10 +432,11 @@ impl NodeSim {
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(tid as u64)
             | 1;
+        let name = self.intern_name(name);
         self.tasks.push(SimTask {
             tid,
             pid,
-            name: name.to_string(),
+            name,
             affinity,
             state: RunState::Runnable,
             counters: TaskCounters::default(),
@@ -364,8 +456,10 @@ impl NodeSim {
         if !service {
             self.alive_app_tasks += 1;
         }
-        let affinity = self.tasks[id.index()].affinity.clone();
-        self.emit(|| TraceEvent::Spawn { tid, pid, affinity });
+        if self.trace.is_some() {
+            let affinity = self.tasks[id.index()].affinity.clone();
+            self.emit(|| TraceEvent::Spawn { tid, pid, affinity });
+        }
         self.enqueue(id);
         tid
     }
@@ -384,14 +478,16 @@ impl NodeSim {
         let Some(&id) = self.tid_map.get(&tid) else {
             return;
         };
-        self.tasks[id.index()].affinity = affinity.clone();
-        {
+        // Clone the mask only when a trace buffer will consume the copy;
+        // the task itself takes ownership of the argument.
+        if self.trace.is_some() {
             let mask = affinity.clone();
             self.emit(|| TraceEvent::AffinityChange {
                 tid,
                 affinity: mask,
             });
         }
+        self.tasks[id.index()].affinity = affinity;
         match self.tasks[id.index()].state {
             RunState::Running => {
                 // Like sched_setaffinity: migrate off a disallowed CPU now.
@@ -400,9 +496,10 @@ impl NodeSim {
                     .get(&self.tasks[id.index()].last_cpu)
                     .copied()
                     .expect("running task on unknown cpu");
-                if !affinity.contains(self.cpus[pos].os_index) {
-                    let cpu = self.cpus[pos].os_index;
+                let cpu = self.cpus[pos].os_index;
+                if !self.tasks[id.index()].affinity.contains(cpu) {
                     self.cpus[pos].current = None;
+                    self.refresh_cpu_flags(pos);
                     self.emit(|| TraceEvent::Deschedule { tid, cpu });
                     self.enqueue(id);
                 }
@@ -410,8 +507,9 @@ impl NodeSim {
             RunState::Runnable => {
                 // Re-place if queued on a now-disallowed CPU.
                 let mut found = None;
+                let allowed = &self.tasks[id.index()].affinity;
                 for (pos, cpu) in self.cpus.iter().enumerate() {
-                    if affinity.contains(cpu.os_index) {
+                    if allowed.contains(cpu.os_index) {
                         continue;
                     }
                     if let Some(i) = cpu.runqueue.iter().position(|&t| t == id) {
@@ -421,6 +519,7 @@ impl NodeSim {
                 }
                 if let Some((pos, i)) = found {
                     self.cpus[pos].runqueue.remove(i);
+                    self.refresh_cpu_flags(pos);
                     let cpu = self.cpus[pos].os_index;
                     self.emit(|| TraceEvent::Dequeue { tid, cpu });
                     self.enqueue(id);
@@ -464,6 +563,7 @@ impl NodeSim {
         }
         let tid = task.tid;
         self.cpus[pos].runqueue.push_back(id);
+        self.refresh_cpu_flags(pos);
         let cpu = self.cpus[pos].os_index;
         self.emit(|| TraceEvent::Enqueue { tid, cpu });
     }
@@ -491,6 +591,7 @@ impl NodeSim {
         task.state = RunState::Running;
         task.slice_used_us = 0;
         self.cpus[pos].current = Some(id);
+        self.refresh_cpu_flags(pos);
         if let Some(from) = migrated_from {
             self.emit(|| TraceEvent::Migrate { tid, from, to: os });
         }
@@ -589,6 +690,7 @@ impl NodeSim {
                         self.alive_app_tasks -= 1;
                     }
                     self.cpus[pos].current = None;
+                    self.refresh_cpu_flags(pos);
                     let cpu = self.cpus[pos].os_index;
                     self.emit(|| TraceEvent::Exit { tid, cpu });
                     return false;
@@ -606,8 +708,30 @@ impl NodeSim {
         task.counters.vcsw += 1;
         self.ctxt_total += 1;
         self.cpus[pos].current = None;
+        self.refresh_cpu_flags(pos);
         let cpu = self.cpus[pos].os_index;
         self.emit(|| TraceEvent::Block { tid, cpu });
+    }
+
+    /// Execution speed of the task on CPU `pos` under the SMT model: half
+    /// throughput (scaled by `smt_efficiency`) when the sibling hardware
+    /// thread runs non-service compute, full speed otherwise.
+    #[inline]
+    fn cpu_speed(&self, pos: usize) -> f64 {
+        match self.cpus[pos].smt_sibling_pos {
+            Some(sib) => {
+                let sib_busy = self.cpus[sib]
+                    .current
+                    .map(|sid| !self.tasks[sid.index()].service)
+                    .unwrap_or(false);
+                if sib_busy {
+                    self.params.smt_efficiency / 2.0
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        }
     }
 
     /// Executes one tick on CPU `pos`. The CPU must have a current task.
@@ -622,23 +746,7 @@ impl NodeSim {
         // contend for core execution resources — this is why the paper's
         // default "last hardware thread" monitor placement is essentially
         // free when the SMT sibling is idle (Figure 8, left).
-        let speed = match self.cpus[pos].smt_sibling {
-            Some(sib) => {
-                let sib_busy = self
-                    .cpu_pos
-                    .get(&sib)
-                    .and_then(|&p| self.cpus[p].current)
-                    .map(|sid| !self.tasks[sid.index()].service)
-                    .unwrap_or(false);
-                if sib_busy {
-                    self.params.smt_efficiency / 2.0
-                } else {
-                    1.0
-                }
-            }
-            None => 1.0,
-        };
-        let progress = tick as f64 * speed;
+        let progress = tick as f64 * self.cpu_speed(pos);
         let mut finished = false;
         let mut spin_released = false;
         let mut spin_exhausted = false;
@@ -772,6 +880,7 @@ impl NodeSim {
                 self.ctxt_total += 1;
                 self.cpus[pos].runqueue.push_back(id);
                 self.cpus[pos].current = None;
+                self.refresh_cpu_flags(pos);
                 let cpu = self.cpus[pos].os_index;
                 self.emit(|| TraceEvent::Preempt { tid, cpu });
             }
@@ -787,26 +896,30 @@ impl NodeSim {
         }
         let my_os = self.cpus[pos].os_index;
         let mut best: Option<(usize, usize, usize)> = None; // (load, donor_pos, rq_idx)
-        for (dpos, cpu) in self.cpus.iter().enumerate() {
-            if dpos == pos || cpu.nr_running() < 2 {
-                continue;
-            }
-            // Find the last (coldest) stealable waiter.
-            for (rq_idx, &cand) in cpu.runqueue.iter().enumerate().rev() {
-                if self.tasks[cand.index()].affinity.contains(my_os) {
-                    let load = cpu.nr_running();
-                    if best.map(|(bl, _, _)| load > bl).unwrap_or(true) {
-                        best = Some((load, dpos, rq_idx));
+                                                            // A donor needs nr_running ≥ 2, which implies a non-empty
+                                                            // runqueue — scan only the queued bits, in ascending order.
+        for_each_set_bit!(self.queued_mask, dpos, {
+            let cpu = &self.cpus[dpos];
+            if dpos != pos && cpu.nr_running() >= 2 {
+                // Find the last (coldest) stealable waiter.
+                for (rq_idx, &cand) in cpu.runqueue.iter().enumerate().rev() {
+                    if self.tasks[cand.index()].affinity.contains(my_os) {
+                        let load = cpu.nr_running();
+                        if best.map(|(bl, _, _)| load > bl).unwrap_or(true) {
+                            best = Some((load, dpos, rq_idx));
+                        }
+                        break;
                     }
-                    break;
                 }
             }
-        }
+        });
         if let Some((_, dpos, rq_idx)) = best {
             let id = self.cpus[dpos].runqueue.remove(rq_idx).expect("steal idx");
             let tid = self.tasks[id.index()].tid;
             let from = self.cpus[dpos].os_index;
             self.cpus[pos].runqueue.push_back(id);
+            self.refresh_cpu_flags(dpos);
+            self.refresh_cpu_flags(pos);
             self.emit(|| TraceEvent::Steal {
                 tid,
                 from,
@@ -828,9 +941,28 @@ impl NodeSim {
     // ----- main loop ------------------------------------------------------
 
     /// Advances virtual time by `duration_us`.
+    ///
+    /// With [`Self::set_skip_ahead`] on (the default) the loop
+    /// bulk-executes *quiet* tick runs — stretches in which no wake
+    /// event is due, no op can finish, no timeslice can expire, and no
+    /// balance pass fires — so a steady simulation advances in O(events)
+    /// instead of O(ticks). The batched path performs the same per-tick
+    /// arithmetic (including the per-tick `f64` progress subtraction), so
+    /// counters and outcomes are byte-identical to naive stepping.
     pub fn run_for(&mut self, duration_us: u64) {
+        self.run_for_inner(duration_us, false);
+    }
+
+    /// The engine loop. With `stop_when_apps_done` the loop exits at the
+    /// top of the first iteration after the last non-service task exited —
+    /// exact-tick completion detection for [`Self::run_until_apps_done`].
+    fn run_for_inner(&mut self, duration_us: u64, stop_when_apps_done: bool) {
         let target = self.now_us + duration_us;
+        let tick = self.params.tick_us;
         while self.now_us < target {
+            if stop_when_apps_done && self.alive_app_tasks == 0 {
+                break;
+            }
             // Deliver due wake events.
             while let Some(&Reverse((t, id))) = self.events.peek() {
                 if t > self.now_us {
@@ -851,39 +983,50 @@ impl NodeSim {
                     self.gpu_pending.remove(&(t, id));
                 }
             }
-            // Dispatch and find work.
-            let mut any_busy = false;
-            for pos in 0..self.cpus.len() {
-                if self.cpus[pos].current.is_none() && !self.cpus[pos].runqueue.is_empty() {
+            // Dispatch idle CPUs that have queued work.
+            for wi in 0..self.queued_mask.len() {
+                let mut w = self.queued_mask[wi] & !self.busy_mask[wi];
+                while w != 0 {
+                    let pos = wi * 64 + w.trailing_zeros() as usize;
+                    w &= w - 1;
                     self.dispatch(pos);
                 }
-                if self.cpus[pos].current.is_some() {
-                    any_busy = true;
-                }
             }
-            if !any_busy {
+            if !mask_any(&self.busy_mask) {
                 // Fast-forward to the next event (or the target).
                 let next = self
                     .events
                     .peek()
                     .map(|&Reverse((t, _))| t)
                     .unwrap_or(target)
-                    .max(self.now_us + self.params.tick_us);
-                self.now_us = next.min(target);
+                    .max(self.now_us + tick)
+                    .min(target);
+                self.now_us = next;
                 continue;
             }
+            // Skip ahead over ticks in which nothing can happen. Disabled
+            // while tracing: traces record one JiffyCharge per tick.
+            if self.skip_ahead && self.trace.is_none() {
+                let q = self.quiet_ticks(target);
+                if q > 0 {
+                    self.exec_quiet(q);
+                    self.now_us += q * tick;
+                    continue;
+                }
+            }
             // Install ops on freshly-dispatched tasks, then execute a tick.
-            for pos in 0..self.cpus.len() {
+            for_each_set_bit!(self.busy_mask, pos, {
                 if let Some(id) = self.cpus[pos].current {
                     if matches!(self.tasks[id.index()].op, CurrentOp::Fetch)
                         && !self.fetch_op(pos, id)
                     {
-                        continue;
+                        // Task left the CPU while fetching (blocked/exited).
+                    } else {
+                        self.exec_tick(pos);
                     }
-                    self.exec_tick(pos);
                 }
-            }
-            self.now_us += self.params.tick_us;
+            });
+            self.now_us += tick;
             if self.now_us >= self.next_balance_us {
                 self.balance();
                 self.next_balance_us = self.now_us + self.params.balance_interval_us;
@@ -891,21 +1034,170 @@ impl NodeSim {
         }
     }
 
+    /// Number of ticks, starting now, that are provably decision-free on
+    /// every CPU and globally (no wake event, no balance pass, inside the
+    /// run window). Conservative: returning less than the true quiet run
+    /// only costs speed, never correctness.
+    fn quiet_ticks(&self, target: u64) -> u64 {
+        let tick = self.params.tick_us;
+        let n0 = self.now_us;
+        // Window bound: quiet ticks may fill the remainder of the run.
+        let mut q = (target - n0).div_ceil(tick);
+        // The next timer/device wake must stay outside the batch.
+        if let Some(&Reverse((t, _))) = self.events.peek() {
+            q = q.min((t - n0).div_ceil(tick));
+        }
+        // The periodic balance pass must stay outside the batch.
+        q = q.min(if self.next_balance_us <= n0 {
+            0
+        } else {
+            (self.next_balance_us - n0).div_ceil(tick) - 1
+        });
+        for_each_set_bit!(self.busy_mask, pos, {
+            if q == 0 {
+                return 0;
+            }
+            q = q.min(self.cpu_quiet_bound(pos));
+        });
+        q
+    }
+
+    /// Ticks CPU `pos` can execute with no scheduling decision: its op
+    /// must not finish, its spin budget must not exhaust, its timeslice
+    /// must not expire, and a spinning task must have no waiter (it would
+    /// yield immediately).
+    fn cpu_quiet_bound(&self, pos: usize) -> u64 {
+        let tick = self.params.tick_us;
+        let Some(id) = self.cpus[pos].current else {
+            return u64::MAX;
+        };
+        let task = &self.tasks[id.index()];
+        let queue_waiting = !self.cpus[pos].runqueue.is_empty();
+        match &task.op {
+            CurrentOp::Compute { remaining_us } | CurrentOp::Syscall { remaining_us } => {
+                let progress = tick as f64 * self.cpu_speed(pos);
+                // Conservative margin: stay two ticks short of the
+                // predicted completion so f64 rounding can never make the
+                // batch overshoot the naive finish tick.
+                let k = (*remaining_us / progress).floor();
+                let mut bound = if k.is_finite() && k >= 3.0 {
+                    k as u64 - 2
+                } else {
+                    0
+                };
+                if queue_waiting {
+                    let slice = self.params.timeslice_us(self.cpus[pos].nr_running());
+                    let left = slice.saturating_sub(task.slice_used_us);
+                    bound = bound.min(if left == 0 {
+                        0
+                    } else {
+                        left.div_ceil(tick) - 1
+                    });
+                }
+                bound
+            }
+            CurrentOp::BarrierSpin {
+                barrier,
+                generation,
+                block_at_us,
+            } => {
+                if queue_waiting {
+                    return 0; // spin-yields at the end of this tick
+                }
+                let released = self
+                    .barriers
+                    .get(&(task.pid, *barrier))
+                    .map(|b| b.generation != *generation)
+                    .unwrap_or(true);
+                if released {
+                    return 0; // leaves the spin on its next tick
+                }
+                if *block_at_us <= tick {
+                    0
+                } else {
+                    block_at_us.div_ceil(tick) - 1
+                }
+            }
+            // Fetch: the next op is unknown until the naive path installs
+            // it. Anything else on-CPU is a bug the naive path will catch.
+            _ => 0,
+        }
+    }
+
+    /// Bulk-executes `q` quiet ticks on every busy CPU: the same charges
+    /// and the same per-tick `f64` progress subtractions as `q` calls to
+    /// `exec_tick`, minus the decision checks `quiet_ticks` proved dead.
+    fn exec_quiet(&mut self, q: u64) {
+        let tick = self.params.tick_us;
+        let charge = q * tick;
+        for_each_set_bit!(self.busy_mask, pos, {
+            let Some(id) = self.cpus[pos].current else {
+                unreachable!("exec_quiet: busy bit on idle cpu");
+            };
+            let progress = tick as f64 * self.cpu_speed(pos);
+            enum Account {
+                User,
+                System,
+            }
+            let account;
+            {
+                let task = &mut self.tasks[id.index()];
+                match &mut task.op {
+                    CurrentOp::Compute { remaining_us } => {
+                        // Per-tick subtraction, not `q × progress`: f64
+                        // addition is not associative and equivalence with
+                        // the naive stepper must be exact.
+                        for _ in 0..q {
+                            *remaining_us -= progress;
+                        }
+                        task.counters.utime_us += charge;
+                        account = Account::User;
+                    }
+                    CurrentOp::Syscall { remaining_us } => {
+                        for _ in 0..q {
+                            *remaining_us -= progress;
+                        }
+                        task.counters.stime_us += charge;
+                        account = Account::System;
+                    }
+                    CurrentOp::BarrierSpin { block_at_us, .. } => {
+                        *block_at_us = block_at_us.saturating_sub(charge);
+                        task.counters.utime_us += charge;
+                        account = Account::User;
+                    }
+                    other => unreachable!("exec_quiet on op {other:?}"),
+                }
+                task.slice_used_us += charge;
+            }
+            match account {
+                Account::User => self.cpus[pos].user_us += charge,
+                Account::System => self.cpus[pos].system_us += charge,
+            }
+        });
+    }
+
     /// True once every non-service task has exited.
     pub fn apps_done(&self) -> bool {
         self.alive_app_tasks == 0
     }
 
-    /// Runs until all non-service tasks exit, in `step_us` chunks, up to
-    /// `max_us`. Returns the completion time (µs) or `None` on timeout.
+    /// Runs until all non-service tasks exit, up to `max_us`. Returns the
+    /// completion time (µs) or `None` on timeout.
+    ///
+    /// Completion is detected exactly, at the tick the last application
+    /// task exits — exits happen only on naively-executed ticks, never
+    /// inside a skip-ahead batch, so detection is precise in both engine
+    /// modes. `step_us` is retained for call-site compatibility; it no
+    /// longer bounds detection granularity (historically the engine
+    /// checked only between `step_us`-sized chunks).
     pub fn run_until_apps_done(&mut self, step_us: u64, max_us: u64) -> Option<u64> {
+        let _ = step_us;
         let deadline = self.now_us + max_us;
         while !self.apps_done() {
             if self.now_us >= deadline {
                 return None;
             }
-            let step = step_us.min(deadline - self.now_us);
-            self.run_for(step);
+            self.run_for_inner(deadline - self.now_us, true);
         }
         Some(self.now_us)
     }
@@ -921,18 +1213,22 @@ impl NodeSim {
     /// Idle time is derived: a hardware thread is idle whenever it is not
     /// executing user or kernel work.
     pub fn cpu_times_us(&self) -> Vec<(u32, u64, u64, u64)> {
-        self.cpus
-            .iter()
-            .map(|c| {
-                let busy = c.user_us + c.system_us;
-                (
-                    c.os_index,
-                    c.user_us,
-                    c.system_us,
-                    self.now_us.saturating_sub(busy),
-                )
-            })
-            .collect()
+        self.cpu_times_iter().collect()
+    }
+
+    /// Iterator form of [`Self::cpu_times_us`] — the sampling hot path
+    /// streams the rows into a render buffer without the intermediate
+    /// vector.
+    pub fn cpu_times_iter(&self) -> impl Iterator<Item = (u32, u64, u64, u64)> + '_ {
+        self.cpus.iter().map(|c| {
+            let busy = c.user_us + c.system_us;
+            (
+                c.os_index,
+                c.user_us,
+                c.system_us,
+                self.now_us.saturating_sub(busy),
+            )
+        })
     }
 
     /// Sum of all process RSS at the current time, KiB.
@@ -971,7 +1267,7 @@ impl NodeSim {
                     .iter()
                     .map(|&id| {
                         let t = &self.tasks[id.index()];
-                        (t.tid, t.name.clone(), t.counters)
+                        (t.tid, t.name.to_string(), t.counters)
                     })
                     .collect()
             })

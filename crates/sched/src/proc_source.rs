@@ -10,6 +10,7 @@
 
 use crate::node::NodeSim;
 use crate::task::RunState;
+use std::cell::RefCell;
 use zerosum_proc::{
     format, parse, CpuTimes, MemInfo, Pid, SchedStat, SourceError, SourceResult, SystemStat,
     TaskStat, TaskStatus, Tid,
@@ -19,17 +20,30 @@ use zerosum_proc::{
 const US_PER_JIFFY: u64 = 1_000_000 / zerosum_proc::USER_HZ;
 
 /// A borrowed `/proc` view of a [`NodeSim`].
+///
+/// The render scratch (one text buffer, one record per kind) is reused
+/// across reads: the monitor samples hundreds of records per period, and
+/// rendering each into a fresh `String` dominated the sampling cost.
 pub struct SimProcSource<'a> {
     sim: &'a NodeSim,
+    text: RefCell<String>,
+    stat_scratch: RefCell<TaskStat>,
+    status_scratch: RefCell<TaskStatus>,
 }
 
 impl<'a> SimProcSource<'a> {
     /// Creates the view.
     pub fn new(sim: &'a NodeSim) -> Self {
-        SimProcSource { sim }
+        SimProcSource {
+            sim,
+            text: RefCell::new(String::new()),
+            stat_scratch: RefCell::new(TaskStat::default()),
+            status_scratch: RefCell::new(TaskStatus::default()),
+        }
     }
 
-    fn render_task_stat(&self, pid: Pid, tid: Tid) -> SourceResult<String> {
+    /// Renders `/proc/<pid>/task/<tid>/stat` into `text` (cleared first).
+    fn render_task_stat(&self, pid: Pid, tid: Tid, text: &mut String) -> SourceResult<()> {
         let task = self
             .sim
             .task_by_tid(tid)
@@ -37,8 +51,6 @@ impl<'a> SimProcSource<'a> {
             .ok_or(SourceError::NotFound)?;
         let process = self.sim.process(pid).ok_or(SourceError::NotFound)?;
         let now = self.sim.now_us();
-        // Kernel truncates comm to 15 bytes.
-        let comm: String = task.name.chars().take(15).collect();
         // Minor faults: the main thread performs the first-touch faults of
         // the memory ramp; every thread adds an allocator trickle
         // proportional to its CPU time.
@@ -48,23 +60,28 @@ impl<'a> SimProcSource<'a> {
             0
         };
         let trickle = task.cpu_us() / 20_000;
-        let stat = TaskStat {
-            tid,
-            comm,
-            state: task.state.proc_state(),
-            minflt: ramp_faults + trickle,
-            majflt: 0,
-            utime: task.counters.utime_us / US_PER_JIFFY,
-            stime: task.counters.stime_us / US_PER_JIFFY,
-            nice: 0,
-            num_threads: process.tasks.len() as u32,
-            processor: task.last_cpu,
-            nswap: 0,
-        };
-        Ok(format::format_task_stat(&stat))
+        let mut st = self.stat_scratch.borrow_mut();
+        st.tid = tid;
+        // Kernel truncates comm to 15 bytes.
+        st.comm.clear();
+        st.comm.extend(task.name.chars().take(15));
+        st.state = task.state.proc_state();
+        st.minflt = ramp_faults + trickle;
+        st.majflt = 0;
+        st.utime = task.counters.utime_us / US_PER_JIFFY;
+        st.stime = task.counters.stime_us / US_PER_JIFFY;
+        st.nice = 0;
+        st.num_threads = process.tasks.len() as u32;
+        st.processor = task.last_cpu;
+        st.nswap = 0;
+        text.clear();
+        format::write_task_stat(&st, text);
+        Ok(())
     }
 
-    fn render_task_status(&self, pid: Pid, tid: Tid) -> SourceResult<String> {
+    /// Renders `/proc/<pid>/task/<tid>/status` into `text` (cleared
+    /// first).
+    fn render_task_status(&self, pid: Pid, tid: Tid, text: &mut String) -> SourceResult<()> {
         let task = self
             .sim
             .task_by_tid(tid)
@@ -72,19 +89,21 @@ impl<'a> SimProcSource<'a> {
             .ok_or(SourceError::NotFound)?;
         let process = self.sim.process(pid).ok_or(SourceError::NotFound)?;
         let now = self.sim.now_us();
-        let status = TaskStatus {
-            name: task.name.chars().take(15).collect(),
-            tid,
-            tgid: pid,
-            state: task.state.proc_state(),
-            vm_rss_kib: process.memory.rss_kib(now),
-            vm_size_kib: process.memory.vm_size_kib,
-            vm_hwm_kib: process.memory.hwm_kib(now),
-            cpus_allowed: task.affinity.clone(),
-            voluntary_ctxt_switches: task.counters.vcsw,
-            nonvoluntary_ctxt_switches: task.counters.nvcsw,
-        };
-        Ok(format::format_task_status(&status))
+        let mut st = self.status_scratch.borrow_mut();
+        st.name.clear();
+        st.name.extend(task.name.chars().take(15));
+        st.tid = tid;
+        st.tgid = pid;
+        st.state = task.state.proc_state();
+        st.vm_rss_kib = process.memory.rss_kib(now);
+        st.vm_size_kib = process.memory.vm_size_kib;
+        st.vm_hwm_kib = process.memory.hwm_kib(now);
+        st.cpus_allowed.copy_from(&task.affinity);
+        st.voluntary_ctxt_switches = task.counters.vcsw;
+        st.nonvoluntary_ctxt_switches = task.counters.nvcsw;
+        text.clear();
+        format::write_task_status(&st, text);
+        Ok(())
     }
 }
 
@@ -94,60 +113,95 @@ fn malformed(e: impl std::fmt::Display) -> SourceError {
 
 impl zerosum_proc::ProcSource for SimProcSource<'_> {
     fn system_stat(&self) -> SourceResult<SystemStat> {
-        let mut cpus = Vec::new();
-        let mut total = CpuTimes::default();
-        for (os, user_us, system_us, idle_us) in self.sim.cpu_times_us() {
-            let t = CpuTimes {
-                user: user_us / US_PER_JIFFY,
-                system: system_us / US_PER_JIFFY,
-                idle: idle_us / US_PER_JIFFY,
-                ..Default::default()
-            };
-            total = total.add(&t);
-            cpus.push((os, t));
-        }
-        let stat = SystemStat {
-            total,
-            cpus,
-            ctxt: self.sim.ctxt_total(),
-            processes: 0,
+        let mut out = SystemStat::default();
+        self.system_stat_into(&mut out)?;
+        Ok(out)
+    }
+
+    fn system_stat_into(&self, out: &mut SystemStat) -> SourceResult<()> {
+        use std::fmt::Write as _;
+        let jiffies = |user_us: u64, system_us: u64, idle_us: u64| CpuTimes {
+            user: user_us / US_PER_JIFFY,
+            system: system_us / US_PER_JIFFY,
+            idle: idle_us / US_PER_JIFFY,
+            ..Default::default()
         };
-        let text = format::format_system_stat(&stat);
-        parse::parse_system_stat(&text).map_err(malformed)
+        let mut text = self.text.borrow_mut();
+        text.clear();
+        // The aggregate row leads the file, so total first (one pass),
+        // then the per-CPU rows (second pass) — both straight into the
+        // render buffer. The text must match `format::write_system_stat`
+        // byte for byte; `system_stat_text_matches_format` pins that.
+        let mut total = CpuTimes::default();
+        for (_, user_us, system_us, idle_us) in self.sim.cpu_times_iter() {
+            total = total.add(&jiffies(user_us, system_us, idle_us));
+        }
+        format::write_cpu_row(&mut text, None, &total);
+        for (os, user_us, system_us, idle_us) in self.sim.cpu_times_iter() {
+            format::write_cpu_row(&mut text, Some(os), &jiffies(user_us, system_us, idle_us));
+        }
+        let _ = writeln!(text, "ctxt {}", self.sim.ctxt_total());
+        let _ = writeln!(text, "btime 1700000000");
+        let _ = writeln!(text, "processes 0");
+        parse::parse_system_stat_into(&text, out).map_err(malformed)
     }
 
     fn meminfo(&self) -> SourceResult<MemInfo> {
         let mi = self.sim.memory.meminfo(self.sim.processes_rss_kib());
-        let text = format::format_meminfo(&mi);
+        let mut text = self.text.borrow_mut();
+        text.clear();
+        format::write_meminfo(&mi, &mut text);
         parse::parse_meminfo(&text).map_err(malformed)
     }
 
     fn list_tasks(&self, pid: Pid) -> SourceResult<Vec<Tid>> {
-        let process = self.sim.process(pid).ok_or(SourceError::NotFound)?;
-        let mut tids: Vec<Tid> = process
-            .tasks
-            .iter()
-            .map(|&id| self.sim.task(id).tid)
-            // Exited threads disappear from /proc/<pid>/task.
-            .filter(|&tid| {
-                self.sim
-                    .task_by_tid(tid)
-                    .map(|t| t.state != RunState::Exited)
-                    .unwrap_or(false)
-            })
-            .collect();
-        tids.sort_unstable();
+        let mut tids = Vec::new();
+        self.list_tasks_into(pid, &mut tids)?;
         Ok(tids)
     }
 
+    fn list_tasks_into(&self, pid: Pid, out: &mut Vec<Tid>) -> SourceResult<()> {
+        let process = self.sim.process(pid).ok_or(SourceError::NotFound)?;
+        out.clear();
+        out.extend(
+            process
+                .tasks
+                .iter()
+                .map(|&id| self.sim.task(id).tid)
+                // Exited threads disappear from /proc/<pid>/task.
+                .filter(|&tid| {
+                    self.sim
+                        .task_by_tid(tid)
+                        .map(|t| t.state != RunState::Exited)
+                        .unwrap_or(false)
+                }),
+        );
+        out.sort_unstable();
+        Ok(())
+    }
+
     fn task_stat(&self, pid: Pid, tid: Tid) -> SourceResult<TaskStat> {
-        let text = self.render_task_stat(pid, tid)?;
-        parse::parse_task_stat(&text).map_err(malformed)
+        let mut out = TaskStat::default();
+        self.task_stat_into(pid, tid, &mut out)?;
+        Ok(out)
+    }
+
+    fn task_stat_into(&self, pid: Pid, tid: Tid, out: &mut TaskStat) -> SourceResult<()> {
+        let mut text = self.text.borrow_mut();
+        self.render_task_stat(pid, tid, &mut text)?;
+        parse::parse_task_stat_into(&text, out).map_err(malformed)
     }
 
     fn task_status(&self, pid: Pid, tid: Tid) -> SourceResult<TaskStatus> {
-        let text = self.render_task_status(pid, tid)?;
-        parse::parse_task_status(&text).map_err(malformed)
+        let mut out = TaskStatus::default();
+        self.task_status_into(pid, tid, &mut out)?;
+        Ok(out)
+    }
+
+    fn task_status_into(&self, pid: Pid, tid: Tid, out: &mut TaskStatus) -> SourceResult<()> {
+        let mut text = self.text.borrow_mut();
+        self.render_task_status(pid, tid, &mut text)?;
+        parse::parse_task_status_into(&text, out).map_err(malformed)
     }
 
     fn task_schedstat(&self, pid: Pid, tid: Tid) -> SourceResult<SchedStat> {
@@ -161,7 +215,9 @@ impl zerosum_proc::ProcSource for SimProcSource<'_> {
             wait_ns: task.counters.wait_us * 1_000,
             timeslices: task.counters.dispatches,
         };
-        let text = format::format_schedstat(&ss);
+        let mut text = self.text.borrow_mut();
+        text.clear();
+        format::write_schedstat(&ss, &mut text);
         parse::parse_schedstat(&text).map_err(malformed)
     }
 }
@@ -296,6 +352,47 @@ mod tests {
             src.task_stat(99_999, pid),
             Err(SourceError::NotFound)
         ));
+    }
+
+    #[test]
+    fn system_stat_text_matches_format() {
+        // The streamed render in `system_stat_into` must agree with the
+        // canonical `format::write_system_stat` on the parsed record.
+        let (sim, _) = sim_with_app();
+        let src = SimProcSource::new(&sim);
+        let stat = src.system_stat().unwrap();
+        let canonical = format::format_system_stat(&stat);
+        let reparsed = parse::parse_system_stat(&canonical).unwrap();
+        assert_eq!(reparsed, stat);
+    }
+
+    #[test]
+    fn into_forms_match_owning_forms() {
+        let (sim, pid) = sim_with_app();
+        let src = SimProcSource::new(&sim);
+        let mut ss = SystemStat::default();
+        src.system_stat_into(&mut ss).unwrap();
+        assert_eq!(ss, src.system_stat().unwrap());
+        let mut tids = vec![999];
+        src.list_tasks_into(pid, &mut tids).unwrap();
+        assert_eq!(tids, src.list_tasks(pid).unwrap());
+        for &tid in &tids {
+            // Pre-soiled records prove the reads fully overwrite them.
+            let mut st = TaskStat {
+                comm: "garbage".into(),
+                utime: u64::MAX,
+                ..Default::default()
+            };
+            src.task_stat_into(pid, tid, &mut st).unwrap();
+            assert_eq!(st, src.task_stat(pid, tid).unwrap());
+            let mut status = TaskStatus {
+                name: "garbage".into(),
+                cpus_allowed: CpuSet::range(0, 300),
+                ..Default::default()
+            };
+            src.task_status_into(pid, tid, &mut status).unwrap();
+            assert_eq!(status, src.task_status(pid, tid).unwrap());
+        }
     }
 
     #[test]

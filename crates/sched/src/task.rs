@@ -1,6 +1,7 @@
 //! Simulated tasks (lightweight processes) and their accounting state.
 
 use crate::behavior::Behavior;
+use std::sync::Arc;
 use zerosum_proc::{Pid, TaskState, Tid};
 use zerosum_topology::CpuSet;
 
@@ -20,7 +21,7 @@ impl TaskId {
 /// `/proc` exposes CPU time quantized to jiffies; the conversion (and the
 /// resulting sampling noise the paper shows in Figure 6) happens in the
 /// simulated proc source, not here.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TaskCounters {
     /// User-mode CPU time, µs.
     pub utime_us: u64,
@@ -98,7 +99,8 @@ pub struct SimTask {
     /// Owning process.
     pub pid: Pid,
     /// Thread name (`comm`), e.g. `"miniqmc"`, `"ZeroSum"`, `"OpenMP"`.
-    pub name: String,
+    /// Interned: tasks spawned with the same name share one allocation.
+    pub name: Arc<str>,
     /// Affinity mask (OS CPU indices the task may run on).
     pub affinity: CpuSet,
     /// Run state.

@@ -15,6 +15,7 @@
 //! [`NodeSim`]: crate::node::NodeSim
 
 use crate::task::TaskCounters;
+use std::sync::Arc;
 use zerosum_proc::{Pid, Tid};
 use zerosum_topology::CpuSet;
 
@@ -198,14 +199,14 @@ pub struct TraceRecord {
 }
 
 /// Final per-task state, snapshotted for the invariant engine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskAudit {
     /// Thread id.
     pub tid: Tid,
     /// Owning process.
     pub pid: Pid,
-    /// Thread name.
-    pub name: String,
+    /// Thread name (shared with the simulator's interned name).
+    pub name: Arc<str>,
     /// Affinity mask at snapshot time.
     pub affinity: CpuSet,
     /// Cumulative counters.
@@ -219,7 +220,7 @@ pub struct TaskAudit {
 /// A snapshot of the simulator's aggregate accounting, taken after a
 /// run. The invariant engine replays the event trace and reconciles it
 /// against this.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimAudit {
     /// Virtual time of the snapshot, µs.
     pub now_us: u64,

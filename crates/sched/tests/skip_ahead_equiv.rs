@@ -1,0 +1,157 @@
+//! Differential equivalence: quiet-tick skip-ahead vs naive stepping.
+//!
+//! The skip-ahead engine (`NodeSim::set_skip_ahead`) claims byte-identical
+//! results to executing every tick. This suite runs varied workloads —
+//! oversubscribed barrier teams, SMT sharing, sleepers, GPU offloads,
+//! runtime affinity changes — across seeds 1..=20 and asserts that the
+//! full [`SimAudit`] (every task counter, every per-CPU time account, the
+//! context-switch total, and the clock) matches exactly, that completion
+//! times match, and that event traces are unaffected by the flag.
+
+use zerosum_sched::{Behavior, NodeSim, SchedParams, SimAudit, WorkerSpec};
+use zerosum_topology::{presets, CpuSet};
+
+/// Builds a seed-varied workload exercising every scheduler mechanism.
+fn build_sim(seed: u64, skip_ahead: bool) -> NodeSim {
+    let mut sim = NodeSim::new(
+        presets::laptop_i7_1165g7(),
+        SchedParams {
+            seed,
+            barrier_spin_us: 1_000 + (seed % 5) * 700,
+            ..SchedParams::default()
+        },
+    );
+    sim.set_skip_ahead(skip_ahead);
+
+    // Oversubscribed barrier team: 4 workers on 2 CPUs → spin-yield churn.
+    let team_mask = CpuSet::from_indices([0u32, 1]);
+    let mk_worker = |lead: bool| {
+        Behavior::worker(WorkerSpec {
+            iterations: 4 + (seed % 3) as u32,
+            work_per_iter_us: 3_000 + (seed % 7) * 500,
+            noise_frac: 0.1,
+            sys_per_iter_us: 200,
+            leader_extra_us: if lead { 1_500 } else { 0 },
+            checkpoint_every: 2,
+            checkpoint_extra_us: 400,
+            is_leader: lead,
+            barrier: Some(1),
+            offload: None,
+        })
+    };
+    let team = sim.spawn_process("team", team_mask, 4_096, mk_worker(true));
+    for _ in 0..3 {
+        sim.spawn_task(team, "worker", None, mk_worker(false), false);
+    }
+
+    // SMT pair: two computes on sibling hardware threads (0 and 4).
+    sim.spawn_process(
+        "smt_a",
+        CpuSet::single(4),
+        128,
+        Behavior::FiniteCompute {
+            remaining_us: 20_000 + (seed % 4) * 5_000,
+            chunk_us: 7_000,
+        },
+    );
+
+    // A sleeper that wakes periodically (timer events inside the run).
+    sim.spawn_process("poller", CpuSet::single(2), 64, Behavior::Sleeper);
+
+    // GPU offload worker: block/wake cycles through the device queue.
+    sim.spawn_process(
+        "gpu",
+        CpuSet::single(3),
+        1_024,
+        Behavior::worker(WorkerSpec {
+            iterations: 3,
+            work_per_iter_us: 1_000,
+            noise_frac: 0.0,
+            sys_per_iter_us: 0,
+            leader_extra_us: 0,
+            checkpoint_every: 0,
+            checkpoint_extra_us: 0,
+            is_leader: false,
+            barrier: None,
+            offload: Some(zerosum_sched::OffloadSpec {
+                device: 0,
+                launch_us: 100,
+                kernel_us: 2_000 + (seed % 3) * 800,
+                sync_us: 50,
+                bytes: 1 << 20,
+            }),
+        }),
+    );
+    sim
+}
+
+/// Drives the sim the way the monitored runner does (chunked stepping with
+/// an affinity change partway through) and returns the final audit.
+fn drive(sim: &mut NodeSim) -> (Option<u64>, SimAudit) {
+    sim.run_for(7_300); // odd offset: exercise non-aligned batch windows
+                        // Runtime affinity change of the team leader, like zerosum-omp pinning.
+    sim.set_task_affinity(sim.pids()[0], CpuSet::single(1));
+    let done = sim.run_until_apps_done(200, 30_000_000);
+    // Keep stepping past completion: service/sleeper tasks stay live.
+    sim.run_for(50_000);
+    (done, sim.audit())
+}
+
+#[test]
+fn skip_ahead_matches_naive_across_seeds() {
+    for seed in 1..=20u64 {
+        let (done_fast, audit_fast) = drive(&mut build_sim(seed, true));
+        let (done_naive, audit_naive) = drive(&mut build_sim(seed, false));
+        assert_eq!(done_fast, done_naive, "completion diverged at seed {seed}");
+        assert_eq!(
+            audit_fast, audit_naive,
+            "audit diverged at seed {seed}: fast={audit_fast:#?} naive={audit_naive:#?}"
+        );
+    }
+}
+
+#[test]
+fn traces_are_identical_regardless_of_flag() {
+    // Tracing forces the naive stepper, so traces must not depend on the
+    // skip-ahead flag at all.
+    for seed in [1u64, 7, 20] {
+        let mut a = build_sim(seed, true);
+        let mut b = build_sim(seed, false);
+        a.set_tracing(true);
+        b.set_tracing(true);
+        let _ = drive(&mut a);
+        let _ = drive(&mut b);
+        assert_eq!(
+            a.take_trace(),
+            b.take_trace(),
+            "trace diverged at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn traced_naive_run_matches_untraced_skip_ahead_audit() {
+    // The traced (naive) engine and the untraced skip-ahead engine must
+    // agree on every counter; only the trace buffer itself differs.
+    for seed in [2u64, 11, 19] {
+        let mut traced = build_sim(seed, true);
+        traced.set_tracing(true);
+        let (done_t, audit_t) = drive(&mut traced);
+        let (done_f, audit_f) = drive(&mut build_sim(seed, true));
+        assert_eq!(done_t, done_f, "completion diverged at seed {seed}");
+        assert_eq!(audit_t, audit_f, "audit diverged at seed {seed}");
+    }
+}
+
+#[test]
+fn skip_ahead_advances_like_naive_on_pure_idle() {
+    let mut fast = NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
+    let mut slow = NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
+    slow.set_skip_ahead(false);
+    for sim in [&mut fast, &mut slow] {
+        sim.spawn_process("idle", CpuSet::single(0), 64, Behavior::Sleeper);
+        sim.run_for(5_000_000);
+    }
+    assert_eq!(fast.now_us(), slow.now_us());
+    assert_eq!(fast.audit(), slow.audit());
+}

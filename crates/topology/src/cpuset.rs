@@ -12,9 +12,23 @@ use std::fmt;
 ///
 /// Indices are arbitrary-width; storage grows on demand in 64-bit words.
 /// All operations are O(words).
-#[derive(Clone, Default, PartialEq, Eq, Hash)]
+#[derive(Default, PartialEq, Eq, Hash)]
 pub struct CpuSet {
     words: Vec<u64>,
+}
+
+impl Clone for CpuSet {
+    fn clone(&self) -> Self {
+        CpuSet {
+            words: self.words.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        // Vec::clone_from reuses the existing allocation when it fits —
+        // this is the sampling hot path's way to refresh a mask.
+        self.words.clone_from(&source.words);
+    }
 }
 
 impl CpuSet {
@@ -67,6 +81,18 @@ impl CpuSet {
         if w < self.words.len() {
             self.words[w] &= !b;
         }
+    }
+
+    /// Empties the set in place, keeping the word allocation.
+    pub fn clear_all(&mut self) {
+        self.words.clear();
+    }
+
+    /// Replaces this set's contents with `other`'s, reusing the existing
+    /// allocation (alias for [`Clone::clone_from`], named for call sites
+    /// where the reuse is the point).
+    pub fn copy_from(&mut self, other: &CpuSet) {
+        self.clone_from(other);
     }
 
     /// Returns true if `idx` is in the set.
@@ -180,9 +206,22 @@ impl CpuSet {
     /// An empty or whitespace-only string parses to the empty set.
     pub fn parse_list(s: &str) -> Result<CpuSet, CpuSetParseError> {
         let mut set = CpuSet::new();
+        set.parse_list_into(s)?;
+        Ok(set)
+    }
+
+    /// Parses the kernel list format into this set, replacing its
+    /// contents while reusing the allocation. On error the set's
+    /// contents are unspecified.
+    pub fn parse_list_into(&mut self, s: &str) -> Result<(), CpuSetParseError> {
+        // Clearing (not zeroing) keeps the allocation while matching a
+        // freshly built set word-for-word — equality is
+        // representation-based, so no trailing zero words may remain.
+        self.words.clear();
+        let set = self;
         let trimmed = s.trim();
         if trimmed.is_empty() {
-            return Ok(set);
+            return Ok(());
         }
         for part in trimmed.split(',') {
             let part = part.trim();
@@ -214,7 +253,10 @@ impl CpuSet {
                 }
             }
         }
-        Ok(set)
+        while set.words.last() == Some(&0) {
+            set.words.pop();
+        }
+        Ok(())
     }
 
     /// Parses the kernel hex mask format used by `Cpus_allowed`,
@@ -240,8 +282,15 @@ impl CpuSet {
     /// Formats the set in kernel list format (`1-7,9-15`), the format used
     /// in the paper's LWP report `CPUs:` column.
     pub fn to_list_string(&self) -> String {
-        let mut out = String::new();
+        self.to_string()
+    }
+
+    /// Streams the kernel list format into a writer without allocating —
+    /// the zero-copy sibling of [`CpuSet::to_list_string`], used by the
+    /// sampling hot path when rendering `Cpus_allowed_list:`.
+    pub fn write_list<W: fmt::Write>(&self, out: &mut W) -> fmt::Result {
         let mut iter = self.iter().peekable();
+        let mut first = true;
         while let Some(start) = iter.next() {
             let mut end = start;
             while let Some(&next) = iter.peek() {
@@ -252,22 +301,23 @@ impl CpuSet {
                     break;
                 }
             }
-            if !out.is_empty() {
-                out.push(',');
+            if !first {
+                out.write_char(',')?;
             }
+            first = false;
             if start == end {
-                out.push_str(&start.to_string());
+                write!(out, "{start}")?;
             } else {
-                out.push_str(&format!("{start}-{end}"));
+                write!(out, "{start}-{end}")?;
             }
         }
-        out
+        Ok(())
     }
 }
 
 impl fmt::Display for CpuSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.to_list_string())
+        self.write_list(f)
     }
 }
 
@@ -435,6 +485,41 @@ mod tests {
         assert!(!a.intersects(&CpuSet::range(100, 110)));
         assert!(CpuSet::range(2, 3).is_subset_of(&a));
         assert!(!a.is_subset_of(&b));
+    }
+
+    #[test]
+    fn parse_list_into_reuses_and_compares_equal() {
+        let mut s = CpuSet::range(0, 200);
+        s.parse_list_into("1-7").unwrap();
+        // Must compare equal to a freshly built set despite having held a
+        // wider mask before (trailing zero words dropped).
+        assert_eq!(s, CpuSet::parse_list("1-7").unwrap());
+        s.parse_list_into("").unwrap();
+        assert!(s.is_empty());
+        assert_eq!(s, CpuSet::new());
+        assert!(s.parse_list_into("7-3").is_err());
+    }
+
+    #[test]
+    fn clear_all_and_copy_from() {
+        let mut s = CpuSet::range(0, 127);
+        s.clear_all();
+        assert!(s.is_empty());
+        assert_eq!(s, CpuSet::new());
+        let src = CpuSet::from_indices([3u32, 65]);
+        s.copy_from(&src);
+        assert_eq!(s, src);
+    }
+
+    #[test]
+    fn write_list_matches_to_list_string() {
+        for text in ["", "0", "0,2,4", "1-7,9-15,64", "0-127"] {
+            let s = CpuSet::parse_list(text).unwrap();
+            let mut streamed = String::new();
+            s.write_list(&mut streamed).unwrap();
+            assert_eq!(streamed, s.to_list_string());
+            assert_eq!(streamed, text);
+        }
     }
 
     #[test]

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Diff two saved `zerosum bench --json` files metric-by-metric, e.g.
+#
+#   scripts/bench_compare.sh BENCH_baseline.json BENCH_pr3.json
+#
+# Prints a delta table (positive = B larger); exits non-zero only on
+# usage or parse errors — this is a reporting tool, the regression gate
+# lives in `zerosum bench --check` (run by scripts/ci.sh).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 A.json B.json" >&2
+    exit 2
+fi
+
+exec cargo run -q --release -p zerosum-cli --bin zerosum -- bench --compare "$1" "$2"

@@ -23,4 +23,8 @@ cargo run -q -p zerosum-cli --bin zerosum -- analyze --scenario table2 --scale 1
 echo "== chaos soak (21 seeded fault schedules + abnormal-exit drill)"
 cargo run -q -p zerosum-cli --bin zerosum -- chaos --scale 150 --schedules 21 --seed 50336
 
+echo "== bench regression gate (quick suite, release, ±15% of BENCH_baseline.json)"
+cargo run -q --release -p zerosum-cli --bin zerosum -- \
+    bench --quick --check BENCH_baseline.json --max-regress 15
+
 echo "CI OK"
