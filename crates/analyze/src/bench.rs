@@ -93,19 +93,50 @@ impl BenchReport {
     }
 
     /// Parses the format written by [`Self::to_json`]. Hand-rolled for
-    /// exactly that shape: one object per metric, string values free of
-    /// escapes.
+    /// exactly that shape (one object per metric), but defensive about
+    /// everything a hand-edited or truncated baseline can contain:
+    /// braces and escapes inside strings, objects cut off mid-field, and
+    /// non-finite values all come back as errors, never panics.
     pub fn from_json(text: &str) -> Result<Self, String> {
+        // Byte offset of the first `}` outside a string literal, so a
+        // `}` inside a unit string cannot truncate the object.
+        fn object_end(s: &str) -> Option<usize> {
+            let (mut in_str, mut esc) = (false, false);
+            for (i, c) in s.char_indices() {
+                if esc {
+                    esc = false;
+                    continue;
+                }
+                match c {
+                    '\\' if in_str => esc = true,
+                    '"' => in_str = !in_str,
+                    '}' if !in_str => return Some(i),
+                    _ => {}
+                }
+            }
+            None
+        }
         fn str_field(obj: &str, name: &str) -> Result<String, String> {
             let tag = format!("\"{name}\": \"");
             let start = obj
                 .find(&tag)
                 .ok_or_else(|| format!("missing field {name:?}"))?
                 + tag.len();
-            let end = obj[start..]
-                .find('"')
-                .ok_or_else(|| format!("unterminated string for {name:?}"))?;
-            Ok(obj[start..start + end].to_string())
+            let mut esc = false;
+            for (i, c) in obj[start..].char_indices() {
+                if esc {
+                    esc = false;
+                    continue;
+                }
+                match c {
+                    '\\' => esc = true,
+                    '"' => return Ok(obj[start..start + i].to_string()),
+                    _ => {}
+                }
+            }
+            Err(format!(
+                "unterminated string for {name:?} (truncated file?)"
+            ))
         }
         fn raw_field(obj: &str, name: &str) -> Result<String, String> {
             let tag = format!("\"{name}\": ");
@@ -118,19 +149,27 @@ impl BenchReport {
                 .ok_or_else(|| format!("unterminated value for {name:?}"))?;
             Ok(obj[start..start + end].trim().to_string())
         }
-        let mut metrics = Vec::new();
+        let mut metrics: Vec<Metric> = Vec::new();
         let mut rest = text;
         while let Some(start) = rest.find("{\"key\":") {
-            let end = rest[start..]
-                .find('}')
-                .ok_or("unterminated metric object")?
-                + start;
+            let end = start
+                + object_end(&rest[start..]).ok_or_else(|| {
+                    format!(
+                        "metric object {} is truncated (no closing brace)",
+                        metrics.len() + 1
+                    )
+                })?;
             let obj = &rest[start..=end];
+            let key = str_field(obj, "key")?;
+            let value: f64 = raw_field(obj, "value")?
+                .parse()
+                .map_err(|e| format!("{key}: bad value: {e}"))?;
+            if !value.is_finite() {
+                return Err(format!("{key}: non-finite value {value}"));
+            }
             metrics.push(Metric {
-                key: str_field(obj, "key")?,
-                value: raw_field(obj, "value")?
-                    .parse()
-                    .map_err(|e| format!("bad value: {e}"))?,
+                key,
+                value,
                 unit: str_field(obj, "unit")?,
                 higher_is_better: raw_field(obj, "higher_is_better")? == "true",
                 gated: raw_field(obj, "gated")? == "true",
@@ -481,6 +520,56 @@ mod tests {
         }
         assert!(BenchReport::from_json("{}").is_err());
         assert!(BenchReport::from_json("not json at all").is_err());
+    }
+
+    #[test]
+    fn truncated_json_is_an_error_not_a_panic() {
+        // Every prefix of a valid file must parse cleanly or fail with
+        // an error — `bench --compare` sees torn baselines after a
+        // crashed CI run. (`json` contains multi-byte "µ"s, so this also
+        // walks every char boundary around them.)
+        let json = sample_report().to_json();
+        let full = BenchReport::from_json(&json).unwrap().metrics.len();
+        for (i, _) in json.char_indices() {
+            match BenchReport::from_json(&json[..i]) {
+                Ok(r) => assert!(r.metrics.len() <= full),
+                Err(e) => assert!(!e.is_empty()),
+            }
+        }
+        // A file cut mid-object names the casualty.
+        let cut = &json[..json.find("\"unit\"").unwrap()];
+        let err = BenchReport::from_json(cut).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn braces_and_escapes_inside_strings_do_not_truncate_objects() {
+        let mut r = sample_report();
+        r.metrics[0].unit = "weird}unit".into();
+        let parsed = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.metrics.len(), r.metrics.len());
+        assert_eq!(parsed.metrics[0].unit, "weird}unit");
+        // An escape before the closing quote must not swallow it.
+        let text =
+            r#"{"key": "k\\", "value": 1.0, "unit": "u", "higher_is_better": true, "gated": true}"#;
+        let parsed = BenchReport::from_json(text).unwrap();
+        assert_eq!(parsed.metrics.len(), 1);
+    }
+
+    #[test]
+    fn non_finite_and_malformed_values_are_rejected() {
+        let mk = |val: &str| {
+            format!(
+                "{{\"key\": \"m\", \"value\": {val}, \"unit\": \"u\", \
+                 \"higher_is_better\": true, \"gated\": true}}"
+            )
+        };
+        let err = BenchReport::from_json(&mk("NaN")).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+        let err = BenchReport::from_json(&mk("inf")).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+        let err = BenchReport::from_json(&mk("1.2.3")).unwrap_err();
+        assert!(err.contains("bad value"), "{err}");
     }
 
     #[test]

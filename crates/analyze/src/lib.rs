@@ -17,12 +17,19 @@
 //!   fault schedules: zero panics, exact ledger/fault-log
 //!   reconciliation, bounded distortion, and an abnormal-exit drill for
 //!   the crash-safe export path.
+//! * **Allocation-scale chaos** ([`cluster_chaos`]) — node supervision
+//!   under seeded node-fault plans (kills, stragglers, delayed rejoins,
+//!   clock skew): an allocation report every round with honest
+//!   `DEGRADED (k/n nodes)` markers, survivor aggregates exactly
+//!   matching the fault-free run, plus the bounded-memory drill proving
+//!   series storage stays constant over million-round runs.
 //!
 //! Entry points: `zerosum analyze` / `zerosum chaos` (CLI) and
 //! `cargo run -p zerosum-analyze --bin zslint`.
 
 pub mod bench;
 pub mod chaos;
+pub mod cluster_chaos;
 pub mod hb;
 pub mod invariants;
 pub mod lint;
@@ -30,6 +37,9 @@ pub mod scenarios;
 
 pub use bench::{check as bench_check, compare as bench_compare, run_bench, BenchReport, Metric};
 pub use chaos::{abnormal_exit_drill, realistic_plan, run_suite, ChaosReport};
+pub use cluster_chaos::{
+    bounded_memory_drill, judge_cluster_run, run_cluster_suite, ClusterChaosReport,
+};
 pub use hb::{detect_races, Race, VectorClock, KERNEL_CTX};
 pub use invariants::{check_invariants, InvariantKind, Violation};
 pub use lint::{find_workspace_root, lint_repo, lint_source, LintViolation, Rule};

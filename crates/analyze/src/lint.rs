@@ -1,6 +1,6 @@
 //! `zslint`: repo-specific source lints for the ZeroSum tree.
 //!
-//! Five rules, each encoding a project constraint that `clippy` cannot
+//! Six rules, each encoding a project constraint that `clippy` cannot
 //! express:
 //!
 //! * **no-panic-hot-path** — `unwrap()` / `expect(` are banned in the
@@ -29,6 +29,16 @@
 //!   built on reusing scratch buffers (`*_into` reads, `clone_from`);
 //!   a fresh allocation there is usually a one-time setup cost, but
 //!   every occurrence deserves an eyeball when it appears in a diff.
+//! * **no-unbounded-growth-in-monitor** (*note level*) — `.push(` into
+//!   a field of long-lived monitor/cluster state is reported unless the
+//!   receiver field is on the reviewed allowlist
+//!   ([`ALLOWED_GROWTH_FIELDS`]). Monitors run for the life of an
+//!   allocation (§2): every unbounded `Vec` time series eventually
+//!   exhausts node memory, which is why series storage is built on the
+//!   fixed-capacity `Ring`. A push into a new field is how the next
+//!   leak starts, so each one gets flagged until it is allowlisted with
+//!   a bound argument. Pushes into locals (no `.` in the receiver) are
+//!   per-round scratch and not flagged.
 //!
 //! The scanner is purely textual but comment/string aware: it strips
 //! `//` comments, block comments, string and char literals, and skips
@@ -53,6 +63,10 @@ pub enum Rule {
     /// Allocating clones in a monitor hot-path file (note level: never
     /// fails the pass, only flags the line for review).
     NoCloneInHotPath,
+    /// `.push(` into a non-allowlisted field of long-lived
+    /// monitor/cluster state (note level: flags potential unbounded
+    /// growth for review).
+    NoUnboundedGrowthInMonitor,
 }
 
 impl Rule {
@@ -64,12 +78,16 @@ impl Rule {
             Rule::NoPrintInLib => "no-print-in-lib",
             Rule::NoSourceErrorBubble => "no-source-error-bubble",
             Rule::NoCloneInHotPath => "no-clone-in-hot-path",
+            Rule::NoUnboundedGrowthInMonitor => "no-unbounded-growth-in-monitor",
         }
     }
 
     /// Note-level rules report without failing the lint pass.
     pub fn is_note(self) -> bool {
-        matches!(self, Rule::NoCloneInHotPath)
+        matches!(
+            self,
+            Rule::NoCloneInHotPath | Rule::NoUnboundedGrowthInMonitor
+        )
     }
 }
 
@@ -89,9 +107,15 @@ pub struct LintViolation {
 impl fmt::Display for LintViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.rule.is_note() {
+            let why = match self.rule {
+                Rule::NoUnboundedGrowthInMonitor => {
+                    "grows long-lived monitor state without a ring bound"
+                }
+                _ => "allocates in a sampling hot path",
+            };
             write!(
                 f,
-                "{}:{}: [{}] note: `{}` allocates in a sampling hot path",
+                "{}:{}: [{}] note: `{}` {why}",
                 self.path.display(),
                 self.line,
                 self.rule.id(),
@@ -231,11 +255,89 @@ fn strip_test_mods(stripped: &str) -> String {
     keep.join("\n")
 }
 
+/// Long-lived state fields the growth rule accepts, each with a known
+/// bound: `samples`, `rss_series`, and `gap_times_s` are fixed-capacity
+/// rings; `cpus` is one entry per hardware thread; `processes`, `peaks`,
+/// `nodes`, and `sup` are one entry per watched rank or node; `tracks`
+/// is one per observed LWP; `changes` is one per governor period
+/// doubling (bounded by the period ceiling); `transitions` is one per
+/// supervision state change; `watched_rss` is per-round scratch reused
+/// across rounds.
+pub const ALLOWED_GROWTH_FIELDS: [&str; 12] = [
+    "changes",
+    "cpus",
+    "gap_times_s",
+    "nodes",
+    "peaks",
+    "processes",
+    "rss_series",
+    "samples",
+    "sup",
+    "tracks",
+    "transitions",
+    "watched_rss",
+];
+
+/// The trailing `a.b.c`-style path ending at byte `col` of
+/// `lines[lineno]`, following the chain onto earlier lines when a line
+/// opens with `.` (rustfmt splits long receivers that way).
+fn receiver_before(lines: &[&str], lineno: usize, col: usize) -> String {
+    fn tail(s: &str) -> &str {
+        let mut start = s.len();
+        for (i, c) in s.char_indices().rev() {
+            if c.is_alphanumeric() || c == '_' || c == '.' {
+                start = i;
+            } else {
+                break;
+            }
+        }
+        &s[start..]
+    }
+    let mut recv = tail(&lines[lineno][..col]).to_string();
+    let mut ln = lineno;
+    while ln > 0 && (recv.is_empty() || recv.starts_with('.')) {
+        ln -= 1;
+        let t = tail(lines[ln].trim_end());
+        if t.is_empty() {
+            break;
+        }
+        recv.insert_str(0, t);
+        if !t.starts_with('.') {
+            break;
+        }
+    }
+    recv
+}
+
 fn scan_text(rel: &Path, src: &str, rules: &[Rule]) -> Vec<LintViolation> {
     let code = strip_test_mods(&strip_noncode(src));
+    let lines: Vec<&str> = code.lines().collect();
     let mut out = Vec::new();
-    for (lineno, line) in code.lines().enumerate() {
+    for (lineno, &line) in lines.iter().enumerate() {
         for &rule in rules {
+            if rule == Rule::NoUnboundedGrowthInMonitor {
+                let Some(col) = line.find(".push(") else {
+                    continue;
+                };
+                let recv = receiver_before(&lines, lineno, col);
+                // A dotless receiver is a local (per-round scratch);
+                // field pushes are long-lived state and must be on the
+                // reviewed allowlist.
+                if !recv.contains('.') {
+                    continue;
+                }
+                let field = recv.rsplit('.').next().unwrap_or("");
+                if ALLOWED_GROWTH_FIELDS.contains(&field) {
+                    continue;
+                }
+                out.push(LintViolation {
+                    path: rel.to_path_buf(),
+                    line: lineno + 1,
+                    rule,
+                    token: format!("{recv}.push"),
+                });
+                continue;
+            }
             if rule == Rule::NoSourceErrorBubble {
                 // A `ProcSource` read call with a `?` after its closing
                 // paren on the same line: the error skips the ledger.
@@ -269,7 +371,9 @@ fn scan_text(rel: &Path, src: &str, rules: &[Rule]) -> Vec<LintViolation> {
                 // `.clone()` with parens: the buffer-reusing
                 // `clone_from(` is the approved form and must not match.
                 Rule::NoCloneInHotPath => &[".clone()", ".to_owned()", ".to_vec()"],
-                Rule::NoSourceErrorBubble => unreachable!("handled above"),
+                Rule::NoSourceErrorBubble | Rule::NoUnboundedGrowthInMonitor => {
+                    unreachable!("handled above")
+                }
             };
             for tok in tokens {
                 if let Some(_pos) = line.find(tok) {
@@ -300,6 +404,16 @@ const HOT_PATHS: [&str; 4] = [
     "crates/core/src/feed.rs",
 ];
 
+/// Files holding state that lives as long as the monitor itself,
+/// covered by [`Rule::NoUnboundedGrowthInMonitor`].
+const MONITOR_STATE_PATHS: [&str; 5] = [
+    "crates/core/src/monitor.rs",
+    "crates/core/src/cluster.rs",
+    "crates/core/src/lwp.rs",
+    "crates/core/src/hwt.rs",
+    "crates/core/src/memory.rs",
+];
+
 fn is_library_source(rel: &Path) -> bool {
     let s = rel.to_string_lossy().replace('\\', "/");
     if !s.starts_with("crates/") && !s.starts_with("src/") {
@@ -320,6 +434,9 @@ fn rules_for(rel: &Path) -> Vec<Rule> {
     if HOT_PATHS.contains(&s.as_str()) {
         rules.push(Rule::NoPanicHotPath);
         rules.push(Rule::NoCloneInHotPath);
+    }
+    if MONITOR_STATE_PATHS.contains(&s.as_str()) {
+        rules.push(Rule::NoUnboundedGrowthInMonitor);
     }
     if s == "crates/core/src/monitor.rs" {
         rules.push(Rule::NoSourceErrorBubble);
@@ -534,6 +651,58 @@ fn f(s: &TaskStatus, out: &mut TaskStatus) {
         assert!(notes[0].to_string().contains("note:"));
         // Outside the hot-path file set, no note.
         assert!(lint_source(Path::new("crates/core/src/config.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn unallowlisted_state_push_is_a_note() {
+        let src = "\
+fn observe(&mut self, t_s: f64) {
+    self.history.push(t_s);
+    self.samples.push(t_s);
+    let mut scratch = Vec::new();
+    scratch.push(t_s);
+}
+";
+        let v = lint_source(Path::new("crates/core/src/cluster.rs"), src);
+        let notes: Vec<_> = v
+            .iter()
+            .filter(|x| x.rule == Rule::NoUnboundedGrowthInMonitor)
+            .collect();
+        // `history` is not allowlisted; the ring field `samples` and the
+        // local `scratch` are fine.
+        assert_eq!(notes.len(), 1, "{v:?}");
+        assert_eq!(notes[0].line, 2);
+        assert!(notes[0].token.contains("self.history.push"));
+        assert!(notes[0].rule.is_note());
+        assert!(notes[0].to_string().contains("ring bound"));
+        // Outside the monitor-state file set, no note.
+        assert!(lint_source(Path::new("crates/core/src/config.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn growth_rule_follows_rustfmt_split_receivers() {
+        let src = "\
+fn observe(&mut self) {
+    self.deeply.nested
+        .event_log
+        .push(1);
+    self.scratch
+        .watched_rss
+        .push((1, 2));
+}
+";
+        let v = lint_source(Path::new("crates/core/src/monitor.rs"), src);
+        let notes: Vec<_> = v
+            .iter()
+            .filter(|x| x.rule == Rule::NoUnboundedGrowthInMonitor)
+            .collect();
+        assert_eq!(notes.len(), 1, "{v:?}");
+        assert_eq!(notes[0].line, 4);
+        assert!(
+            notes[0].token.contains("event_log.push"),
+            "{}",
+            notes[0].token
+        );
     }
 
     #[test]

@@ -56,6 +56,7 @@ fn bench_parsers(c: &mut Criterion) {
         num_threads: 9,
         processor: 3,
         nswap: 0,
+        starttime: 0,
     });
     c.bench_function("parse_task_stat", |b| {
         b.iter(|| black_box(parse::parse_task_stat(&task_line).unwrap()))

@@ -9,6 +9,7 @@ fn main() {
         Some("analyze") => std::process::exit(run_analyze(&args[1..])),
         Some("bench") => std::process::exit(run_bench(&args[1..])),
         Some("chaos") => std::process::exit(run_chaos(&args[1..])),
+        Some("cluster-chaos") => std::process::exit(run_cluster_chaos(&args[1..])),
         Some("lint") => std::process::exit(run_lint()),
         _ => {}
     }
@@ -300,6 +301,111 @@ fn run_chaos(args: &[String]) -> i32 {
         0
     } else {
         println!("chaos: FAILED");
+        1
+    }
+}
+
+/// `zerosum cluster-chaos [--nodes N] [--rounds N] [--schedules N]
+/// [--seed N] [--drill-rounds N]` — run the allocation-scale chaos
+/// soak (seeded node-fault plans against the cluster supervision
+/// layer) plus the bounded-memory drill. Exit 0 iff every plan passes
+/// and the drill holds every series within its ring capacity.
+fn run_cluster_chaos(args: &[String]) -> i32 {
+    let mut nodes: usize = 4;
+    let mut rounds: u32 = 24;
+    let mut schedules: usize = 20;
+    let mut seed: u64 = 0xA110;
+    let mut drill_rounds: u64 = 1_000_000;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>, flag: &str| match it.next() {
+            Some(v) => Ok(v.clone()),
+            None => Err(format!("{flag} requires a value")),
+        };
+        let parsed = match arg.as_str() {
+            "--nodes" => value(&mut it, "--nodes").and_then(|v| {
+                v.parse()
+                    .map(|s| nodes = s)
+                    .map_err(|e| format!("--nodes: {e}"))
+            }),
+            "--rounds" => value(&mut it, "--rounds").and_then(|v| {
+                v.parse()
+                    .map(|s| rounds = s)
+                    .map_err(|e| format!("--rounds: {e}"))
+            }),
+            "--schedules" => value(&mut it, "--schedules").and_then(|v| {
+                v.parse()
+                    .map(|s| schedules = s)
+                    .map_err(|e| format!("--schedules: {e}"))
+            }),
+            "--seed" => value(&mut it, "--seed").and_then(|v| {
+                v.parse()
+                    .map(|s| seed = s)
+                    .map_err(|e| format!("--seed: {e}"))
+            }),
+            "--drill-rounds" => value(&mut it, "--drill-rounds").and_then(|v| {
+                v.parse()
+                    .map(|s| drill_rounds = s)
+                    .map_err(|e| format!("--drill-rounds: {e}"))
+            }),
+            "--help" | "-h" => {
+                println!(
+                    "usage: zerosum cluster-chaos [--nodes N] [--rounds N] \
+                     [--schedules N] [--seed N] [--drill-rounds N]"
+                );
+                println!("runs seeded node-fault plans (kills, stragglers, rejoins,");
+                println!("clock skew) against the cluster supervision layer, plus the");
+                println!("bounded-memory drill over the monitor's ring series");
+                return 0;
+            }
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("zerosum cluster-chaos: {e}");
+            return 2;
+        }
+    }
+    let reports = zerosum_analyze::run_cluster_suite(nodes, rounds, schedules, seed);
+    let mut clean = true;
+    for r in &reports {
+        print!("{}", r.render());
+        clean &= r.passed();
+    }
+    let drill_capacity = 4_096;
+    let drill_problems = zerosum_analyze::bounded_memory_drill(drill_rounds, drill_capacity);
+    if drill_problems.is_empty() {
+        println!(
+            "bounded-memory drill: ok ({drill_rounds} rounds held every series \
+             within {drill_capacity} points)"
+        );
+    } else {
+        clean = false;
+        for p in &drill_problems {
+            println!("bounded-memory drill problem: {p}");
+        }
+    }
+    // A node dying mid-allocation is this suite's whole subject; the
+    // crash-flush path must keep emitting PARTIAL/END-marked logs.
+    let exit_dir = std::env::temp_dir().join(format!(
+        "zerosum-cluster-chaos-drill-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&exit_dir);
+    let exit_problems = zerosum_analyze::abnormal_exit_drill(&exit_dir);
+    let _ = std::fs::remove_dir_all(&exit_dir);
+    if exit_problems.is_empty() {
+        println!("abnormal-exit drill: ok (PARTIAL/END markers present, no torn files)");
+    } else {
+        clean = false;
+        for p in &exit_problems {
+            println!("abnormal-exit drill problem: {p}");
+        }
+    }
+    if clean {
+        println!("cluster-chaos: all {} plan(s) clean", reports.len());
+        0
+    } else {
+        println!("cluster-chaos: FAILED");
         1
     }
 }

@@ -85,6 +85,61 @@ impl Default for ResilienceConfig {
     }
 }
 
+/// Overload-control knobs: the per-round sampling deadline watchdog and
+/// the overhead governor that widens the sampling period when the
+/// monitor's measured cost exceeds its budget. The paper promises less
+/// than one core of overhead (§4); on a node where `/proc` reads slow
+/// down (fault storms, CPU starvation, huge thread counts) the governor
+/// keeps that promise by trading temporal resolution for cost, and the
+/// watchdog sheds per-LWP detail — never the per-HWT totals — when a
+/// single round overruns its deadline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadConfig {
+    /// Enable the overhead governor (period widening).
+    pub governor: bool,
+    /// Monitor cost budget as a percentage of the sampling period. When
+    /// the measured per-round cost exceeds `budget_pct`% of the current
+    /// period, the governor doubles the period (up to `max_period_us`)
+    /// and records the change for the report.
+    pub budget_pct: u32,
+    /// Ceiling the governor will not widen the period past, µs.
+    pub max_period_us: u64,
+    /// Per-round sampling deadline as a fraction of the period. A round
+    /// whose cost exceeds it counts as an overrun; with `shed` enabled
+    /// the next round drops per-LWP detail (worker `stat`/`status`
+    /// reads) while keeping per-HWT totals, the main thread, and memory.
+    pub deadline_frac: f64,
+    /// Enable sample shedding after a deadline overrun.
+    pub shed: bool,
+}
+
+impl Default for OverheadConfig {
+    fn default() -> Self {
+        // Budget 1% of the period (10 ms at 1 Hz): an order of magnitude
+        // above the ~0.5% steady-state cost, so the governor is idle on
+        // healthy nodes and reacts within one round to a 4x cost spike.
+        OverheadConfig {
+            governor: true,
+            budget_pct: 1,
+            max_period_us: 16_000_000,
+            deadline_frac: 0.5,
+            shed: true,
+        }
+    }
+}
+
+impl OverheadConfig {
+    /// The per-round cost budget for a given period, µs.
+    pub fn budget_us(&self, period_us: u64) -> u64 {
+        period_us.saturating_mul(self.budget_pct as u64) / 100
+    }
+
+    /// The per-round sampling deadline for a given period, µs.
+    pub fn deadline_us(&self, period_us: u64) -> u64 {
+        (period_us as f64 * self.deadline_frac) as u64
+    }
+}
+
 /// Top-level ZeroSum configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ZeroSumConfig {
@@ -112,6 +167,14 @@ pub struct ZeroSumConfig {
     /// have changed. The main thread is always read fresh (it carries
     /// the process-wide RSS, which moves without the thread running).
     pub delta_sampling: bool,
+    /// Overload control: sampling deadline watchdog, overhead governor,
+    /// and sample shedding.
+    pub overhead: OverheadConfig,
+    /// Capacity of every monitor time series (per-LWP samples, per-HWT
+    /// utilization, RSS, meminfo). Series are ring buffers that
+    /// downsample 2:1 when full, so a multi-hour run holds constant
+    /// memory regardless of length.
+    pub series_capacity: usize,
 }
 
 impl Default for ZeroSumConfig {
@@ -126,6 +189,8 @@ impl Default for ZeroSumConfig {
             log_dir: None,
             resilience: ResilienceConfig::default(),
             delta_sampling: true,
+            overhead: OverheadConfig::default(),
+            series_capacity: zerosum_stats::DEFAULT_SERIES_CAPACITY,
         }
     }
 }
@@ -152,6 +217,18 @@ impl ZeroSumConfig {
     /// Builder: sets the per-sample cost model.
     pub fn with_cost(mut self, c: MonitorCost) -> Self {
         self.cost = c;
+        self
+    }
+
+    /// Builder: sets the overload-control knobs.
+    pub fn with_overhead(mut self, o: OverheadConfig) -> Self {
+        self.overhead = o;
+        self
+    }
+
+    /// Builder: sets the time-series ring capacity.
+    pub fn with_series_capacity(mut self, cap: usize) -> Self {
+        self.series_capacity = cap;
         self
     }
 
@@ -203,6 +280,19 @@ mod tests {
         assert_eq!(c.period_us, 1_000_000); // 1 Hz
         assert_eq!(c.placement, MonitorPlacement::LastHwt);
         assert!(c.signal_handler);
+    }
+
+    #[test]
+    fn overhead_defaults_keep_governor_idle_at_paper_cost() {
+        let c = ZeroSumConfig::default();
+        assert!(c.overhead.governor && c.overhead.shed);
+        // The paper's steady-state sampling cost (~5 ms) sits well under
+        // the 1% budget (10 ms at 1 Hz): the governor must be idle on a
+        // healthy node so bench numbers are unaffected.
+        assert!(c.cost.total_us() < c.overhead.budget_us(c.period_us));
+        assert_eq!(c.overhead.budget_us(c.period_us), 10_000);
+        assert_eq!(c.overhead.deadline_us(c.period_us), 500_000);
+        assert_eq!(c.series_capacity, zerosum_stats::DEFAULT_SERIES_CAPACITY);
     }
 
     #[test]

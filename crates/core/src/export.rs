@@ -150,6 +150,29 @@ pub fn health_csv(monitor: &Monitor) -> String {
     out
 }
 
+/// The overload-control CSV: one row per governor period change, so a
+/// post-processing script can re-scale the time axis of the other series
+/// across sampling-rate changes. The final row carries the watchdog's
+/// overrun/shed totals.
+pub fn overload_csv(monitor: &Monitor) -> String {
+    let mut out = String::from("time,event,from_period_us,to_period_us,cost_us,budget_us\n");
+    for c in &monitor.governor.changes {
+        writeln!(
+            out,
+            "{:.3},period_change,{},{},{},{}",
+            c.t_s, c.from_us, c.to_us, c.cost_us, c.budget_us
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        ",watchdog,{},{},,",
+        monitor.governor.overruns, monitor.governor.shed_rounds
+    )
+    .unwrap();
+    out
+}
+
 /// The full log-file content for one process: report + CSV sections, the
 /// §3.6 layout.
 pub fn log_content(monitor: &Monitor, pid: Pid, duration_s: f64, report: &str) -> String {
@@ -180,6 +203,10 @@ pub fn log_content_with_comm(
         out.push_str(&memory_csv(monitor));
         out.push_str("=== Sampling health (CSV) ===\n");
         out.push_str(&health_csv(monitor));
+        if !monitor.governor.changes.is_empty() || monitor.governor.overruns > 0 {
+            out.push_str("=== Overload control (CSV) ===\n");
+            out.push_str(&overload_csv(monitor));
+        }
         if let Some(m) = comm {
             out.push_str("=== MPI point-to-point (CSV) ===\n");
             out.push_str(&zerosum_mpi::heatmap::to_csv(m));
@@ -371,6 +398,19 @@ mod tests {
         assert!(lines[0].starts_with("scope,pid,ok,retried,degraded,dropped"));
         assert!(lines[1].starts_with("node,0,"));
         assert!(lines[2].starts_with(&format!("process,{pid},3,0,0,0,")));
+    }
+
+    #[test]
+    fn overload_section_only_when_governor_acted() {
+        let (mut mon, pid) = monitored();
+        let rep = report::render_process_report(&mon, pid, 3.0, None);
+        let log = log_content(&mon, pid, 3.0, &rep);
+        assert!(!log.contains("Overload control"), "healthy run is silent");
+        mon.note_round_cost(2.0, 600_000);
+        let log = log_content(&mon, pid, 3.0, &rep);
+        assert!(log.contains("=== Overload control (CSV) ==="));
+        assert!(log.contains("2.000,period_change,1000000,2000000,600000,10000"));
+        assert!(log.contains(",watchdog,1,"));
     }
 
     #[test]

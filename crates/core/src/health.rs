@@ -232,6 +232,7 @@ mod tests {
             num_threads: 1,
             processor: 0,
             nswap: 0,
+            starttime: 0,
         }
     }
 

@@ -6,6 +6,7 @@
 //! consecutive jiffy-counter snapshots.
 
 use zerosum_proc::SystemStat;
+use zerosum_stats::Ring;
 
 /// One per-interval utilization observation for one CPU.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,19 +22,41 @@ pub struct HwtSample {
 }
 
 /// Utilization history for every CPU on the node.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct HwtTracker {
     prev: Option<SystemStat>,
-    /// `(os_index, samples)` per CPU, in `/proc/stat` order.
-    cpus: Vec<(u32, Vec<HwtSample>)>,
+    /// `(os_index, samples)` per CPU, in `/proc/stat` order. Each series
+    /// is a bounded ring (2:1 downsample on wrap) so a multi-hour run
+    /// holds constant memory; `overall` uses only the first/latest
+    /// snapshots and is unaffected by downsampling.
+    cpus: Vec<(u32, Ring<HwtSample>)>,
     /// Cumulative totals from the first to the latest snapshot.
     first: Option<SystemStat>,
+    /// Ring capacity for per-CPU series.
+    capacity: usize,
+}
+
+impl Default for HwtTracker {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl HwtTracker {
-    /// An empty tracker.
+    /// An empty tracker with the default series capacity.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(zerosum_stats::DEFAULT_SERIES_CAPACITY)
+    }
+
+    /// An empty tracker whose per-CPU series hold at most `capacity`
+    /// samples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        HwtTracker {
+            prev: None,
+            cpus: Vec::new(),
+            first: None,
+            capacity,
+        }
     }
 
     /// Folds a `/proc/stat` snapshot taken at `t_s` seconds.
@@ -51,7 +74,7 @@ impl HwtTracker {
                 let pos = match self.cpus.iter().position(|(i, _)| i == idx) {
                     Some(p) => p,
                     None => {
-                        self.cpus.push((*idx, Vec::new()));
+                        self.cpus.push((*idx, Ring::with_capacity(self.capacity)));
                         self.cpus.len() - 1
                     }
                 };
@@ -72,7 +95,7 @@ impl HwtTracker {
             }
         } else {
             for (idx, _) in &stat.cpus {
-                self.cpus.push((*idx, Vec::new()));
+                self.cpus.push((*idx, Ring::with_capacity(self.capacity)));
             }
         }
         // Reuse the previous snapshot's cpu vector rather than cloning a
@@ -195,6 +218,25 @@ mod tests {
         assert_eq!(tr.sample_count(), 0);
         // overall with first == last: zero delta ⇒ treated as fully idle.
         assert_eq!(tr.overall(0), Some((100.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn series_stay_bounded_and_overall_is_exact_after_wrap() {
+        let mut tr = HwtTracker::with_capacity(16);
+        for t in 0..200u64 {
+            tr.observe(t as f64, &stat(&[(0, t * 10, 0, t * 10)]));
+        }
+        // The ring wrapped many times but never exceeds its capacity...
+        assert!(tr.sample_count() <= 16);
+        let s = tr.samples(0).unwrap();
+        assert!((s[0].t_s - 1.0).abs() < 1e-9, "first delta sample kept");
+        assert!((s[s.len() - 1].t_s - 199.0).abs() < 1e-9, "latest kept");
+        // ...and overall uses only the first/latest snapshots, so it is
+        // unaffected by downsampling: 50/50 user/idle.
+        let (idle, system, user) = tr.overall(0).unwrap();
+        assert!((user - 50.0).abs() < 1e-9);
+        assert!((idle - 50.0).abs() < 1e-9);
+        assert_eq!(system, 0.0);
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub mod runner;
 pub mod signal;
 
 pub use attach::SelfMonitor;
-pub use cluster::{ClusterMonitor, NodeAggregate};
-pub use config::{MonitorCost, MonitorPlacement, ResilienceConfig, ZeroSumConfig};
+pub use cluster::{ClusterMonitor, NodeAggregate, NodeState, NodeSupervision, SupervisionConfig};
+pub use config::{MonitorCost, MonitorPlacement, OverheadConfig, ResilienceConfig, ZeroSumConfig};
 pub use contention::{analyze, ContentionReport};
 pub use evaluator::{evaluate, evaluate_gpu_memory, render_findings, Finding, Severity};
 pub use feed::{LwpSnapshot, ProcessSnapshot, SampleFeed, SampleSnapshot};
@@ -54,7 +54,9 @@ pub use gpu_link::{GpuStack, SimGpuLink};
 pub use health::{FailureAction, HealthLedger, ProcessHealth, TaskFailState};
 pub use heartbeat::{Liveness, ProgressTracker};
 pub use lwp::{LwpKind, LwpRegistry, LwpTrack};
-pub use monitor::{Monitor, ProcessInfo, ProcessWatch, SupervisorStats};
+pub use monitor::{
+    GovernorState, Monitor, PeriodChange, ProcessInfo, ProcessWatch, SupervisorStats,
+};
 pub use report::{render_process_report, render_summary, GpuReportContext};
 pub use runner::{
     attach_monitor_threads, run_baseline, run_monitored, run_monitored_faulty, RunOutcome,

@@ -9,6 +9,7 @@
 
 use std::collections::HashSet;
 use zerosum_proc::{TaskStat, TaskState, TaskStatus, Tid};
+use zerosum_stats::Ring;
 use zerosum_topology::CpuSet;
 
 /// Thread classification in the LWP report.
@@ -84,14 +85,38 @@ pub struct LwpTrack {
     pub affinity_changed: bool,
     /// Distinct CPUs observed in the `processor` field.
     pub cpus_seen: HashSet<u32>,
-    /// Sample history, in time order.
-    pub samples: Vec<LwpSample>,
+    /// Sample history, in time order — a bounded ring that downsamples
+    /// 2:1 when full, so a multi-hour run holds constant memory.
+    pub samples: Ring<LwpSample>,
     /// True if the thread disappeared from the task list.
     pub exited: bool,
+    /// `starttime` (field 22 of `stat`) captured at the first
+    /// observation. A later sample for the same tid with a different
+    /// `starttime` is a *recycled* id: the kernel reaped this task and
+    /// gave its id to a new one.
+    pub starttime: u64,
+    /// True once this track was closed because its tid was recycled; a
+    /// fresh track owns the tid from then on.
+    pub retired: bool,
+    /// The monitor's nominal sampling period, seconds. Per-period
+    /// averages normalize counter deltas by *elapsed time* in units of
+    /// this period, so rounds shed by the deadline watchdog or stretched
+    /// by the overhead governor do not inflate the reported rates.
+    pub period_s: f64,
 }
 
 impl LwpTrack {
-    fn new(tid: Tid, name: String, kind: LwpKind, is_openmp: bool, affinity: CpuSet) -> Self {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        tid: Tid,
+        name: String,
+        kind: LwpKind,
+        is_openmp: bool,
+        affinity: CpuSet,
+        starttime: u64,
+        capacity: usize,
+        period_s: f64,
+    ) -> Self {
         LwpTrack {
             tid,
             name,
@@ -100,8 +125,11 @@ impl LwpTrack {
             affinity,
             affinity_changed: false,
             cpus_seen: HashSet::new(),
-            samples: Vec::new(),
+            samples: Ring::with_capacity(capacity),
             exited: false,
+            starttime,
+            retired: false,
+            period_s,
         }
     }
 
@@ -127,12 +155,22 @@ impl LwpTrack {
         self.delta_per_period(|s| s.stime)
     }
 
+    /// Counter delta over the series, per nominal sampling period.
+    /// Normalized by elapsed *time*, not sample count: rounds dropped by
+    /// the deadline watchdog, periods widened by the overhead governor,
+    /// and samples merged by ring downsampling leave the rate honest.
     fn delta_per_period(&self, f: impl Fn(&LwpSample) -> u64) -> f64 {
         match self.samples.as_slice() {
             [] => 0.0,
             [only] => f(only) as f64,
             [first, .., last] => {
-                f(last).saturating_sub(f(first)) as f64 / (self.samples.len() - 1) as f64
+                let delta = f(last).saturating_sub(f(first)) as f64;
+                let span_s = last.t_s - first.t_s;
+                if span_s > 0.0 && self.period_s > 0.0 {
+                    delta * self.period_s / span_s
+                } else {
+                    delta / (self.samples.len() - 1) as f64
+                }
             }
         }
     }
@@ -223,23 +261,50 @@ impl LwpTrack {
 }
 
 /// The LWP registry of one monitored process.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LwpRegistry {
     tracks: Vec<LwpTrack>,
     omp_tids: HashSet<Tid>,
+    /// Ring capacity for new tracks' sample series.
+    capacity: usize,
+    /// Nominal sampling period handed to new tracks, seconds.
+    period_s: f64,
+}
+
+impl Default for LwpRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LwpRegistry {
-    /// An empty registry.
+    /// An empty registry with the default series capacity.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(zerosum_stats::DEFAULT_SERIES_CAPACITY)
+    }
+
+    /// An empty registry whose tracks hold at most `capacity` samples
+    /// (downsampling 2:1 beyond that), assuming a 1 s sampling period.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_period(capacity, 1.0)
+    }
+
+    /// Like [`LwpRegistry::with_capacity`], with an explicit nominal
+    /// sampling period for per-period rate normalization.
+    pub fn with_capacity_and_period(capacity: usize, period_s: f64) -> Self {
+        LwpRegistry {
+            tracks: Vec::new(),
+            omp_tids: HashSet::new(),
+            capacity,
+            period_s,
+        }
     }
 
     /// Marks `tid` as an OpenMP thread (the OMPT callback path,
     /// §3.1.2).
     pub fn register_omp_thread(&mut self, tid: Tid) {
         self.omp_tids.insert(tid);
-        if let Some(t) = self.tracks.iter_mut().find(|t| t.tid == tid) {
+        if let Some(t) = self.tracks.iter_mut().find(|t| t.tid == tid && !t.retired) {
             t.is_openmp = true;
             if t.kind == LwpKind::Other {
                 t.kind = LwpKind::OpenMp;
@@ -277,7 +342,21 @@ impl LwpRegistry {
         schedstat: Option<zerosum_proc::SchedStat>,
     ) {
         let tid = stat.tid;
-        let idx = match self.tracks.iter().position(|t| t.tid == tid) {
+        let existing = self.tracks.iter().position(|t| t.tid == tid && !t.retired);
+        // PID-reuse guard: a known tid reporting a different `starttime`
+        // is a brand-new task wearing a recycled id. Splicing its
+        // counters onto the dead task's series would corrupt both
+        // histories, so the old track is closed and a fresh one opened.
+        let existing = match existing {
+            Some(i) if self.tracks[i].starttime != stat.starttime => {
+                let old = &mut self.tracks[i];
+                old.retired = true;
+                old.exited = true;
+                None
+            }
+            other => other,
+        };
+        let idx = match existing {
             Some(i) => i,
             None => {
                 let (kind, is_omp) = self.classify(tid, pid, &status.name);
@@ -287,6 +366,9 @@ impl LwpRegistry {
                     kind,
                     is_omp,
                     status.cpus_allowed.clone(),
+                    stat.starttime,
+                    self.capacity,
+                    self.period_s,
                 ));
                 self.tracks.len() - 1
             }
@@ -326,9 +408,13 @@ impl LwpRegistry {
         self.tracks.iter()
     }
 
-    /// Look up a track.
+    /// Look up a track. A recycled tid resolves to the *live* track; the
+    /// retired one remains reachable through [`LwpRegistry::tracks`].
     pub fn track(&self, tid: Tid) -> Option<&LwpTrack> {
-        self.tracks.iter().find(|t| t.tid == tid)
+        self.tracks
+            .iter()
+            .find(|t| t.tid == tid && !t.retired)
+            .or_else(|| self.tracks.iter().find(|t| t.tid == tid))
     }
 
     /// Number of LWPs ever seen.
@@ -359,6 +445,7 @@ mod tests {
             num_threads: 2,
             processor: cpu,
             nswap: 0,
+            starttime: 0,
         }
     }
 
@@ -511,6 +598,62 @@ mod tests {
         reg.mark_exited(&[3]);
         assert!(reg.track(2).unwrap().exited);
         assert!(!reg.track(3).unwrap().exited);
+    }
+
+    #[test]
+    fn recycled_tid_closes_old_series_and_opens_new() {
+        let mut reg = LwpRegistry::new();
+        // Old task: starttime 0, accumulates counters.
+        reg.observe(1, 0.0, &stat(2, 10, 0, 1), &status(2, 1, "old", "1", 5, 7));
+        reg.observe(1, 1.0, &stat(2, 20, 0, 1), &status(2, 1, "old", "1", 6, 8));
+        // Recycled: same tid, later starttime, counters restart at zero.
+        let mut recycled = stat(2, 1, 0, 3);
+        recycled.starttime = 250;
+        reg.observe(1, 2.0, &recycled, &status(2, 1, "new", "3", 0, 1));
+        // Two tracks now exist for tid 2; the old one is closed.
+        let tracks: Vec<&LwpTrack> = reg.tracks().filter(|t| t.tid == 2).collect();
+        assert_eq!(tracks.len(), 2);
+        let old = tracks.iter().find(|t| t.retired).unwrap();
+        assert!(old.exited, "retired track is closed");
+        assert_eq!(old.samples.len(), 2);
+        assert_eq!(old.last().unwrap().utime, 20, "old series unspliced");
+        // Lookup resolves to the live track with the fresh series.
+        let live = reg.track(2).unwrap();
+        assert!(!live.retired);
+        assert_eq!(live.starttime, 250);
+        assert_eq!(live.samples.len(), 1);
+        assert_eq!(live.last().unwrap().utime, 1, "new series starts clean");
+        assert_eq!(live.name, "new");
+        // Further samples extend only the live track.
+        let mut s = stat(2, 2, 0, 3);
+        s.starttime = 250;
+        reg.observe(1, 3.0, &s, &status(2, 1, "new", "3", 0, 1));
+        assert_eq!(reg.track(2).unwrap().samples.len(), 2);
+        let old_len = reg
+            .tracks()
+            .find(|t| t.tid == 2 && t.retired)
+            .unwrap()
+            .samples
+            .len();
+        assert_eq!(old_len, 2, "retired series no longer grows");
+    }
+
+    #[test]
+    fn sample_series_is_bounded_by_ring_capacity() {
+        let mut reg = LwpRegistry::with_capacity(8);
+        for i in 0..1_000u64 {
+            reg.observe(
+                1,
+                i as f64,
+                &stat(2, i, 0, 1),
+                &status(2, 1, "w", "1", 0, 0),
+            );
+        }
+        let t = reg.track(2).unwrap();
+        assert!(t.samples.len() <= 8);
+        assert_eq!(t.first().unwrap().t_s, 0.0, "first sample survives");
+        assert_eq!(t.last().unwrap().t_s, 999.0, "latest sample present");
+        assert_eq!(t.total_vcsw(), 0);
     }
 
     #[test]

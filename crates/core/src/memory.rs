@@ -6,6 +6,7 @@
 //! (a noisy neighbour, a leaking system service).
 
 use zerosum_proc::{MemInfo, Pid};
+use zerosum_stats::Ring;
 
 /// One memory observation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,21 +42,35 @@ pub enum MemPressureSource {
     External,
 }
 
-/// Tracks node + per-process memory over time.
-#[derive(Debug, Default)]
+/// Tracks node + per-process memory over time. The sample history is a
+/// bounded ring (2:1 downsample on wrap); peaks and `min_available_kib`
+/// summarize only what the ring retains, while `pressure()` always sees
+/// the latest sample.
+#[derive(Debug)]
 pub struct MemoryTracker {
-    samples: Vec<MemSample>,
+    samples: Ring<MemSample>,
     /// Peak RSS seen per watched process.
     peaks: Vec<(Pid, u64)>,
     /// Warn when available memory falls below this fraction of total.
     pub warn_available_frac: f64,
 }
 
+impl Default for MemoryTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl MemoryTracker {
     /// A tracker with the default 10% available-memory warning level.
     pub fn new() -> Self {
+        Self::with_capacity(zerosum_stats::DEFAULT_SERIES_CAPACITY)
+    }
+
+    /// A tracker whose history holds at most `capacity` samples.
+    pub fn with_capacity(capacity: usize) -> Self {
         MemoryTracker {
-            samples: Vec::new(),
+            samples: Ring::with_capacity(capacity),
             peaks: Vec::new(),
             warn_available_frac: 0.10,
         }
@@ -80,7 +95,7 @@ impl MemoryTracker {
 
     /// The sample history.
     pub fn samples(&self) -> &[MemSample] {
-        &self.samples
+        self.samples.as_slice()
     }
 
     /// Peak RSS of a watched process, KiB.
@@ -157,6 +172,24 @@ mod tests {
         assert_eq!(tr.peak_rss_kib(2), Some(10));
         assert_eq!(tr.peak_rss_kib(3), None);
         assert_eq!(tr.min_available_kib(), Some(700));
+    }
+
+    #[test]
+    fn history_is_bounded_but_pressure_sees_latest() {
+        let mut tr = MemoryTracker::with_capacity(8);
+        for t in 0..1_000u64 {
+            tr.observe(t as f64, &mi(1000, 900), &[(1, t)]);
+        }
+        // Final sample drops available below the 10% threshold with the
+        // app holding the used memory.
+        tr.observe(1000.0, &mi(1000, 50), &[(1, 900)]);
+        assert!(tr.samples().len() <= 8);
+        assert_eq!(tr.pressure(), MemPressureSource::Application);
+        assert_eq!(tr.peak_rss_kib(1), Some(999), "peaks fold every sample");
+        assert!(
+            (tr.samples()[0].t_s - 0.0).abs() < 1e-9,
+            "first sample kept"
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@ use zerosum_proc::{
     Pid, ProcSource, SchedStat, SourceError, SourceErrorKind, SourceResult, SystemStat, TaskStat,
     TaskStatus, Tid,
 };
+use zerosum_stats::Ring;
 use zerosum_topology::CpuSet;
 
 /// Static identity of a monitored process.
@@ -48,8 +49,9 @@ pub struct ProcessWatch {
     pub lwps: LwpRegistry,
     /// The process affinity mask (from the first status read).
     pub cpus_allowed: CpuSet,
-    /// RSS history `(t_s, kib)`.
-    pub rss_series: Vec<(f64, u64)>,
+    /// RSS history `(t_s, kib)` — a bounded ring (2:1 downsample on
+    /// wrap).
+    pub rss_series: Ring<(f64, u64)>,
     /// True once the process has disappeared.
     pub gone: bool,
     /// Sampling-health ledger and quarantine state for this process.
@@ -93,8 +95,58 @@ pub struct SupervisorStats {
     /// most) the remainder of one round, after which sampling resumed.
     pub restarts: u64,
     /// The observation times (seconds) of the interrupted rounds — the
-    /// gaps in the record.
-    pub gap_times_s: Vec<f64>,
+    /// gaps in the record (bounded ring).
+    pub gap_times_s: Ring<f64>,
+}
+
+/// One period change made by the overhead governor, recorded for the
+/// report: when and why the sampling period was widened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodChange {
+    /// Observation time of the round whose cost triggered the change.
+    pub t_s: f64,
+    /// Period before the change, µs.
+    pub from_us: u64,
+    /// Period after the change, µs.
+    pub to_us: u64,
+    /// The measured round cost that exceeded the budget, µs.
+    pub cost_us: u64,
+    /// The budget the cost was compared against, µs.
+    pub budget_us: u64,
+}
+
+/// Overload-control state: the overhead governor's effective period and
+/// change log, plus the deadline watchdog's shedding record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorState {
+    /// The sampling period currently in effect, µs. Starts at the
+    /// configured period; the governor doubles it (up to the configured
+    /// ceiling) whenever a round's measured cost exceeds its budget.
+    period_us: u64,
+    /// Every period change, in order. Bounded by construction: each
+    /// change at least doubles the period toward a fixed ceiling, so the
+    /// log holds at most `log2(max_period/period)` entries per excursion.
+    pub changes: Vec<PeriodChange>,
+    /// Rounds whose cost exceeded the sampling deadline.
+    pub overruns: u64,
+    /// Rounds that dropped per-LWP detail after a deadline overrun.
+    pub shed_rounds: u64,
+    /// Set by the watchdog when the last round overran its deadline; the
+    /// next round sheds worker-LWP reads (per-HWT totals, the main
+    /// thread, and memory are always kept).
+    shed_next: bool,
+}
+
+impl GovernorState {
+    fn new(period_us: u64) -> Self {
+        GovernorState {
+            period_us,
+            changes: Vec::new(),
+            overruns: 0,
+            shed_rounds: 0,
+            shed_next: false,
+        }
+    }
 }
 
 /// The ZeroSum monitor.
@@ -114,6 +166,8 @@ pub struct Monitor {
     pub node_health: HealthLedger,
     /// Caught-panic record of the sampling supervisor.
     pub supervisor: SupervisorStats,
+    /// Overload-control state (overhead governor + deadline watchdog).
+    pub governor: GovernorState,
     /// Retry-backoff µs accrued since the last [`Monitor::take_backoff_us`]
     /// drain (charged to the monitor's CPU cost by the runner).
     pending_backoff_us: u64,
@@ -141,14 +195,17 @@ struct SampleScratch {
 impl Monitor {
     /// Creates a monitor with the given configuration.
     pub fn new(config: ZeroSumConfig) -> Self {
+        let capacity = config.series_capacity;
+        let period_us = config.period_us;
         Monitor {
             config,
             processes: Vec::new(),
-            hwt: HwtTracker::new(),
-            mem: MemoryTracker::new(),
+            hwt: HwtTracker::with_capacity(capacity),
+            mem: MemoryTracker::with_capacity(capacity),
             stats: SampleStats::default(),
             node_health: HealthLedger::default(),
             supervisor: SupervisorStats::default(),
+            governor: GovernorState::new(period_us),
             pending_backoff_us: 0,
             last_t_s: 0.0,
             feed: crate::feed::SampleFeed::new(),
@@ -161,9 +218,12 @@ impl Monitor {
         let cpus_allowed = info.cpus_allowed.clone();
         self.processes.push(ProcessWatch {
             info,
-            lwps: LwpRegistry::new(),
+            lwps: LwpRegistry::with_capacity_and_period(
+                self.config.series_capacity,
+                self.config.period_us as f64 / 1e6,
+            ),
             cpus_allowed,
-            rss_series: Vec::new(),
+            rss_series: Ring::with_capacity(self.config.series_capacity),
             gone: false,
             health: ProcessHealth::new(),
             last_schedstat: HashMap::new(),
@@ -224,6 +284,51 @@ impl Monitor {
         std::mem::take(&mut self.pending_backoff_us)
     }
 
+    /// The sampling period currently in effect, µs: the configured
+    /// period, as widened by the overhead governor. The runner re-reads
+    /// this every round.
+    pub fn effective_period_us(&self) -> u64 {
+        self.governor.period_us
+    }
+
+    /// Reports the measured CPU cost of the round observed at `t_s` to
+    /// the overload controller. The runner calls this after each sample
+    /// with the full round cost (cost model + retry backoff + injected
+    /// procfs latency).
+    ///
+    /// Two independent responses:
+    /// - **Watchdog**: cost above the per-round deadline counts an
+    ///   overrun and sheds per-LWP detail next round (worker
+    ///   `stat`/`status` reads are skipped; per-HWT totals, the main
+    ///   thread, and memory are always kept).
+    /// - **Governor**: cost above the period budget doubles the period
+    ///   (up to the ceiling), recording a [`PeriodChange`] for the
+    ///   report. Doubling the period doubles the budget, so a bounded
+    ///   cost spike converges in `log2(spike)` rounds.
+    pub fn note_round_cost(&mut self, t_s: f64, cost_us: u64) {
+        let oh = self.config.overhead;
+        let period = self.governor.period_us;
+        if oh.shed {
+            if cost_us > oh.deadline_us(period) {
+                self.governor.overruns += 1;
+                self.governor.shed_next = true;
+            } else {
+                self.governor.shed_next = false;
+            }
+        }
+        if oh.governor && cost_us > oh.budget_us(period) && period < oh.max_period_us {
+            let to = period.saturating_mul(2).min(oh.max_period_us);
+            self.governor.changes.push(PeriodChange {
+                t_s,
+                from_us: period,
+                to_us: to,
+                cost_us,
+                budget_us: oh.budget_us(period),
+            });
+            self.governor.period_us = to;
+        }
+    }
+
     /// The node ledger merged with every process ledger — the totals the
     /// chaos harness reconciles against an injected fault log.
     pub fn health_total(&self) -> HealthLedger {
@@ -239,6 +344,12 @@ impl Monitor {
         self.last_t_s = t_s;
         let res = self.config.resilience;
         let delta_on = self.config.delta_sampling;
+        // Deadline watchdog: after an overrun, this round sheds per-LWP
+        // detail (worker stat/status reads) to get back under budget.
+        let shed = std::mem::take(&mut self.governor.shed_next);
+        if shed {
+            self.governor.shed_rounds += 1;
+        }
         match with_retry(
             &res,
             &mut self.node_health,
@@ -272,6 +383,12 @@ impl Monitor {
                 }
             }
             for &tid in &self.scratch.tids {
+                if shed && tid != pid {
+                    // Shed round: drop per-LWP detail, keep per-HWT
+                    // totals (system stat), the main thread (RSS), and
+                    // memory.
+                    continue;
+                }
                 if w.health.should_skip(tid) {
                     // Quarantined after persistent failures; re-probed
                     // once per `reprobe_after` rounds.
@@ -665,7 +782,7 @@ mod tests {
         mon.sample(1.0, &inj.wrap(&src));
         std::panic::set_hook(prev);
         assert_eq!(mon.supervisor.restarts, 1);
-        assert_eq!(mon.supervisor.gap_times_s, vec![1.0]);
+        assert_eq!(mon.supervisor.gap_times_s.as_slice(), [1.0]);
         // The next (clean) round proceeds normally.
         sim.run_for(1_000_000);
         let src = SimProcSource::new(&sim);
@@ -673,6 +790,147 @@ mod tests {
         assert_eq!(mon.stats.rounds, 2);
         let w = mon.process(pid).unwrap();
         assert_eq!(w.lwps.track(pid).unwrap().samples.len(), 1);
+    }
+
+    #[test]
+    fn governor_converges_after_cost_spike_and_records_changes() {
+        let mut mon = Monitor::new(ZeroSumConfig::default());
+        assert_eq!(mon.effective_period_us(), 1_000_000);
+        // Steady state: the paper's ~5 ms round cost is under the 10 ms
+        // budget; nothing changes.
+        for round in 1..=3u64 {
+            mon.note_round_cost(round as f64, 5_000);
+        }
+        assert!(mon.governor.changes.is_empty());
+        assert_eq!(mon.effective_period_us(), 1_000_000);
+        // A 4x cost spike (20 ms) exceeds the 10 ms budget: the governor
+        // must converge to a wider period within 5 rounds.
+        for round in 4..=8u64 {
+            mon.note_round_cost(round as f64, 20_000);
+        }
+        assert_eq!(
+            mon.effective_period_us(),
+            2_000_000,
+            "one doubling suffices"
+        );
+        assert_eq!(mon.governor.changes.len(), 1, "each change recorded once");
+        let ch = mon.governor.changes[0];
+        assert_eq!((ch.from_us, ch.to_us), (1_000_000, 2_000_000));
+        assert_eq!(ch.cost_us, 20_000);
+        assert_eq!(ch.budget_us, 10_000);
+        assert!(
+            (ch.t_s - 4.0).abs() < 1e-9,
+            "changed on the first bad round"
+        );
+        // 20 ms is well under the widened 1 s deadline: no shedding.
+        assert_eq!(mon.governor.overruns, 0);
+    }
+
+    #[test]
+    fn governor_respects_ceiling_and_disable() {
+        let mut mon = Monitor::new(ZeroSumConfig::default());
+        // An absurd sustained cost walks the period up to the ceiling and
+        // stops; the change log stays bounded (log2 of the excursion).
+        for round in 1..=20u64 {
+            mon.note_round_cost(round as f64, u64::MAX / 4);
+        }
+        assert_eq!(mon.effective_period_us(), 16_000_000);
+        assert_eq!(mon.governor.changes.len(), 4, "1s -> 2 -> 4 -> 8 -> 16");
+        // Disabled governor never moves the period.
+        let cfg = ZeroSumConfig::default().with_overhead(crate::config::OverheadConfig {
+            governor: false,
+            ..Default::default()
+        });
+        let mut mon = Monitor::new(cfg);
+        mon.note_round_cost(1.0, u64::MAX / 4);
+        assert_eq!(mon.effective_period_us(), 1_000_000);
+        assert!(mon.governor.changes.is_empty());
+    }
+
+    #[test]
+    fn deadline_overrun_sheds_lwp_detail_but_keeps_totals() {
+        let (mut sim, mut mon, pid) = sim_and_monitor();
+        sim.run_for(1_000_000);
+        mon.sample(1.0, &SimProcSource::new(&sim));
+        // Round 1 blows the 500 ms deadline: the watchdog arms shedding.
+        mon.note_round_cost(1.0, 600_000);
+        assert_eq!(mon.governor.overruns, 1);
+        sim.run_for(1_000_000);
+        mon.sample(2.0, &SimProcSource::new(&sim));
+        mon.note_round_cost(2.0, 5_000);
+        let w = mon.process(pid).unwrap();
+        let worker = w.lwps.tracks().find(|t| t.tid != pid).unwrap();
+        assert_eq!(worker.samples.len(), 1, "worker detail shed in round 2");
+        assert_eq!(w.lwps.track(pid).unwrap().samples.len(), 2, "main kept");
+        assert_eq!(w.rss_series.len(), 2, "RSS kept");
+        assert_eq!(mon.hwt.sample_count(), 1, "per-HWT totals kept");
+        assert_eq!(mon.mem.samples().len(), 2, "memory kept");
+        assert_eq!(mon.governor.shed_rounds, 1);
+        // The cheap round disarmed the watchdog: round 3 is full detail.
+        sim.run_for(1_000_000);
+        mon.sample(3.0, &SimProcSource::new(&sim));
+        let w = mon.process(pid).unwrap();
+        assert_eq!(
+            w.lwps
+                .tracks()
+                .find(|t| t.tid != pid)
+                .unwrap()
+                .samples
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn recycled_pid_reopens_series_at_monitor_level() {
+        let mut sim = NodeSim::new(presets::laptop_i7_1165g7(), SchedParams::default());
+        let pid = sim.spawn_process(
+            "app",
+            CpuSet::from_indices([0u32, 1]),
+            4_096,
+            Behavior::FiniteCompute {
+                remaining_us: 1_500_000,
+                chunk_us: 10_000,
+            },
+        );
+        let mut mon = Monitor::new(ZeroSumConfig::default());
+        mon.watch_process(ProcessInfo {
+            pid,
+            rank: Some(0),
+            hostname: "simnode0001".into(),
+            gpus: vec![],
+            cpus_allowed: Default::default(),
+        });
+        sim.run_for(1_000_000);
+        mon.sample(1.0, &SimProcSource::new(&sim));
+        // Let the first incarnation exit, then recycle its pid for an
+        // unrelated process (the OS reuse race of §3.1.1).
+        sim.run_until_apps_done(10_000, 30_000_000).unwrap();
+        sim.respawn_process_with_pid(
+            pid,
+            "imposter",
+            CpuSet::from_indices([2u32, 3]),
+            2_048,
+            Behavior::FiniteCompute {
+                remaining_us: 5_000_000,
+                chunk_us: 10_000,
+            },
+        );
+        sim.run_for(1_000_000);
+        mon.sample(2.0, &SimProcSource::new(&sim));
+        let w = mon.process(pid).unwrap();
+        // The starttime mismatch retired the old series and opened a new
+        // one instead of splicing two processes into one history.
+        let tracks: Vec<_> = w.lwps.tracks().filter(|t| t.tid == pid).collect();
+        assert_eq!(tracks.len(), 2, "old series closed, new series opened");
+        let retired = tracks.iter().find(|t| t.retired).unwrap();
+        let live = tracks.iter().find(|t| !t.retired).unwrap();
+        assert!(retired.exited);
+        assert_eq!(retired.samples.len(), 1);
+        assert_eq!(live.samples.len(), 1);
+        assert_eq!(live.name, "imposter");
+        assert!(live.starttime > retired.starttime);
+        assert_eq!(w.lwps.track(pid).unwrap().name, "imposter", "live wins");
     }
 
     #[test]

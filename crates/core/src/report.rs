@@ -158,6 +158,29 @@ fn render_health_summary(out: &mut String, monitor: &Monitor, w: &ProcessWatch) 
         )
         .unwrap();
     }
+    // Overload control: every governor period change, plus the deadline
+    // watchdog's shedding record. Silent when nothing happened, so the
+    // healthy-node report is unchanged.
+    for c in &monitor.governor.changes {
+        writeln!(
+            out,
+            "governor: period {} -> {} ms at t={:.3}s (round cost {} us > budget {} us)",
+            c.from_us / 1_000,
+            c.to_us / 1_000,
+            c.t_s,
+            c.cost_us,
+            c.budget_us
+        )
+        .unwrap();
+    }
+    if monitor.governor.overruns > 0 {
+        writeln!(
+            out,
+            "watchdog: {} deadline overrun(s), {} round(s) shed per-LWP detail",
+            monitor.governor.overruns, monitor.governor.shed_rounds
+        )
+        .unwrap();
+    }
 }
 
 fn render_hardware_summary(out: &mut String, monitor: &Monitor, w: &ProcessWatch) {
@@ -257,6 +280,24 @@ mod tests {
             .parse()
             .unwrap();
         assert!(utime > 80.0, "utime {utime} in {lwp_line}");
+    }
+
+    #[test]
+    fn governor_changes_and_shed_rounds_appear_in_health_section() {
+        let (mut mon, pid, dur) = monitored_run();
+        let rep = render_process_report(&mon, pid, dur, None);
+        assert!(!rep.contains("governor:"), "healthy run is silent");
+        assert!(!rep.contains("watchdog:"));
+        // A cost spike over both the budget and the deadline leaves a
+        // period change and an overrun on record.
+        mon.note_round_cost(3.0, 600_000);
+        let rep = render_process_report(&mon, pid, dur, None);
+        assert!(
+            rep.contains("governor: period 1000 -> 2000 ms at t=3.000s"),
+            "{rep}"
+        );
+        assert!(rep.contains("(round cost 600000 us > budget 10000 us)"));
+        assert!(rep.contains("watchdog: 1 deadline overrun(s)"), "{rep}");
     }
 
     #[test]

@@ -90,7 +90,6 @@ fn run_monitored_impl(
     injector: Option<&FaultInjector>,
 ) -> RunOutcome {
     let start_us = sim.now_us();
-    let period = monitor.config.period_us.max(1_000);
     let deadline = start_us + max_us;
     let mut tracker = ProgressTracker::new();
     let mut liveness = Vec::new();
@@ -110,11 +109,18 @@ fn run_monitored_impl(
         if extra > 0 {
             sim.run_for(extra);
         }
+        // Overload control: report this round's full measured cost (cost
+        // model + backoff + injected latency) so the governor can widen
+        // the period and the watchdog can shed detail.
+        monitor.note_round_cost(t_s, monitor.config.cost.total_us() + extra);
     };
     // Initial configuration detection (§3, phase 1): observe the process
     // and thread state immediately at startup.
     sample_once(sim, monitor, 0.0);
     while sim.now_us() < deadline {
+        // Re-read each round: the overhead governor may have widened the
+        // effective period since the last one.
+        let period = monitor.effective_period_us().max(1_000);
         let budget = period.min(deadline - sim.now_us());
         // Advance up to one period, stopping exactly when the app exits.
         if sim.run_until_apps_done(200, budget).is_some() {
@@ -241,6 +247,33 @@ mod tests {
         let out = run_monitored(&mut sim, &mut mon, None, 60_000_000);
         assert!(!out.heartbeats.is_empty());
         assert!(out.heartbeats[0].starts_with("ZeroSum: t="));
+    }
+
+    #[test]
+    fn governor_widens_period_during_run_and_records_changes() {
+        let (mut sim, pid) = app_sim(10_000);
+        // 50 ms/round: 5x the 1% budget at 1 Hz. The governor must walk
+        // the period out to 8 s (budget 80 ms > cost) within 5 rounds.
+        let mut mon = Monitor::new(ZeroSumConfig::default().with_cost(MonitorCost {
+            sys_us: 35_000,
+            user_us: 15_000,
+        }));
+        mon.watch_process(ProcessInfo {
+            pid,
+            rank: None,
+            hostname: "n".into(),
+            gpus: vec![],
+            cpus_allowed: Default::default(),
+        });
+        let out = run_monitored(&mut sim, &mut mon, None, 60_000_000);
+        assert!(out.completed);
+        assert_eq!(mon.effective_period_us(), 8_000_000);
+        let c = &mon.governor.changes;
+        assert_eq!(c.len(), 3, "1s -> 2s -> 4s -> 8s, each recorded");
+        assert!(c.windows(2).all(|w| w[0].to_us == w[1].from_us));
+        assert!(c.iter().all(|ch| ch.cost_us > ch.budget_us));
+        // Widening really throttled sampling: ~10 s of app in few rounds.
+        assert!(out.samples <= 6, "sampled {} times", out.samples);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster_chaos;
 pub mod cluster_demo;
 pub mod figures;
 pub mod listings;

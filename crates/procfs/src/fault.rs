@@ -805,6 +805,7 @@ mod tests {
                 num_threads: 2,
                 processor: 0,
                 nswap: 0,
+                starttime: 0,
             })
         }
 

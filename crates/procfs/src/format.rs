@@ -96,6 +96,9 @@ pub fn write_task_stat(t: &TaskStat, out: &mut String) {
             20 => {
                 let _ = write!(out, " {}", t.num_threads);
             }
+            22 => {
+                let _ = write!(out, " {}", t.starttime);
+            }
             36 => {
                 let _ = write!(out, " {}", t.nswap);
             }
@@ -230,6 +233,7 @@ mod tests {
             num_threads: 9,
             processor: 7,
             nswap: 0,
+            starttime: 170_043,
         };
         let back = parse::parse_task_stat(&format_task_stat(&t)).unwrap();
         assert_eq!(back, t);
@@ -249,6 +253,7 @@ mod tests {
             num_threads: 1,
             processor: 0,
             nswap: 0,
+            starttime: 0,
         };
         let line = format_task_stat(&t);
         let fields: Vec<&str> = line.split(' ').collect();

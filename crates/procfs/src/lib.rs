@@ -77,7 +77,7 @@ mod proptests {
         ) {
             let t = TaskStat {
                 tid, comm, state, minflt, majflt, utime, stime, nice,
-                num_threads, processor, nswap: 0,
+                num_threads, processor, nswap: 0, starttime: 0,
             };
             let back = parse::parse_task_stat(&format::format_task_stat(&t)).unwrap();
             prop_assert_eq!(back, t);

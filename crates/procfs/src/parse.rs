@@ -173,6 +173,9 @@ pub struct TaskStatView<'a> {
     pub processor: u32,
     /// Pages swapped (field 36).
     pub nswap: u64,
+    /// Start time after boot in clock ticks (field 22) — the PID-reuse
+    /// discriminator.
+    pub starttime: u64,
 }
 
 impl TaskStatView<'_> {
@@ -198,6 +201,7 @@ impl TaskStatView<'_> {
         out.num_threads = self.num_threads;
         out.processor = self.processor;
         out.nswap = self.nswap;
+        out.starttime = self.starttime;
     }
 }
 
@@ -225,8 +229,8 @@ pub fn parse_task_stat_view(line: &str) -> Result<TaskStatView<'_>, ParseError> 
     // (numbering per man 5 proc; the last one needed is 39).
     let mut state = None;
     let mut nice: i32 = 0;
-    let mut picked = [0u64; 8];
-    const FIELDS: [usize; 8] = [10, 12, 14, 15, 19, 20, 36, 39];
+    let mut picked = [0u64; 9];
+    const FIELDS: [usize; 9] = [10, 12, 14, 15, 19, 20, 22, 36, 39];
     let mut it = line[close + 1..].split_ascii_whitespace();
     let mut field = 2usize;
     while field < 39 {
@@ -272,8 +276,9 @@ pub fn parse_task_stat_view(line: &str) -> Result<TaskStatView<'_>, ParseError> 
         stime: picked[3],
         nice,
         num_threads: picked[5] as u32,
-        processor: picked[7] as u32,
-        nswap: picked[6],
+        starttime: picked[6],
+        processor: picked[8] as u32,
+        nswap: picked[7],
     })
 }
 
@@ -448,6 +453,7 @@ SwapFree:              0 kB
         assert_eq!(t.stime, 1248);
         assert_eq!(t.nice, 0);
         assert_eq!(t.num_threads, 9);
+        assert_eq!(t.starttime, 100);
         assert_eq!(t.processor, 1);
     }
 

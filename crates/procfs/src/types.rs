@@ -117,6 +117,11 @@ pub struct TaskStat {
     /// Pages swapped (cumulative; zero on modern kernels but reported by
     /// ZeroSum's CSV export).
     pub nswap: u64,
+    /// Time the task started after boot, in clock ticks — field 22 of
+    /// `stat`. A tid whose `starttime` changes between samples is a
+    /// *recycled* id belonging to a brand-new task, not a continuation
+    /// of the old series.
+    pub starttime: u64,
 }
 
 impl Clone for TaskStat {
@@ -144,6 +149,7 @@ impl Clone for TaskStat {
             num_threads,
             processor,
             nswap,
+            starttime,
         } = *src;
         self.tid = tid;
         self.state = state;
@@ -155,6 +161,7 @@ impl Clone for TaskStat {
         self.num_threads = num_threads;
         self.processor = processor;
         self.nswap = nswap;
+        self.starttime = starttime;
     }
 }
 

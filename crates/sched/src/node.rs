@@ -442,6 +442,7 @@ impl NodeSim {
             counters: TaskCounters::default(),
             last_cpu: 0,
             has_run: false,
+            spawned_at_us: self.now_us,
             service,
             behavior,
             op: CurrentOp::Fetch,
@@ -462,6 +463,49 @@ impl NodeSim {
         }
         self.enqueue(id);
         tid
+    }
+
+    /// Re-spawns a process under a previously used pid — the PID-reuse
+    /// race. Linux recycles ids once the old process is reaped; a monitor
+    /// that keys series by tid alone will splice the new task's counters
+    /// onto the dead one's history. All tasks of the old process must
+    /// already have exited. The new main thread gets a fresh `starttime`
+    /// (the current virtual time), which is the discriminator `/proc`
+    /// offers.
+    pub fn respawn_process_with_pid(
+        &mut self,
+        pid: Pid,
+        name: &str,
+        cpus_allowed: CpuSet,
+        rss_target_kib: u64,
+        behavior: Behavior,
+    ) -> Pid {
+        let old = self
+            .processes
+            .get(&pid)
+            .expect("respawn_process_with_pid: pid was never used");
+        assert!(
+            old.tasks
+                .iter()
+                .all(|&id| self.tasks[id.index()].is_exited()),
+            "respawn_process_with_pid: old process still has live tasks"
+        );
+        self.processes.insert(
+            pid,
+            SimProcess {
+                pid,
+                name: name.to_string(),
+                cpus_allowed,
+                tasks: Vec::new(),
+                memory: ProcessMemory::new(self.now_us, rss_target_kib),
+                rank: None,
+            },
+        );
+        // `tid_map` now points the recycled tid at the new task; the old
+        // arena entry stays for post-mortem accounting but is no longer
+        // reachable by tid — exactly like a reaped Linux process.
+        self.spawn_task_with_tid(pid, pid, name, None, behavior, false);
+        pid
     }
 
     /// Registers one additional member on barrier `(pid, id)` without

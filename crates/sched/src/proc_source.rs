@@ -74,6 +74,7 @@ impl<'a> SimProcSource<'a> {
         st.num_threads = process.tasks.len() as u32;
         st.processor = task.last_cpu;
         st.nswap = 0;
+        st.starttime = task.spawned_at_us / US_PER_JIFFY;
         text.clear();
         format::write_task_stat(&st, text);
         Ok(())

@@ -112,6 +112,10 @@ pub struct SimTask {
     /// True once the task has run at least once (enables migration
     /// counting).
     pub has_run: bool,
+    /// Virtual time the task was spawned, µs — rendered as `starttime`
+    /// (field 22) in `/proc` so a recycled tid is distinguishable from
+    /// the task that previously owned the id.
+    pub spawned_at_us: u64,
     /// True for infrastructure tasks (monitor, MPI helper) whose
     /// completion is not required for the application to be "done".
     pub service: bool,
@@ -176,6 +180,7 @@ mod tests {
             counters: TaskCounters::default(),
             last_cpu: 0,
             has_run: false,
+            spawned_at_us: 0,
             service: false,
             behavior: Behavior::Sleeper,
             op: CurrentOp::Fetch,

@@ -3,17 +3,20 @@
 //! Statistics utilities for ZeroSum-rs: streaming summaries (the
 //! `min avg max` triplets of Listing 2's GPU report), Welch's t-test (the
 //! §4.1 overhead comparison), time-series containers with CSV export
-//! (§3.6, Figures 6–7), and histograms/quartiles (Figure 8's runtime
-//! distributions).
+//! (§3.6, Figures 6–7), histograms/quartiles (Figure 8's runtime
+//! distributions), and bounded ring buffers with downsample-on-wrap
+//! (constant-memory series for multi-hour monitored runs).
 
 #![warn(missing_docs)]
 
 pub mod histogram;
+pub mod ring;
 pub mod summary;
 pub mod timeseries;
 pub mod ttest;
 
 pub use histogram::{quartiles, Histogram, Quartiles};
+pub use ring::{Ring, DEFAULT_SERIES_CAPACITY};
 pub use summary::Summary;
 pub use timeseries::{SeriesBundle, TimeSeries};
 pub use ttest::{welch_t_test, welch_t_test_summaries, TTest};

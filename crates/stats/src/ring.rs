@@ -1,0 +1,253 @@
+//! Bounded time-series storage with downsample-on-wrap.
+//!
+//! A multi-hour monitored run at 1 Hz accumulates tens of thousands of
+//! samples per LWP; storing them in plain `Vec`s makes the monitor's own
+//! RSS grow without bound — exactly the failure mode a resource monitor
+//! must not have. [`Ring`] is a drop-in replacement: it behaves like a
+//! `Vec` (it derefs to `&[T]`, so `.len()`, `.last()`, `.windows()`,
+//! indexing and iteration all work) up to a fixed capacity, and when the
+//! capacity is reached it *downsamples 2:1 in place*, keeping every
+//! other sample starting from the first. The series therefore always
+//! contains the first sample ever pushed, the most recent sample, and a
+//! progressively coarser — but still time-ordered — view of the middle.
+//!
+//! This is the classic "thin the history" policy of long-running
+//! monitors: constant memory, graceful loss of temporal resolution, no
+//! reallocation after the first fill.
+
+use std::ops::Deref;
+
+/// A fixed-capacity series that halves its resolution when full.
+///
+/// Pushing into a full ring compacts the existing contents by keeping
+/// the elements at even indices (`0, 2, 4, …`) — preserving the first
+/// element and monotone ordering — and then appends the new element.
+/// A ring of capacity 0 discards every push; capacity 1 keeps only the
+/// most recent element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ring<T> {
+    items: Vec<T>,
+    capacity: usize,
+    /// Number of 2:1 compactions performed so far.
+    wraps: u32,
+    /// Total elements ever pushed (including ones compacted away).
+    pushed: u64,
+}
+
+/// Default capacity for monitor time series: at 1 Hz this holds over an
+/// hour at full resolution and a multi-day run at progressively coarser
+/// resolution, in a few hundred KiB per series.
+pub const DEFAULT_SERIES_CAPACITY: usize = 4096;
+
+impl<T> Ring<T> {
+    /// Creates an empty ring with the given capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Ring {
+            // `items` never exceeds `capacity`; reserve lazily so empty
+            // rings (e.g. for never-sampled CPUs) cost nothing.
+            items: Vec::new(),
+            capacity,
+            wraps: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Creates an empty ring with [`DEFAULT_SERIES_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_SERIES_CAPACITY)
+    }
+
+    /// The fixed capacity; `len()` never exceeds this.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of 2:1 downsample compactions performed so far.
+    pub fn wraps(&self) -> u32 {
+        self.wraps
+    }
+
+    /// Total number of elements ever pushed, including those compacted
+    /// away by downsampling.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Appends an element, compacting 2:1 first if the ring is full.
+    pub fn push(&mut self, value: T) {
+        self.pushed += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.items.len() >= self.capacity {
+            if self.capacity == 1 {
+                self.items.clear();
+            } else {
+                // Keep even indices: first element survives, order is
+                // preserved, length halves (rounding up).
+                let mut keep = 0usize;
+                for i in (0..self.items.len()).step_by(2) {
+                    self.items.swap(keep, i);
+                    keep += 1;
+                }
+                self.items.truncate(keep);
+            }
+            self.wraps += 1;
+        }
+        self.items.push(value);
+    }
+
+    /// The stored samples, oldest first.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Removes all elements, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.wraps = 0;
+        self.pushed = 0;
+    }
+}
+
+impl<T> Default for Ring<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Deref for Ring<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Ring<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl<T> FromIterator<T> for Ring<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut ring = Ring::new();
+        for v in iter {
+            ring.push(v);
+        }
+        ring
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_vec_below_capacity() {
+        let mut r: Ring<u32> = Ring::with_capacity(8);
+        assert!(r.is_empty());
+        for v in 0..5 {
+            r.push(v);
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.first(), Some(&0));
+        assert_eq!(r.last(), Some(&4));
+        assert_eq!(r[2], 2);
+        assert_eq!(r.wraps(), 0);
+        assert_eq!(r.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_zero_discards_everything() {
+        let mut r: Ring<u32> = Ring::with_capacity(0);
+        for v in 0..10 {
+            r.push(v);
+        }
+        assert!(r.is_empty());
+        assert_eq!(r.total_pushed(), 10);
+    }
+
+    #[test]
+    fn capacity_one_keeps_latest() {
+        let mut r: Ring<u32> = Ring::with_capacity(1);
+        for v in 0..10 {
+            r.push(v);
+        }
+        assert_eq!(r.as_slice(), &[9]);
+        assert_eq!(r.wraps(), 9);
+    }
+
+    #[test]
+    fn exact_wrap_halves_and_keeps_first() {
+        let mut r: Ring<u32> = Ring::with_capacity(8);
+        for v in 0..8 {
+            r.push(v);
+        }
+        assert_eq!(r.len(), 8);
+        // The 9th push triggers the compaction: evens survive, then 8.
+        r.push(8);
+        assert_eq!(r.as_slice(), &[0, 2, 4, 6, 8]);
+        assert_eq!(r.wraps(), 1);
+        assert_eq!(r.first(), Some(&0));
+        assert_eq!(r.last(), Some(&8));
+    }
+
+    #[test]
+    fn downsample_preserves_first_last_and_monotone_order() {
+        // Push monotone "timestamps" far past several wraps; the ring
+        // must stay sorted, start at the first sample, end at the
+        // latest, and never exceed capacity.
+        let cap = 16;
+        let mut r: Ring<u64> = Ring::with_capacity(cap);
+        for t in 0..1000u64 {
+            r.push(t);
+            assert!(r.len() <= cap);
+            assert_eq!(r.first(), Some(&0), "first sample lost at t={t}");
+            assert_eq!(r.last(), Some(&t), "latest sample missing at t={t}");
+            assert!(
+                r.windows(2).all(|w| w[0] < w[1]),
+                "ordering broken at t={t}: {:?}",
+                r.as_slice()
+            );
+        }
+        assert!(r.wraps() > 1);
+        assert_eq!(r.total_pushed(), 1000);
+    }
+
+    #[test]
+    fn memory_stays_bounded_over_a_long_run() {
+        let mut r: Ring<(f64, u64)> = Ring::with_capacity(64);
+        for t in 0..100_000u64 {
+            r.push((t as f64, t * 2));
+        }
+        assert!(r.len() <= 64);
+        // The backing Vec never grows past one amortized doubling of the
+        // ring capacity — constant memory regardless of run length.
+        assert!(r.items.capacity() <= 128);
+        assert_eq!(r.first().map(|s| s.1), Some(0));
+        assert_eq!(r.last().map(|s| s.1), Some(99_999 * 2));
+    }
+
+    #[test]
+    fn clear_resets_counters() {
+        let mut r: Ring<u32> = Ring::with_capacity(2);
+        for v in 0..5 {
+            r.push(v);
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.wraps(), 0);
+        assert_eq!(r.total_pushed(), 0);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let r: Ring<u32> = (0..5).collect();
+        assert_eq!(r.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+}
