@@ -1,0 +1,316 @@
+//! Workspace call graph over the recovered items.
+//!
+//! Edges are found by scanning each function body for call-shaped token
+//! patterns and resolved **by bare name**: a call `foo(…)` or `.foo(…)`
+//! points at every non-test workspace function named `foo`. This is a
+//! deliberate over-approximation (no type information), conservative
+//! for both audit passes: reachability and held-lock propagation can
+//! only grow, never silently shrink. Calls that resolve to nothing
+//! (std, closures, field accesses) drop out.
+
+use super::items::{FnItem, ParsedFile};
+use super::lexer::TokKind;
+use std::collections::HashMap;
+
+/// What kind of site a body scan found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// `name(…)` or `.name(…)` — a call.
+    Call,
+    /// `name!(…)` — a macro invocation.
+    Macro,
+    /// `expr[…]` — an index expression (potential panic).
+    Index,
+}
+
+/// One site inside a function body.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Call/macro name (empty for `Index`).
+    pub name: String,
+    /// Site kind.
+    pub kind: SiteKind,
+    /// Token index in the owning file's stream.
+    pub token: usize,
+    /// 1-based source line.
+    pub line: usize,
+    /// `.name(…)` — a method-shaped call. Resolves only to functions
+    /// defined in `impl` blocks, which prunes the worst bare-name
+    /// over-approximation (a `.run()` method call must not alias a
+    /// free `run`).
+    pub method: bool,
+}
+
+/// A function in the graph: its item plus extracted sites.
+pub struct FnNode {
+    /// The parsed item.
+    pub item: FnItem,
+    /// Which [`ParsedFile`] the item lives in.
+    pub file_idx: usize,
+    /// All call/macro/index sites in the body, in token order.
+    pub sites: Vec<Site>,
+    /// Resolved callees (indices into the graph), deduplicated.
+    pub callees: Vec<usize>,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// Every parsed file, indexable by [`FnNode::file_idx`].
+    pub files: Vec<ParsedFile>,
+    /// Every non-test function.
+    pub fns: Vec<FnNode>,
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+/// Keywords that look like calls when followed by `(`.
+const KEYWORDS: [&str; 16] = [
+    "if", "while", "for", "match", "loop", "return", "break", "continue", "move", "in", "as",
+    "where", "else", "let", "fn", "unsafe",
+];
+
+/// Extracts call/macro/index sites from one body range.
+pub fn body_sites(pf: &ParsedFile, item: &FnItem) -> Vec<Site> {
+    let mut out = Vec::new();
+    for i in item.body.clone() {
+        let tok = &pf.tokens[i];
+        match tok.kind {
+            TokKind::Ident => {
+                let name = pf.text(i);
+                if KEYWORDS.contains(&name) {
+                    continue;
+                }
+                if pf.is_punct(i + 1, '!') {
+                    out.push(Site {
+                        name: name.to_string(),
+                        kind: SiteKind::Macro,
+                        token: i,
+                        line: tok.line,
+                        method: false,
+                    });
+                } else if pf.is_punct(i + 1, '(') {
+                    out.push(Site {
+                        name: name.to_string(),
+                        kind: SiteKind::Call,
+                        token: i,
+                        line: tok.line,
+                        method: i > 0 && pf.is_punct(i - 1, '.'),
+                    });
+                }
+            }
+            TokKind::Punct('[') => {
+                // Index expression: `[` directly after a value-shaped
+                // token (identifier, `)`, or `]`). Type positions are
+                // preceded by punctuation like `:`, `<`, `&`, `(`.
+                let prev_value = i
+                    .checked_sub(1)
+                    .and_then(|p| pf.tokens.get(p))
+                    .map(|t| {
+                        matches!(
+                            t.kind,
+                            TokKind::Ident | TokKind::Punct(')') | TokKind::Punct(']')
+                        )
+                    })
+                    .unwrap_or(false);
+                if prev_value {
+                    out.push(Site {
+                        name: String::new(),
+                        kind: SiteKind::Index,
+                        token: i,
+                        line: tok.line,
+                        method: false,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+impl CallGraph {
+    /// Builds the graph over `files`, keeping only non-test functions.
+    pub fn build(files: Vec<ParsedFile>) -> CallGraph {
+        let mut fns = Vec::new();
+        for (file_idx, pf) in files.iter().enumerate() {
+            for item in &pf.fns {
+                if item.is_test {
+                    continue;
+                }
+                let sites = body_sites(pf, item);
+                fns.push(FnNode {
+                    item: item.clone(),
+                    file_idx,
+                    sites,
+                    callees: Vec::new(),
+                });
+            }
+        }
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.item.name.clone()).or_default().push(i);
+        }
+        let resolve = |s: &Site| -> Vec<usize> {
+            by_name
+                .get(&s.name)
+                .map(|v| {
+                    v.iter()
+                        .copied()
+                        .filter(|&i| !s.method || fns[i].item.impl_type.is_some())
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let callee_sets: Vec<Vec<usize>> = fns
+            .iter()
+            .map(|f| {
+                let mut callees: Vec<usize> = f
+                    .sites
+                    .iter()
+                    .filter(|s| s.kind == SiteKind::Call)
+                    .flat_map(&resolve)
+                    .collect();
+                callees.sort_unstable();
+                callees.dedup();
+                callees
+            })
+            .collect();
+        for (f, callees) in fns.iter_mut().zip(callee_sets) {
+            f.callees = callees;
+        }
+        CallGraph {
+            files,
+            fns,
+            by_name,
+        }
+    }
+
+    /// Functions named `name`.
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Resolves one call site: bare-name lookup, restricted to
+    /// `impl`-block functions when the call is method-shaped.
+    pub fn resolve_site(&self, site: &Site) -> Vec<usize> {
+        self.named(&site.name)
+            .iter()
+            .copied()
+            .filter(|&i| !site.method || self.fns[i].item.impl_type.is_some())
+            .collect()
+    }
+
+    /// Indices of functions matching `(file_suffix, fn_name)`.
+    pub fn matching(&self, file_suffix: &str, name: &str) -> Vec<usize> {
+        self.named(name)
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].item.file.ends_with(file_suffix))
+            .collect()
+    }
+
+    /// Breadth-first reachability from `roots`; returns, per function,
+    /// `Some(parent)` (`usize::MAX` for a root) when reachable.
+    pub fn reach_from(&self, roots: &[usize]) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.fns.len()];
+        let mut queue: std::collections::VecDeque<usize> = Default::default();
+        for &r in roots {
+            if parent[r].is_none() {
+                parent[r] = Some(usize::MAX);
+                queue.push_back(r);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            for &c in &self.fns[i].callees {
+                if parent[c].is_none() {
+                    parent[c] = Some(i);
+                    queue.push_back(c);
+                }
+            }
+        }
+        parent
+    }
+
+    /// A readable call path `root -> … -> target` using the parent map
+    /// from [`CallGraph::reach_from`].
+    pub fn path_to(&self, parents: &[Option<usize>], target: usize) -> String {
+        let mut chain = vec![target];
+        let mut cur = target;
+        while let Some(Some(p)) = parents.get(cur) {
+            if *p == usize::MAX || chain.len() > 12 {
+                break;
+            }
+            chain.push(*p);
+            cur = *p;
+        }
+        chain.reverse();
+        chain
+            .iter()
+            .map(|&i| self.fns[i].item.name.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::items::parse_file;
+
+    fn graph(srcs: &[(&str, &str)]) -> CallGraph {
+        CallGraph::build(srcs.iter().map(|(p, s)| parse_file(p, s)).collect())
+    }
+
+    #[test]
+    fn resolves_free_and_method_calls_by_name() {
+        let g = graph(&[(
+            "a.rs",
+            "\
+fn root() { helper(); obj.method_b(); }
+fn helper() { leaf() }
+fn leaf() {}
+struct S;
+impl S { fn method_b(&self) { leaf() } }
+",
+        )]);
+        let root = g.matching("a.rs", "root")[0];
+        let names: Vec<&str> = g.fns[root]
+            .callees
+            .iter()
+            .map(|&i| g.fns[i].item.name.as_str())
+            .collect();
+        assert!(names.contains(&"helper"));
+        assert!(names.contains(&"method_b"));
+        let reach = g.reach_from(&[root]);
+        let leaf = g.matching("a.rs", "leaf")[0];
+        assert!(reach[leaf].is_some());
+        assert!(g.path_to(&reach, leaf).starts_with("root -> "));
+    }
+
+    #[test]
+    fn test_fns_are_excluded() {
+        let g = graph(&[(
+            "a.rs",
+            "#[cfg(test)]\nmod tests { fn t() { danger() } }\nfn danger() {}\n",
+        )]);
+        assert!(g.named("t").is_empty());
+        assert_eq!(g.named("danger").len(), 1);
+    }
+
+    #[test]
+    fn macros_and_indexes_are_sites_not_calls() {
+        let g = graph(&[("a.rs", "fn f(v: &[u32]) -> u32 { panic!(\"x\"); v[0] }")]);
+        let f = g.matching("a.rs", "f")[0];
+        let kinds: Vec<SiteKind> = g.fns[f].sites.iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&SiteKind::Macro));
+        assert!(kinds.contains(&SiteKind::Index));
+        // `&[u32]` in the signature is not an index site.
+        assert_eq!(
+            g.fns[f]
+                .sites
+                .iter()
+                .filter(|s| s.kind == SiteKind::Index)
+                .count(),
+            1
+        );
+    }
+}

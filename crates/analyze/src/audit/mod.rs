@@ -1,0 +1,420 @@
+//! `zsaudit` — interprocedural concurrency audit.
+//!
+//! A source-level static-analysis engine shared by `zerosum audit` and
+//! the lint rules: a comment/string-correct lexer ([`lexer`]), a
+//! lightweight item parser recovering function bodies ([`items`]), a
+//! workspace call graph ([`callgraph`]), and two interprocedural
+//! passes — lock-order analysis ([`locks`]) and panic-reachability
+//! ([`panics`]). See DESIGN.md §10 for the analysis model and its
+//! deliberate over-approximations.
+//!
+//! Findings diff against a committed baseline (`AUDIT_baseline.json`)
+//! keyed *without* line numbers so unrelated edits don't churn it.
+//! Lock-order cycles are never baselineable: a cycle fails the audit
+//! outright.
+
+pub mod callgraph;
+pub mod drill;
+pub mod items;
+pub mod lexer;
+pub mod locks;
+pub mod panics;
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One audit finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Pass identifier: `lock-cycle`, `lock-across-channel`,
+    /// `lock-across-proc-read`, `panic-reachable`, `stale-allowlist`.
+    pub pass: &'static str,
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line (0 when not tied to a line).
+    pub line: usize,
+    /// Enclosing function (empty for graph-level findings).
+    pub func: String,
+    /// The offending token/lock/kind — part of the stable key.
+    pub token: String,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl Finding {
+    /// Stable baseline key. Deliberately excludes the line number so a
+    /// baseline survives unrelated edits to the same file.
+    pub fn key(&self) -> String {
+        format!("{}|{}|{}|{}", self.pass, self.file, self.func, self.token)
+    }
+}
+
+/// Aggregate statistics for the report header.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AuditStats {
+    /// Files scanned.
+    pub files: usize,
+    /// Non-test functions in the call graph.
+    pub fns: usize,
+    /// Static lock acquisitions.
+    pub acquisitions: usize,
+    /// Distinct lock nodes.
+    pub locks: usize,
+    /// Lock-order edges.
+    pub edges: usize,
+    /// Potential panic sites scanned.
+    pub panic_sites: usize,
+    /// Functions reachable from the no-panic roots.
+    pub reachable_fns: usize,
+}
+
+/// The full audit result.
+pub struct AuditReport {
+    /// All findings, sorted by (pass, file, line, token).
+    pub findings: Vec<Finding>,
+    /// The static lock-order edges (consumed by the sanitizer drill).
+    pub edges: Vec<locks::LockEdge>,
+    /// Distinct lock node keys.
+    pub locks: BTreeSet<String>,
+    /// Header statistics.
+    pub stats: AuditStats,
+}
+
+impl AuditReport {
+    /// Whether the report is clean (no findings at all).
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Lock-cycle findings — never maskable by a baseline.
+    pub fn cycles(&self) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.pass == "lock-cycle")
+            .collect()
+    }
+
+    /// Findings not covered by `baseline` keys. Cycles are always
+    /// returned, baselined or not.
+    pub fn beyond_baseline<'a>(&'a self, baseline: &BTreeSet<String>) -> Vec<&'a Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.pass == "lock-cycle" || !baseline.contains(&f.key()))
+            .collect()
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let s = &self.stats;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "zsaudit: {} files, {} fns | {} locks, {} acquisitions, {} edges | \
+             {} panic sites, {} fns reachable from no-panic roots",
+            s.files, s.fns, s.locks, s.acquisitions, s.edges, s.panic_sites, s.reachable_fns
+        )
+        .unwrap();
+        if self.findings.is_empty() {
+            writeln!(out, "OK: no findings").unwrap();
+            return out;
+        }
+        let mut last_pass = "";
+        for f in &self.findings {
+            if f.pass != last_pass {
+                writeln!(out, "\n[{}]", f.pass).unwrap();
+                last_pass = f.pass;
+            }
+            if f.line > 0 {
+                writeln!(out, "  {}:{}: {}", f.file, f.line, f.detail).unwrap();
+            } else {
+                writeln!(out, "  {}: {}", f.file, f.detail).unwrap();
+            }
+        }
+        writeln!(out, "\n{} finding(s)", self.findings.len()).unwrap();
+        out
+    }
+
+    /// Machine-readable report (the shape `scripts/ci.sh` diffs).
+    pub fn to_json(&self) -> String {
+        let s = &self.stats;
+        let mut out = String::from("{\n  \"schema\": 1,\n");
+        writeln!(
+            out,
+            "  \"stats\": {{\"files\": {}, \"fns\": {}, \"acquisitions\": {}, \"locks\": {}, \
+             \"edges\": {}, \"panic_sites\": {}, \"reachable_fns\": {}}},",
+            s.files, s.fns, s.acquisitions, s.locks, s.edges, s.panic_sites, s.reachable_fns
+        )
+        .unwrap();
+        out.push_str("  \"edges\": [\n");
+        for (i, e) in self.edges.iter().enumerate() {
+            writeln!(
+                out,
+                "    {{\"from\": \"{}\", \"to\": \"{}\", \"site\": \"{}\"}}{}",
+                esc(&e.from),
+                esc(&e.to),
+                esc(&e.site),
+                if i + 1 < self.edges.len() { "," } else { "" }
+            )
+            .unwrap();
+        }
+        out.push_str("  ],\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            writeln!(
+                out,
+                "    {{\"pass\": \"{}\", \"file\": \"{}\", \"line\": {}, \"func\": \"{}\", \
+                 \"token\": \"{}\", \"detail\": \"{}\"}}{}",
+                esc(f.pass),
+                esc(&f.file),
+                f.line,
+                esc(&f.func),
+                esc(&f.token),
+                esc(&f.detail),
+                if i + 1 < self.findings.len() { "," } else { "" }
+            )
+            .unwrap();
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The committed-baseline form: just the stable keys.
+    pub fn baseline_json(&self) -> String {
+        let keys: BTreeSet<String> = self
+            .findings
+            .iter()
+            .filter(|f| f.pass != "lock-cycle")
+            .map(Finding::key)
+            .collect();
+        let mut out = String::from("{\n  \"schema\": 1,\n  \"findings\": [\n");
+        let n = keys.len();
+        for (i, k) in keys.iter().enumerate() {
+            writeln!(
+                out,
+                "    \"{}\"{}",
+                esc(k),
+                if i + 1 < n { "," } else { "" }
+            )
+            .unwrap();
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// JSON string escaping for the hand-rolled writers above.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses a baseline written by [`AuditReport::baseline_json`]: the set
+/// of string literals inside the `findings` array. Defensive about
+/// truncation and hand edits — errors, never panics.
+pub fn baseline_from_json(text: &str) -> Result<BTreeSet<String>, String> {
+    let start = text
+        .find("\"findings\"")
+        .ok_or_else(|| "baseline: no \"findings\" array".to_string())?;
+    let rest = &text[start + "\"findings\"".len()..];
+    let open = rest
+        .find('[')
+        .ok_or_else(|| "baseline: findings is not an array".to_string())?;
+    let mut keys = BTreeSet::new();
+    let mut cur = String::new();
+    let (mut in_str, mut esc_next) = (false, false);
+    for c in rest[open + 1..].chars() {
+        if in_str {
+            if esc_next {
+                match c {
+                    'n' => cur.push('\n'),
+                    't' => cur.push('\t'),
+                    other => cur.push(other),
+                }
+                esc_next = false;
+            } else if c == '\\' {
+                esc_next = true;
+            } else if c == '"' {
+                keys.insert(std::mem::take(&mut cur));
+                in_str = false;
+            } else {
+                cur.push(c);
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == ']' {
+            return Ok(keys);
+        }
+    }
+    Err("baseline: truncated findings array".to_string())
+}
+
+/// Runs both passes over in-memory sources with explicit roots and
+/// allowlist — the fixture-test entry point.
+pub fn audit_sources_with(
+    sources: &[(String, String)],
+    roots: &[(&str, &str, &str)],
+    allowlist: &[(&str, &str, &str, &str)],
+) -> AuditReport {
+    let parsed: Vec<items::ParsedFile> = sources
+        .iter()
+        .map(|(p, s)| items::parse_file(p, s))
+        .collect();
+    let graph = callgraph::CallGraph::build(parsed);
+    let la = locks::analyze_locks(&graph);
+    let pa = panics::analyze_panics(&graph, roots, allowlist);
+    let stats = AuditStats {
+        files: graph.files.len(),
+        fns: graph.fns.len(),
+        acquisitions: la.acquisitions.len(),
+        locks: la.locks.len(),
+        edges: la.edges.len(),
+        panic_sites: pa.sites,
+        reachable_fns: pa.reachable_fns,
+    };
+    let mut findings: Vec<Finding> = la.findings.into_iter().chain(pa.findings).collect();
+    findings.sort_by(|a, b| {
+        (a.pass, &a.file, a.line, &a.token).cmp(&(b.pass, &b.file, b.line, &b.token))
+    });
+    findings.dedup_by(|a, b| a.key() == b.key() && a.line == b.line);
+    AuditReport {
+        findings,
+        edges: la.edges,
+        locks: la.locks,
+        stats,
+    }
+}
+
+/// Runs the audit over in-memory sources with the repo's standard roots
+/// and allowlist.
+pub fn audit_sources(sources: &[(String, String)]) -> AuditReport {
+    audit_sources_with(sources, &panics::PANIC_ROOTS, &panics::PANIC_ALLOWLIST)
+}
+
+/// Collects workspace `.rs` sources under `root/crates`, skipping
+/// `target`, VCS, and fixture directories. Paths come back
+/// repo-relative with `/` separators.
+pub fn collect_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    walk(&root.join("crates"), &mut files)?;
+    files.sort();
+    let mut out = Vec::with_capacity(files.len());
+    for f in files {
+        let src = std::fs::read_to_string(&f).map_err(|e| format!("read {}: {e}", f.display()))?;
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push((rel, src));
+    }
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(name.as_ref(), "target" | ".git" | "fixtures") {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the audit over the workspace rooted at `root`.
+pub fn audit_workspace(root: &Path) -> Result<AuditReport, String> {
+    let sources = collect_sources(root)?;
+    Ok(audit_sources(&sources))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(p, s)| (p.to_string(), s.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let sources = src(&[(
+            "crates/x/src/a.rs",
+            "\
+fn root(x: &M, y: &M, v: Option<u32>) {
+    let g = x.alpha.lock();
+    let h = y.beta.lock();
+    v.unwrap();
+}
+fn rev(x: &M, y: &M) {
+    let h = y.beta.lock();
+    let g = x.alpha.lock();
+}
+",
+        )]);
+        let r = audit_sources_with(&sources, &[("a.rs", "root", "test")], &[]);
+        assert!(!r.clean());
+        assert!(!r.cycles().is_empty());
+        let text = r.render();
+        assert!(text.contains("[lock-cycle]"), "{text}");
+        assert!(text.contains("[panic-reachable]"), "{text}");
+        let json = r.to_json();
+        assert!(json.contains("\"pass\": \"lock-cycle\""), "{json}");
+    }
+
+    #[test]
+    fn baseline_round_trips_and_masks_old_findings_but_not_cycles() {
+        let sources = src(&[(
+            "crates/x/src/a.rs",
+            "fn root(v: Option<u32>) -> u32 { v.unwrap() }",
+        )]);
+        let r = audit_sources_with(&sources, &[("a.rs", "root", "test")], &[]);
+        assert_eq!(r.findings.len(), 1);
+        let base = baseline_from_json(&r.baseline_json()).unwrap();
+        assert_eq!(base.len(), 1);
+        assert!(r.beyond_baseline(&base).is_empty());
+        // A cycle is reported even when its key is in the baseline.
+        let cyc = src(&[(
+            "crates/x/src/a.rs",
+            "\
+fn ab(x: &M, y: &M) { let g = x.alpha.lock(); let h = y.beta.lock(); }
+fn ba(x: &M, y: &M) { let h = y.beta.lock(); let g = x.alpha.lock(); }
+",
+        )]);
+        let r2 = audit_sources_with(&cyc, &[], &[]);
+        let all: BTreeSet<String> = r2.findings.iter().map(Finding::key).collect();
+        assert!(!r2.beyond_baseline(&all).is_empty());
+    }
+
+    #[test]
+    fn baseline_parser_survives_truncation_and_escapes() {
+        assert!(baseline_from_json("").is_err());
+        assert!(baseline_from_json("{\"findings\": [").is_err());
+        let keys = baseline_from_json("{\"schema\":1,\"findings\":[\"a|b\\\"c|d|e\"]}").unwrap();
+        assert!(keys.contains("a|b\"c|d|e"));
+        let empty = baseline_from_json("{\"findings\": []}").unwrap();
+        assert!(empty.is_empty());
+    }
+}

@@ -44,14 +44,27 @@ fn main() -> ExitCode {
             }
         }
     };
+    let stale = match lint::stale_growth_entries(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("zslint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for entry in &stale {
+        println!(
+            "zslint: [stale-allowlist] ALLOWED_GROWTH_FIELDS entry `{entry}` matches no `.push(` site"
+        );
+    }
     match lint::lint_repo(&root) {
         Ok(violations) => {
             for v in &violations {
                 println!("{v}");
             }
-            // Note-level findings inform; only error-level rules fail.
-            let errors = violations.iter().filter(|v| !v.rule.is_note()).count();
-            let notes = violations.len() - errors;
+            // Note-level findings inform; only error-level rules (and
+            // stale allowlist entries) fail.
+            let errors = violations.iter().filter(|v| !v.rule.is_note()).count() + stale.len();
+            let notes = violations.len() + stale.len() - errors;
             if errors == 0 {
                 println!("zslint: clean ({}), {notes} note(s)", root.display());
                 ExitCode::SUCCESS

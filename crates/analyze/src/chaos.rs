@@ -20,13 +20,13 @@
 //! marker, and that no torn `.tmp` files remain.
 
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use zerosum_core::export::{write_partial_logs, LOG_END_MARKER, LOG_PARTIAL_MARKER};
 use zerosum_core::signal::{
     clear_crash_flushes, register_crash_flush, report_abnormal_exit, AbnormalExit,
 };
-use zerosum_core::{render_process_report, Monitor, ProcessInfo, ZeroSumConfig};
+use zerosum_core::{render_process_report, Monitor, ProcessInfo, Tracked, ZeroSumConfig};
 use zerosum_experiments::tables::{run_table, run_table_chaos, ChaosAudit, TableConfig, TableRun};
 use zerosum_proc::fault::{FaultKind, FaultPlan, FaultRates, Op, ScriptedFault};
 use zerosum_sched::{Behavior, NodeSim, SchedParams, SimProcSource};
@@ -309,7 +309,7 @@ pub fn abnormal_exit_drill(dir: &Path) -> Vec<String> {
         mon.sample(round as f64 * 0.1, &src);
     }
     clear_crash_flushes();
-    let shared = Arc::new(Mutex::new(mon));
+    let shared = Arc::new(Tracked::new("analyze.chaos.flush_monitor", mon));
     let flush_mon = Arc::clone(&shared);
     let flush_dir = dir.to_path_buf();
     register_crash_flush(move || {

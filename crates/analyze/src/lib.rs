@@ -27,6 +27,7 @@
 //! Entry points: `zerosum analyze` / `zerosum chaos` (CLI) and
 //! `cargo run -p zerosum-analyze --bin zslint`.
 
+pub mod audit;
 pub mod bench;
 pub mod chaos;
 pub mod cluster_chaos;
@@ -35,6 +36,7 @@ pub mod invariants;
 pub mod lint;
 pub mod scenarios;
 
+pub use audit::{audit_sources, audit_workspace, baseline_from_json, AuditReport};
 pub use bench::{check as bench_check, compare as bench_compare, run_bench, BenchReport, Metric};
 pub use chaos::{abnormal_exit_drill, realistic_plan, run_suite, ChaosReport};
 pub use cluster_chaos::{

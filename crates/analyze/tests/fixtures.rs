@@ -1,0 +1,139 @@
+//! Golden fixtures for the lint rules and the audit passes.
+//!
+//! Every rule has a `*.bad.rs` fixture (under `tests/fixtures/lint/` at
+//! the workspace root) that must fire at exactly the expected lines,
+//! and a `*.clean.rs` near-miss twin — the closest legal code — that
+//! must stay silent. The pairs pin both the detection and the
+//! false-positive boundary of each rule; fixture directories are
+//! excluded from the real lint/audit walks.
+
+use std::path::{Path, PathBuf};
+use zerosum_analyze::audit::audit_sources_with;
+use zerosum_analyze::lint::{find_workspace_root, lint_source};
+use zerosum_analyze::AuditReport;
+
+fn fixture_dir() -> PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root")
+        .join("tests/fixtures/lint")
+}
+
+fn read(name: &str) -> String {
+    let path = fixture_dir().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// `(fixture stem, lint-as path, rule id, expected bad-fixture lines)`.
+const LINT_CASES: [(&str, &str, &str, &[usize]); 7] = [
+    (
+        "panic_hot_path",
+        "crates/core/src/monitor.rs",
+        "no-panic-hot-path",
+        &[4, 8],
+    ),
+    (
+        "wall_clock_sched",
+        "crates/sched/src/virtual_clock.rs",
+        "no-wall-clock-in-sched",
+        &[6, 10],
+    ),
+    (
+        "print_in_lib",
+        "crates/core/src/export.rs",
+        "no-print-in-lib",
+        &[3, 4],
+    ),
+    (
+        "source_error_bubble",
+        "crates/core/src/monitor.rs",
+        "no-source-error-bubble",
+        &[4, 5],
+    ),
+    (
+        "clone_hot_path",
+        "crates/core/src/hwt.rs",
+        "no-clone-in-hot-path",
+        &[4, 5],
+    ),
+    (
+        "growth_monitor",
+        "crates/core/src/cluster.rs",
+        "no-unbounded-growth-in-monitor",
+        &[4, 7],
+    ),
+    // Regression for the legacy brace-miscount: the raw string's
+    // interior quote must not swallow the test mod or the violation
+    // after it.
+    (
+        "raw_string_test_mod",
+        "crates/core/src/lwp.rs",
+        "no-panic-hot-path",
+        &[7],
+    ),
+];
+
+#[test]
+fn bad_lint_fixtures_fire_exactly_where_expected() {
+    for (stem, as_path, rule, lines) in LINT_CASES {
+        let src = read(&format!("{stem}.bad.rs"));
+        let got: Vec<(&str, usize)> = lint_source(Path::new(as_path), &src)
+            .iter()
+            .map(|v| (v.rule.id(), v.line))
+            .collect();
+        let want: Vec<(&str, usize)> = lines.iter().map(|&l| (rule, l)).collect();
+        assert_eq!(got, want, "{stem}.bad.rs as {as_path}");
+    }
+}
+
+#[test]
+fn clean_lint_fixtures_stay_silent() {
+    for (stem, as_path, _, _) in LINT_CASES {
+        let src = read(&format!("{stem}.clean.rs"));
+        let v = lint_source(Path::new(as_path), &src);
+        assert!(v.is_empty(), "{stem}.clean.rs as {as_path}: {v:?}");
+    }
+}
+
+fn audit_one(name: &str, roots: &[(&str, &str, &str)]) -> AuditReport {
+    audit_sources_with(&[(name.to_string(), read(name))], roots, &[])
+}
+
+#[test]
+fn lock_cycle_fixture_pair() {
+    let bad = audit_one("lock_cycle.bad.rs", &[]);
+    assert!(
+        !bad.cycles().is_empty(),
+        "AB/BA fixture must report a lock-order cycle: {:?}",
+        bad.findings
+    );
+    let clean = audit_one("lock_cycle.clean.rs", &[]);
+    assert!(clean.cycles().is_empty(), "{:?}", clean.findings);
+    assert!(
+        clean
+            .edges
+            .iter()
+            .any(|e| e.from == "alpha" && e.to == "beta"),
+        "consistent ordering still contributes an edge: {:?}",
+        clean.edges
+    );
+}
+
+#[test]
+fn panic_reach_fixture_pair() {
+    let bad = audit_one(
+        "panic_reach.bad.rs",
+        &[("panic_reach.bad.rs", "entry", "fixture root")],
+    );
+    assert!(
+        bad.findings
+            .iter()
+            .any(|f| f.pass == "panic-reachable" && f.func == "inner"),
+        "{:?}",
+        bad.findings
+    );
+    let clean = audit_one(
+        "panic_reach.clean.rs",
+        &[("panic_reach.clean.rs", "entry", "fixture root")],
+    );
+    assert!(clean.clean(), "{:?}", clean.findings);
+}

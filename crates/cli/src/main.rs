@@ -11,6 +11,7 @@ fn main() {
         Some("chaos") => std::process::exit(run_chaos(&args[1..])),
         Some("cluster-chaos") => std::process::exit(run_cluster_chaos(&args[1..])),
         Some("lint") => std::process::exit(run_lint()),
+        Some("audit") => std::process::exit(run_audit(&args[1..])),
         _ => {}
     }
     let opts = match zerosum_cli::parse_args(&args) {
@@ -410,6 +411,151 @@ fn run_cluster_chaos(args: &[String]) -> i32 {
     }
 }
 
+/// `zerosum audit [--json] [--root DIR] [--baseline FILE]
+/// [--write-baseline FILE] [--drill]` — run the interprocedural
+/// concurrency audit (lock-order cycles, locks held across blocking
+/// ops, panic-reachability). With `--baseline`, only findings beyond
+/// the committed baseline fail (lock cycles always fail). `--drill`
+/// additionally runs monitored workloads under the runtime lock-order
+/// sanitizer and checks every observed edge against the static graph.
+/// Exit 0 clean, 1 findings/drill failure, 2 usage/IO errors.
+fn run_audit(args: &[String]) -> i32 {
+    let mut json = false;
+    let mut drill = false;
+    let mut root_arg: Option<String> = None;
+    let mut baseline_file: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>, flag: &str| match it.next() {
+            Some(v) => Ok(v.clone()),
+            None => Err(format!("{flag} requires a value")),
+        };
+        let parsed = match arg.as_str() {
+            "--json" => {
+                json = true;
+                Ok(())
+            }
+            "--drill" => {
+                drill = true;
+                Ok(())
+            }
+            "--root" => value(&mut it, "--root").map(|v| root_arg = Some(v)),
+            "--baseline" => value(&mut it, "--baseline").map(|v| baseline_file = Some(v)),
+            "--write-baseline" => {
+                value(&mut it, "--write-baseline").map(|v| write_baseline = Some(v))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: zerosum audit [--json] [--root DIR] [--baseline FILE] \
+                     [--write-baseline FILE] [--drill]"
+                );
+                println!("static lock-order + panic-reachability audit; see DESIGN.md §10");
+                return 0;
+            }
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("zerosum audit: {e}");
+            return 2;
+        }
+    }
+    let root = match root_arg {
+        Some(r) => std::path::PathBuf::from(r),
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("zerosum audit: {e}");
+                    return 2;
+                }
+            };
+            match zerosum_analyze::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "zerosum audit: no workspace root found above {}",
+                        cwd.display()
+                    );
+                    return 2;
+                }
+            }
+        }
+    };
+    let report = match zerosum_analyze::audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("zerosum audit: {e}");
+            return 2;
+        }
+    };
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    if let Some(path) = write_baseline {
+        if let Err(e) = std::fs::write(&path, report.baseline_json()) {
+            eprintln!("zerosum audit: {path}: {e}");
+            return 2;
+        }
+        eprintln!("zerosum audit: wrote {path}");
+        // Recording a baseline succeeds unless the unbaselineable pass
+        // (lock cycles) fails.
+        return if report.cycles().is_empty() { 0 } else { 1 };
+    }
+    let mut failed = false;
+    match baseline_file {
+        Some(path) => {
+            let base = match std::fs::read_to_string(&path)
+                .map_err(|e| format!("{path}: {e}"))
+                .and_then(|t| zerosum_analyze::baseline_from_json(&t))
+            {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("zerosum audit: {e}");
+                    return 2;
+                }
+            };
+            let beyond = report.beyond_baseline(&base);
+            if beyond.is_empty() {
+                println!("audit: clean against baseline {path}");
+            } else {
+                for f in &beyond {
+                    println!("audit: NEW {}: {}:{}: {}", f.pass, f.file, f.line, f.detail);
+                }
+                println!("audit: {} finding(s) beyond baseline", beyond.len());
+                failed = true;
+            }
+        }
+        None => {
+            if !report.findings.is_empty() {
+                failed = true;
+            }
+        }
+    }
+    // Lock cycles fail regardless of any baseline.
+    if !report.cycles().is_empty() {
+        println!(
+            "audit: {} lock-order cycle(s) — never baselineable",
+            report.cycles().len()
+        );
+        failed = true;
+    }
+    if drill {
+        let d = zerosum_analyze::audit::drill::run_drill(&report);
+        print!("{}", d.render());
+        if !d.ok() {
+            failed = true;
+        }
+    }
+    if failed {
+        1
+    } else {
+        0
+    }
+}
+
 /// `zerosum lint` — run the repo lint pass from the workspace root.
 fn run_lint() -> i32 {
     let cwd = match std::env::current_dir() {
@@ -426,13 +572,23 @@ fn run_lint() -> i32 {
         );
         return 2;
     };
+    let stale = match zerosum_analyze::lint::stale_growth_entries(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("zerosum lint: {e}");
+            return 2;
+        }
+    };
+    for entry in &stale {
+        println!("lint: [stale-allowlist] ALLOWED_GROWTH_FIELDS entry `{entry}` matches no `.push(` site");
+    }
     match zerosum_analyze::lint_repo(&root) {
         Ok(v) => {
             for x in &v {
                 println!("{x}");
             }
-            let errors = v.iter().filter(|x| !x.rule.is_note()).count();
-            let notes = v.len() - errors;
+            let errors = v.iter().filter(|x| !x.rule.is_note()).count() + stale.len();
+            let notes = v.len() + stale.len() - errors;
             if errors == 0 {
                 println!("lint: clean ({}), {notes} note(s)", root.display());
                 0

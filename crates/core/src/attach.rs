@@ -9,23 +9,24 @@
 
 use crate::config::ZeroSumConfig;
 use crate::monitor::{Monitor, ProcessInfo};
+use crate::sync::{Tracked, TrackedGuard};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::PoisonError;
 use std::time::{Duration, Instant};
 use zerosum_proc::{LinuxProc, ProcSource as _, SourceError};
 
 /// A running self-monitoring session.
 pub struct SelfMonitor {
     stop: Arc<AtomicBool>,
-    shared: Arc<Mutex<Monitor>>,
+    shared: Arc<Tracked<Monitor>>,
     handle: Option<std::thread::JoinHandle<()>>,
     started: Instant,
 }
 
 /// Locks a mutex, recovering the data if a panicking holder poisoned it
 /// (the monitor must keep working even if the monitored app misbehaves).
-fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+fn lock_unpoisoned<T>(m: &Tracked<T>) -> TrackedGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -74,7 +75,7 @@ impl SelfMonitor {
         if config.signal_handler {
             crate::signal::install_panic_hook(rank);
         }
-        let shared = Arc::new(Mutex::new(monitor));
+        let shared = Arc::new(Tracked::new("core.attach.monitor", monitor));
         let stop = Arc::new(AtomicBool::new(false));
         let started = Instant::now();
         let handle = {

@@ -8,14 +8,15 @@
 //! [`NodeSim`], feeds the per-window busy fractions to the backend, and
 //! folds the synthesized samples into a [`GpuMonitor`].
 
+use crate::sync::{Tracked, TrackedGuard};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::PoisonError;
 use zerosum_gpu::{ActivityFeed, GpuMonitor, SmiSim};
 use zerosum_sched::NodeSim;
 
 /// Locks a mutex, recovering the data if a panicking holder poisoned it.
-fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+fn lock_unpoisoned<T>(m: &Tracked<T>) -> TrackedGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -29,7 +30,7 @@ struct FrameData {
 /// An [`ActivityFeed`] backed by runner-updated frame data.
 #[derive(Clone)]
 pub struct SharedFeed {
-    data: Arc<Mutex<FrameData>>,
+    data: Arc<Tracked<FrameData>>,
 }
 
 impl ActivityFeed for SharedFeed {
@@ -68,7 +69,7 @@ pub struct SimGpuLink {
     /// The accumulated min/mean/max statistics.
     pub monitor: GpuMonitor,
     backend: SmiSim,
-    data: Arc<Mutex<FrameData>>,
+    data: Arc<Tracked<FrameData>>,
     /// Physical device indices, slot-ordered.
     devices: Vec<u32>,
     prev_busy_us: Vec<u64>,
@@ -77,7 +78,10 @@ pub struct SimGpuLink {
 impl SimGpuLink {
     /// Builds the link for the given physical `devices` on `stack`.
     pub fn new(stack: GpuStack, devices: Vec<u32>) -> Self {
-        let data = Arc::new(Mutex::new(FrameData::default()));
+        let data = Arc::new(Tracked::new(
+            "core.gpu_link.frame_data",
+            FrameData::default(),
+        ));
         let feed = Box::new(SharedFeed {
             data: Arc::clone(&data),
         });

@@ -42,7 +42,11 @@ pub struct HealthLedger {
 impl HealthLedger {
     /// Tallies one received error.
     pub fn note_error(&mut self, kind: SourceErrorKind) {
-        self.errors_by_kind[kind.index()] += 1;
+        // Bounds-tolerant: a kind the array does not know about is
+        // dropped rather than panicking inside the sampling loop.
+        if let Some(slot) = self.errors_by_kind.get_mut(kind.index()) {
+            *slot += 1;
+        }
     }
 
     /// Total errors received, all kinds.
@@ -52,7 +56,7 @@ impl HealthLedger {
 
     /// Errors of one kind.
     pub fn errors_of(&self, kind: SourceErrorKind) -> u64 {
-        self.errors_by_kind[kind.index()]
+        self.errors_by_kind.get(kind.index()).copied().unwrap_or(0)
     }
 
     /// Adds another ledger's tallies into this one (used to aggregate

@@ -78,7 +78,11 @@ impl HwtTracker {
                         self.cpus.len() - 1
                     }
                 };
-                let entry = &mut self.cpus[pos].1;
+                // `pos` is valid by construction; stay panic-free in
+                // the sampling loop regardless.
+                let Some((_, entry)) = self.cpus.get_mut(pos) else {
+                    continue;
+                };
                 let pct = |x: u64| {
                     if total == 0 {
                         0.0

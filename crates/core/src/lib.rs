@@ -43,6 +43,7 @@ pub mod monitor;
 pub mod report;
 pub mod runner;
 pub mod signal;
+pub mod sync;
 
 pub use attach::SelfMonitor;
 pub use cluster::{ClusterMonitor, NodeAggregate, NodeState, NodeSupervision, SupervisionConfig};
@@ -61,3 +62,4 @@ pub use report::{render_process_report, render_summary, GpuReportContext};
 pub use runner::{
     attach_monitor_threads, run_baseline, run_monitored, run_monitored_faulty, RunOutcome,
 };
+pub use sync::{clear_observed_lock_edges, observed_lock_edges, Tracked, TrackedGuard};

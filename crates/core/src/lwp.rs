@@ -347,14 +347,14 @@ impl LwpRegistry {
         // is a brand-new task wearing a recycled id. Splicing its
         // counters onto the dead task's series would corrupt both
         // histories, so the old track is closed and a fresh one opened.
-        let existing = match existing {
-            Some(i) if self.tracks[i].starttime != stat.starttime => {
-                let old = &mut self.tracks[i];
+        let existing = match existing.and_then(|i| self.tracks.get_mut(i).map(|t| (i, t))) {
+            Some((_, old)) if old.starttime != stat.starttime => {
                 old.retired = true;
                 old.exited = true;
                 None
             }
-            other => other,
+            Some((i, _)) => Some(i),
+            None => None,
         };
         let idx = match existing {
             Some(i) => i,
@@ -373,7 +373,11 @@ impl LwpRegistry {
                 self.tracks.len() - 1
             }
         };
-        let track = &mut self.tracks[idx];
+        // `idx` is valid by construction (found or just pushed); stay
+        // panic-free in the sampling loop regardless.
+        let Some(track) = self.tracks.get_mut(idx) else {
+            return;
+        };
         if track.affinity != status.cpus_allowed {
             track.affinity_changed = true;
             track.affinity = status.cpus_allowed.clone();

@@ -8,12 +8,13 @@
 //! Rust-native hook for panics, which are the analogous abnormal-exit
 //! path in a Rust application.
 
+use crate::sync::Tracked;
 use std::backtrace::Backtrace;
 use std::fmt::Write as _;
-use std::sync::Mutex;
 
 /// Registered abnormal-exit flush callbacks (e.g. partial-log writers).
-static CRASH_FLUSHES: Mutex<Vec<Box<dyn Fn() + Send>>> = Mutex::new(Vec::new());
+static CRASH_FLUSHES: Tracked<Vec<Box<dyn Fn() + Send>>> =
+    Tracked::new("core.signal.crash_flushes", Vec::new());
 
 /// The abnormal-exit causes ZeroSum reports on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,14 +81,30 @@ pub fn register_crash_flush(f: impl Fn() + Send + 'static) {
 /// callbacks that ran (panicking ones included). Uses `try_lock`: if the
 /// registry is locked by the very code that is crashing, skipping the
 /// flush beats deadlocking the exit path.
+///
+/// The registry lock is NOT held while callbacks run: flushes are
+/// arbitrary closures that may acquire monitor locks of their own, and
+/// holding the registry across them put the registry at the root of
+/// every flush's lock order (the audit's lock-across-* passes flag
+/// exactly this shape). The list is taken out, run unlocked, and put
+/// back so callbacks stay registered for a later real crash.
 pub fn run_crash_flushes() -> usize {
-    let Ok(flushes) = CRASH_FLUSHES.try_lock() else {
-        return 0;
+    let taken = {
+        let Ok(mut flushes) = CRASH_FLUSHES.try_lock() else {
+            return 0;
+        };
+        std::mem::take(&mut *flushes)
     };
     let mut ran = 0;
-    for f in flushes.iter() {
+    for f in taken.iter() {
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
         ran += 1;
+    }
+    // Put the callbacks back, preserving registration order ahead of
+    // anything registered while we were running.
+    if let Ok(mut flushes) = CRASH_FLUSHES.lock() {
+        let newer = std::mem::replace(&mut *flushes, taken);
+        flushes.extend(newer);
     }
     ran
 }

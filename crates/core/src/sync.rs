@@ -1,0 +1,243 @@
+//! Lock-order sanitizer: a named, tracked `Mutex` wrapper.
+//!
+//! [`Tracked`] wraps a `std::sync::Mutex` with a static name. In debug
+//! builds every acquisition records, per thread, the set of tracked
+//! locks already held and registers each `held -> acquired` pair in a
+//! global lock-order edge registry; [`observed_lock_edges`] drains that
+//! registry for the audit drill, which asserts every dynamically
+//! observed edge also appears in the static lock-order graph built by
+//! `zerosum audit` (the names here are the graph's node keys). In
+//! release builds the bookkeeping compiles away entirely — `lock()` is
+//! a direct delegation to the inner mutex.
+//!
+//! The registry and held-stack are deliberately *plain* `std` types:
+//! the sanitizer's own serialization must not show up as tracked edges,
+//! and the static pass likewise excludes this file from acquisition
+//! extraction (it models `Tracked` use at call sites instead).
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, Mutex, MutexGuard, PoisonError, TryLockError, TryLockResult};
+
+#[cfg(debug_assertions)]
+mod record {
+    use std::cell::RefCell;
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+
+    /// Global registry of observed `held -> acquired` name pairs.
+    static EDGES: Mutex<BTreeSet<(&'static str, &'static str)>> = Mutex::new(BTreeSet::new());
+
+    thread_local! {
+        /// Tracked locks currently held by this thread, in acquisition
+        /// order.
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn acquired(name: &'static str) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if !h.is_empty() {
+                // Poison is harmless here: the registry holds plain
+                // copyable pairs.
+                let mut edges = EDGES
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                for &held in h.iter() {
+                    edges.insert((held, name));
+                }
+            }
+            h.push(name);
+        });
+    }
+
+    pub(super) fn released(name: &'static str) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            // Guards need not drop LIFO; remove the *last* occurrence.
+            if let Some(pos) = h.iter().rposition(|&n| n == name) {
+                h.remove(pos);
+            }
+        });
+    }
+
+    pub(super) fn edges() -> Vec<(&'static str, &'static str)> {
+        EDGES
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    pub(super) fn clear() {
+        EDGES
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
+}
+
+/// A named mutex whose acquisition order is recorded in debug builds.
+#[derive(Debug)]
+pub struct Tracked<T: ?Sized> {
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+/// The guard returned by [`Tracked::lock`]; releases the sanitizer's
+/// held-stack entry on drop.
+#[derive(Debug)]
+pub struct TrackedGuard<'a, T: ?Sized> {
+    // Option so Drop can run after the inner guard is gone; always
+    // `Some` while the guard is live.
+    inner: Option<MutexGuard<'a, T>>,
+    name: &'static str,
+}
+
+impl<T> Tracked<T> {
+    /// Wraps `value` under `name`. Names are the audit graph's node
+    /// keys — use stable, dotted, crate-qualified names.
+    pub const fn new(name: &'static str, value: T) -> Self {
+        Tracked {
+            name,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Consumes the wrapper, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Tracked<T> {
+    /// The sanitizer name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquires the lock, recording order in debug builds. Mirrors
+    /// [`Mutex::lock`], including poisoning.
+    pub fn lock(&self) -> LockResult<TrackedGuard<'_, T>> {
+        match self.inner.lock() {
+            Ok(g) => Ok(self.wrap(g)),
+            Err(p) => Err(PoisonError::new(self.wrap(p.into_inner()))),
+        }
+    }
+
+    /// Attempts the lock without blocking; a successful try still
+    /// *holds*, so it records like [`Tracked::lock`].
+    pub fn try_lock(&self) -> TryLockResult<TrackedGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Ok(self.wrap(g)),
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+            Err(TryLockError::Poisoned(p)) => Err(TryLockError::Poisoned(PoisonError::new(
+                self.wrap(p.into_inner()),
+            ))),
+        }
+    }
+
+    fn wrap<'a>(&'a self, g: MutexGuard<'a, T>) -> TrackedGuard<'a, T> {
+        #[cfg(debug_assertions)]
+        record::acquired(self.name);
+        TrackedGuard {
+            inner: Some(g),
+            name: self.name,
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for TrackedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after drop")
+    }
+}
+
+impl<T: ?Sized> DerefMut for TrackedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after drop")
+    }
+}
+
+impl<T: ?Sized> Drop for TrackedGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        #[cfg(debug_assertions)]
+        record::released(self.name);
+        #[cfg(not(debug_assertions))]
+        let _ = self.name;
+    }
+}
+
+/// All `held -> acquired` pairs observed since the last
+/// [`clear_observed_lock_edges`]. Empty in release builds.
+pub fn observed_lock_edges() -> Vec<(&'static str, &'static str)> {
+    #[cfg(debug_assertions)]
+    {
+        record::edges()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        Vec::new()
+    }
+}
+
+/// Resets the observed-edge registry (drill setup).
+pub fn clear_observed_lock_edges() {
+    #[cfg(debug_assertions)]
+    record::clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Distinct names from the shipped monitors so parallel tests don't
+    // interfere with the drill's edge set.
+    static T_A: Tracked<u32> = Tracked::new("test.sync.a", 0);
+    static T_B: Tracked<u32> = Tracked::new("test.sync.b", 0);
+
+    #[test]
+    fn nested_acquisition_records_an_edge_in_debug() {
+        {
+            let _a = T_A.lock().unwrap();
+            let _b = T_B.lock().unwrap();
+        }
+        let edges = observed_lock_edges();
+        if cfg!(debug_assertions) {
+            assert!(edges.contains(&("test.sync.a", "test.sync.b")), "{edges:?}");
+        } else {
+            assert!(edges.is_empty());
+        }
+    }
+
+    #[test]
+    fn sequential_acquisition_records_nothing() {
+        static T_C: Tracked<u32> = Tracked::new("test.sync.c", 0);
+        static T_D: Tracked<u32> = Tracked::new("test.sync.d", 0);
+        {
+            let mut c = T_C.lock().unwrap();
+            *c += 1;
+        }
+        {
+            let mut d = T_D.lock().unwrap();
+            *d += 1;
+        }
+        let edges = observed_lock_edges();
+        assert!(
+            !edges.contains(&("test.sync.c", "test.sync.d")),
+            "{edges:?}"
+        );
+    }
+
+    #[test]
+    fn try_lock_holds_and_guard_data_flows() {
+        static T_E: Tracked<Vec<u32>> = Tracked::new("test.sync.e", Vec::new());
+        {
+            let mut g = T_E.try_lock().unwrap();
+            g.push(7);
+        }
+        assert_eq!(*T_E.lock().unwrap(), vec![7]);
+    }
+}

@@ -13,7 +13,7 @@
 //! exit — an experiment failure is never silently swallowed.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use zerosum_core::Tracked;
 
 /// The worker count used by [`run_jobs`] when the caller passes 0:
 /// available parallelism, capped to 8 (experiment runs are memory-bound
@@ -50,8 +50,13 @@ where
         // Sequential fast path: no threads, same ordering.
         return jobs.into_iter().map(|j| j()).collect();
     }
-    let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Tracked<Option<F>>> = jobs
+        .into_iter()
+        .map(|j| Tracked::new("experiments.parallel.slot", Some(j)))
+        .collect();
+    let results: Vec<Tracked<Option<T>>> = (0..n)
+        .map(|_| Tracked::new("experiments.parallel.result", None))
+        .collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..workers {

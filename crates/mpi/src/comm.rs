@@ -131,14 +131,19 @@ impl CommMatrix {
         self.messages[idx] += 1;
     }
 
-    /// Bytes sent from `src` to `dst`.
+    /// Bytes sent from `src` to `dst`. Out-of-range ranks read as 0 —
+    /// these accessors run on the crash-flush path (CSV export) and
+    /// must not panic on a malformed rank.
     pub fn bytes(&self, src: usize, dst: usize) -> u64 {
-        self.bytes[src * self.size + dst]
+        self.bytes.get(src * self.size + dst).copied().unwrap_or(0)
     }
 
     /// Messages sent from `src` to `dst`.
     pub fn messages(&self, src: usize, dst: usize) -> u64 {
-        self.messages[src * self.size + dst]
+        self.messages
+            .get(src * self.size + dst)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Total bytes across all pairs.

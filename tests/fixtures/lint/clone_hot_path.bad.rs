@@ -1,0 +1,6 @@
+// Linted as a sampling hot-path file: allocating clones are flagged
+// for review (note level).
+fn retain(status: &TaskStatus, scratch: &mut Scratch) {
+    scratch.comm = status.comm.clone();
+    scratch.cpus = status.cpus_allowed.to_vec();
+}

@@ -1,0 +1,5 @@
+// Near-miss twin: the buffer-reusing forms the hot path is built on.
+fn retain(status: &TaskStatus, scratch: &mut Scratch) {
+    scratch.comm.clone_from(&status.comm);
+    scratch.cpus.extend(status.cpus_allowed.iter().cloned());
+}

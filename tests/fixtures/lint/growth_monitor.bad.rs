@@ -1,0 +1,8 @@
+// Linted as long-lived monitor state: `.push(` into a field off the
+// reviewed allowlist is a growth note, split receivers included.
+fn observe(&mut self, t_s: f64) {
+    self.history.push(t_s);
+    self.deeply.nested
+        .event_log
+        .push(t_s);
+}

@@ -1,0 +1,8 @@
+// Near-miss twin: ring-bounded allowlisted fields and per-round local
+// scratch.
+fn observe(&mut self, t_s: f64) {
+    self.samples.push(t_s);
+    let mut scratch = Vec::new();
+    scratch.push(t_s);
+    self.tracks.push(t_s);
+}

@@ -1,0 +1,13 @@
+// Audited standalone: two functions acquire the same pair of locks in
+// opposite orders — the classic AB/BA deadlock shape.
+fn ab(s: &Shared) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    drop((a, b));
+}
+
+fn ba(s: &Shared) {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+    drop((a, b));
+}

@@ -1,0 +1,13 @@
+// Near-miss twin: both callers agree on alpha -> beta, so the order
+// graph has an edge but no cycle.
+fn ab(s: &Shared) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    drop((a, b));
+}
+
+fn also_ab(s: &Shared) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    drop((a, b));
+}

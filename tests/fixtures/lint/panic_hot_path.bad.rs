@@ -1,0 +1,9 @@
+// Linted as crates/core/src/monitor.rs: panics are banned in the
+// sampling hot path.
+fn next_sample(stat: Option<u64>) -> u64 {
+    stat.unwrap()
+}
+
+fn comm_of(line: &str) -> &str {
+    line.split(')').next().expect("stat line has a comm field")
+}

@@ -1,0 +1,21 @@
+// Near-miss twin: the same shapes in panic-free form; `unwrap` appears
+// only where the lint must ignore it (comments, strings, test mods).
+fn next_sample(stat: Option<u64>) -> u64 {
+    stat.unwrap_or(0)
+}
+
+fn comm_of(line: &str) -> &str {
+    line.split(')').next().unwrap_or("")
+}
+
+fn banner() -> &'static str {
+    "never .unwrap() or .expect( in a sample round"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

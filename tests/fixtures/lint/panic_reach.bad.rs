@@ -1,0 +1,13 @@
+// Audited with `entry` as the no-panic root: the unwrap two calls down
+// the chain is reachable.
+fn entry(x: Option<u32>) -> u32 {
+    middle(x)
+}
+
+fn middle(x: Option<u32>) -> u32 {
+    inner(x)
+}
+
+fn inner(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

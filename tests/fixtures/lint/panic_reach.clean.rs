@@ -1,0 +1,13 @@
+// Near-miss twin: the reachable chain is panic-free; the unwrap lives
+// on an island no root can reach.
+fn entry(x: Option<u32>) -> u32 {
+    middle(x)
+}
+
+fn middle(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+fn island(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

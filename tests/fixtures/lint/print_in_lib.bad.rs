@@ -1,0 +1,5 @@
+// Linted as library code: libraries report through sinks, not stdio.
+fn dump(total: u64) {
+    println!("total = {total}");
+    eprintln!("warning: {total}");
+}

@@ -1,0 +1,8 @@
+// Near-miss twin: writes go through a caller-provided sink; `println!`
+// appears only in comment and string form.
+use std::fmt::Write as _;
+
+fn dump(total: u64, out: &mut String) {
+    // A bare println! would panic on closed stdio.
+    let _ = writeln!(out, "total = {total} (not via println! here)");
+}

@@ -1,0 +1,7 @@
+fn banner() -> &'static str { r#"odd " quote {"# }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); }
+}
+fn after(x: Option<u32>) -> u32 { x.unwrap_or(0) }

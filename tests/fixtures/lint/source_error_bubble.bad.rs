@@ -1,0 +1,8 @@
+// Linted as crates/core/src/monitor.rs: a failed /proc read is data
+// for the health ledger, never a `?`-abort of the sample round.
+fn sample_round(src: &dyn ProcSource, pid: u32) -> SourceResult<()> {
+    let stat = src.task_stat(pid, pid)?;
+    let mem = src.meminfo()?;
+    let _ = (stat, mem);
+    Ok(())
+}

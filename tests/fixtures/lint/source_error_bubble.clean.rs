@@ -1,0 +1,11 @@
+// Near-miss twin: reads routed through match/`ok()`; `?` fires only on
+// a non-source call.
+fn sample_round(src: &dyn ProcSource, pid: u32) -> SourceResult<()> {
+    match src.task_stat(pid, pid) {
+        Ok(stat) => consume(stat),
+        Err(e) => ledger(e),
+    }
+    let _ = src.meminfo().ok();
+    write_summary()?;
+    Ok(())
+}

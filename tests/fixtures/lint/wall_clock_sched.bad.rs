@@ -1,0 +1,11 @@
+// Linted as a crates/sched source: the scheduler substrate is a
+// deterministic virtual-time simulation.
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> Instant {
+    Instant::now()
+}
+
+fn wall() -> SystemTime {
+    SystemTime::now()
+}

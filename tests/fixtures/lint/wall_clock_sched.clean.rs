@@ -1,0 +1,17 @@
+// Near-miss twin: virtual-clock reads only. `Instant::now` appears in
+// a comment and a diagnostic string, which must not count.
+pub struct VClock {
+    now_us: u64,
+}
+
+impl VClock {
+    fn advance(&mut self, dt_us: u64) -> u64 {
+        // Do not replace with Instant::now(); replay depends on this.
+        self.now_us += dt_us;
+        self.now_us
+    }
+
+    fn warn(&self) -> &'static str {
+        "wall-clock reads (Instant::now) are banned in the scheduler"
+    }
+}
