@@ -39,6 +39,13 @@ pub struct Site {
     /// over-approximation (a `.run()` method call must not alias a
     /// free `run`).
     pub method: bool,
+    /// Last path segment before the call, when path-qualified:
+    /// `NodeSim::new(…)` → `Some("NodeSim")`, with `Self` resolved to
+    /// the enclosing impl type. A type-like (capitalized) qualifier
+    /// restricts resolution to that impl's functions — so `Vec::new()`
+    /// resolves to nothing instead of every workspace constructor. A
+    /// module-like qualifier restricts to free functions.
+    pub qualifier: Option<String>,
 }
 
 /// A function in the graph: its item plus extracted sites.
@@ -60,6 +67,9 @@ pub struct CallGraph {
     /// Every non-test function.
     pub fns: Vec<FnNode>,
     by_name: HashMap<String, Vec<usize>>,
+    /// Every identifier appearing in each file — the mention filter
+    /// for std-colliding call names.
+    file_idents: Vec<std::collections::HashSet<String>>,
 }
 
 /// Keywords that look like calls when followed by `(`.
@@ -67,6 +77,88 @@ const KEYWORDS: [&str; 16] = [
     "if", "while", "for", "match", "loop", "return", "break", "continue", "move", "in", "as",
     "where", "else", "let", "fn", "unsafe",
 ];
+
+/// Call names that collide with ubiquitous std/prelude methods
+/// (`"4".parse()`, `Vec::new()`, `guard.clone()`, `drop(g)`, …). A
+/// bare-name edge for one of these drowns the graph in false paths —
+/// one `.parse()` in a sampling root would make every constructor in
+/// the workspace "hot". For these names only, a call resolves to an
+/// `impl`-block function solely when the impl's *type name is
+/// mentioned in the calling file* — `dir.display()` in `linux.rs`
+/// stops aliasing `FnItem::display`, while `state.clone()` in a file
+/// that names the type keeps its true edge. Distinctive workspace
+/// names (`list_tasks_into`, `sample`, …) are untouched, so
+/// trait-object dispatch stays over-approximated in the safe
+/// direction.
+const STD_COLLISIONS: [&str; 27] = [
+    "parse",
+    "new",
+    "default",
+    "clone",
+    "drop",
+    "is_empty",
+    "len",
+    "get",
+    "set",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "join",
+    "next",
+    "with_capacity",
+    "display",
+    "is_some",
+    "is_none",
+    "all",
+    "any",
+    "count",
+    "contains",
+    "find",
+    "add",
+    "write",
+    "read",
+];
+
+/// Whether a bare-name candidate `target` is a plausible callee for
+/// `site`, given the set of identifiers appearing in the caller's
+/// file. Three refinements prune false edges, checked in order:
+///
+/// 1. **Qualifier.** A `Q::name(…)` call with a capitalized `Q`
+///    (`Self` already rewritten to the enclosing impl type) resolves
+///    only to functions in `impl Q` — so `Vec::new()` aliases no
+///    workspace constructor. A lowercase, module-like qualifier
+///    (`fs::read_dir`, `super::helper`) resolves only to free
+///    functions.
+/// 2. **Method shape.** `x.name(…)` resolves only to `impl`-block
+///    functions.
+/// 3. **[`STD_COLLISIONS`] mention filter.** For ubiquitous names, an
+///    impl-block candidate survives only when its type name is
+///    mentioned somewhere in the calling file.
+fn site_targets(
+    target: &FnNode,
+    caller_idents: &std::collections::HashSet<String>,
+    s: &Site,
+) -> bool {
+    if let Some(q) = &s.qualifier {
+        let typelike = q.chars().next().is_some_and(|c| c.is_ascii_uppercase());
+        return if typelike {
+            target.item.impl_type.as_deref() == Some(q.as_str())
+        } else {
+            target.item.impl_type.is_none()
+        };
+    }
+    if s.method && target.item.impl_type.is_none() {
+        return false;
+    }
+    if !STD_COLLISIONS.contains(&s.name.as_str()) {
+        return true;
+    }
+    match &target.item.impl_type {
+        Some(t) => caller_idents.contains(t),
+        None => true,
+    }
+}
 
 /// Extracts call/macro/index sites from one body range.
 pub fn body_sites(pf: &ParsedFile, item: &FnItem) -> Vec<Site> {
@@ -86,14 +178,31 @@ pub fn body_sites(pf: &ParsedFile, item: &FnItem) -> Vec<Site> {
                         token: i,
                         line: tok.line,
                         method: false,
+                        qualifier: None,
                     });
                 } else if pf.is_punct(i + 1, '(') {
+                    let qualifier = if i >= 3
+                        && pf.is_punct(i - 1, ':')
+                        && pf.is_punct(i - 2, ':')
+                        && pf.tokens[i - 3].kind == TokKind::Ident
+                    {
+                        let q = pf.text(i - 3);
+                        let q = if q == "Self" {
+                            item.impl_type.as_deref().unwrap_or(q)
+                        } else {
+                            q
+                        };
+                        Some(q.to_string())
+                    } else {
+                        None
+                    };
                     out.push(Site {
                         name: name.to_string(),
                         kind: SiteKind::Call,
                         token: i,
                         line: tok.line,
                         method: i > 0 && pf.is_punct(i - 1, '.'),
+                        qualifier,
                     });
                 }
             }
@@ -118,6 +227,7 @@ pub fn body_sites(pf: &ParsedFile, item: &FnItem) -> Vec<Site> {
                         token: i,
                         line: tok.line,
                         method: false,
+                        qualifier: None,
                     });
                 }
             }
@@ -149,17 +259,16 @@ impl CallGraph {
         for (i, f) in fns.iter().enumerate() {
             by_name.entry(f.item.name.clone()).or_default().push(i);
         }
-        let resolve = |s: &Site| -> Vec<usize> {
-            by_name
-                .get(&s.name)
-                .map(|v| {
-                    v.iter()
-                        .copied()
-                        .filter(|&i| !s.method || fns[i].item.impl_type.is_some())
-                        .collect()
-                })
-                .unwrap_or_default()
-        };
+        let file_idents: Vec<std::collections::HashSet<String>> = files
+            .iter()
+            .map(|pf| {
+                pf.tokens
+                    .iter()
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text(&pf.src).to_string())
+                    .collect()
+            })
+            .collect();
         let callee_sets: Vec<Vec<usize>> = fns
             .iter()
             .map(|f| {
@@ -167,7 +276,17 @@ impl CallGraph {
                     .sites
                     .iter()
                     .filter(|s| s.kind == SiteKind::Call)
-                    .flat_map(&resolve)
+                    .flat_map(|s| {
+                        by_name
+                            .get(&s.name)
+                            .map(|v| {
+                                v.iter()
+                                    .copied()
+                                    .filter(|&i| site_targets(&fns[i], &file_idents[f.file_idx], s))
+                                    .collect::<Vec<usize>>()
+                            })
+                            .unwrap_or_default()
+                    })
                     .collect();
                 callees.sort_unstable();
                 callees.dedup();
@@ -181,6 +300,7 @@ impl CallGraph {
             files,
             fns,
             by_name,
+            file_idents,
         }
     }
 
@@ -189,13 +309,14 @@ impl CallGraph {
         self.by_name.get(name).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
-    /// Resolves one call site: bare-name lookup, restricted to
-    /// `impl`-block functions when the call is method-shaped.
-    pub fn resolve_site(&self, site: &Site) -> Vec<usize> {
+    /// Resolves one call site from `caller_file`: bare-name lookup
+    /// pruned by the qualifier, method-shape, and [`STD_COLLISIONS`]
+    /// mention filters (see [`site_targets`]).
+    pub fn resolve_site(&self, caller_file: usize, site: &Site) -> Vec<usize> {
         self.named(&site.name)
             .iter()
             .copied()
-            .filter(|&i| !site.method || self.fns[i].item.impl_type.is_some())
+            .filter(|&i| site_targets(&self.fns[i], &self.file_idents[caller_file], site))
             .collect()
     }
 
@@ -230,9 +351,11 @@ impl CallGraph {
         parent
     }
 
-    /// A readable call path `root -> … -> target` using the parent map
-    /// from [`CallGraph::reach_from`].
-    pub fn path_to(&self, parents: &[Option<usize>], target: usize) -> String {
+    /// The shortest root→target call chain (function names, root first)
+    /// using the parent map from [`CallGraph::reach_from`]. BFS parent
+    /// maps make this a shortest path, so it is a stable *witness
+    /// trace* for findings. Capped at 12 hops.
+    pub fn path_chain(&self, parents: &[Option<usize>], target: usize) -> Vec<String> {
         let mut chain = vec![target];
         let mut cur = target;
         while let Some(Some(p)) = parents.get(cur) {
@@ -245,9 +368,14 @@ impl CallGraph {
         chain.reverse();
         chain
             .iter()
-            .map(|&i| self.fns[i].item.name.as_str())
-            .collect::<Vec<_>>()
-            .join(" -> ")
+            .map(|&i| self.fns[i].item.name.clone())
+            .collect()
+    }
+
+    /// A readable call path `root -> … -> target` using the parent map
+    /// from [`CallGraph::reach_from`].
+    pub fn path_to(&self, parents: &[Option<usize>], target: usize) -> String {
+        self.path_chain(parents, target).join(" -> ")
     }
 }
 

@@ -110,7 +110,7 @@ pub const LOCK_ALLOWLIST: [(&str, &str, &str, &str); 2] = [
     ),
 ];
 
-fn is_sanitizer_impl(file: &str) -> bool {
+pub(crate) fn is_sanitizer_impl(file: &str) -> bool {
     SANITIZER_IMPL_FILES.iter().any(|f| file.ends_with(f))
 }
 
@@ -667,7 +667,7 @@ pub fn analyze_locks(graph: &CallGraph) -> LockAnalysis {
                 if site.token == a.token {
                     continue; // the acquisition itself
                 }
-                let resolved = graph.resolve_site(site);
+                let resolved = graph.resolve_site(node.file_idx, site);
                 for &cal in &resolved {
                     for b in acq[cal].iter() {
                         edges
@@ -751,6 +751,11 @@ fn push_held_across(
     } else {
         format!("call to `{callee}` (which may reach one)")
     };
+    let witness = if direct {
+        vec![node.item.name.clone()]
+    } else {
+        vec![node.item.name.clone(), callee.to_string()]
+    };
     findings.push(Finding {
         pass,
         file: node.item.file.clone(),
@@ -761,6 +766,7 @@ fn push_held_across(
             "lock `{}` (acquired {}:{}) is held across {what}",
             a.lock, node.item.file, a.line
         ),
+        witness,
     });
 }
 
@@ -791,6 +797,7 @@ fn find_cycles(edges: &[LockEdge]) -> Vec<Finding> {
                      std::sync::Mutex is not reentrant",
                     e.from, e.site
                 ),
+                witness: vec![e.from.clone(), e.from.clone()],
             });
         }
     }
@@ -829,6 +836,7 @@ fn find_cycles(edges: &[LockEdge]) -> Vec<Finding> {
                                 start,
                                 e.site
                             ),
+                            witness: path.iter().map(|s| s.to_string()).collect(),
                         });
                     }
                 } else if !seen.contains(next) && next != start {

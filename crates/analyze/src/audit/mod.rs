@@ -3,10 +3,14 @@
 //! A source-level static-analysis engine shared by `zerosum audit` and
 //! the lint rules: a comment/string-correct lexer ([`lexer`]), a
 //! lightweight item parser recovering function bodies ([`items`]), a
-//! workspace call graph ([`callgraph`]), and two interprocedural
-//! passes — lock-order analysis ([`locks`]) and panic-reachability
-//! ([`panics`]). See DESIGN.md §10 for the analysis model and its
-//! deliberate over-approximations.
+//! workspace call graph ([`callgraph`]), and the interprocedural
+//! passes — lock-order analysis ([`locks`]), panic-reachability
+//! ([`panics`]), and the effect passes ([`effects`]: hot-path
+//! allocation, determinism, blocking). See DESIGN.md §10–§11 for the
+//! analysis model and its deliberate over-approximations.
+//!
+//! Every finding carries a witness trace (shortest root→site call
+//! chain), surfaced by `zerosum audit --explain` and in `--json`.
 //!
 //! Findings diff against a committed baseline (`AUDIT_baseline.json`)
 //! keyed *without* line numbers so unrelated edits don't churn it.
@@ -15,6 +19,7 @@
 
 pub mod callgraph;
 pub mod drill;
+pub mod effects;
 pub mod items;
 pub mod lexer;
 pub mod locks;
@@ -28,7 +33,8 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone)]
 pub struct Finding {
     /// Pass identifier: `lock-cycle`, `lock-across-channel`,
-    /// `lock-across-proc-read`, `panic-reachable`, `stale-allowlist`.
+    /// `lock-across-proc-read`, `panic-reachable`, `hot-path-alloc`,
+    /// `nondeterminism`, `blocking`, `stale-allowlist`.
     pub pass: &'static str,
     /// Repo-relative file path.
     pub file: String,
@@ -40,6 +46,11 @@ pub struct Finding {
     pub token: String,
     /// Human-readable explanation.
     pub detail: String,
+    /// Witness trace: the shortest root→site call chain (function
+    /// names, root first). Empty for findings with no call path
+    /// (stale allowlist entries). Shown by `zerosum audit --explain`
+    /// and in `--json`; not part of the baseline key.
+    pub witness: Vec<String>,
 }
 
 impl Finding {
@@ -67,6 +78,12 @@ pub struct AuditStats {
     pub panic_sites: usize,
     /// Functions reachable from the no-panic roots.
     pub reachable_fns: usize,
+    /// Direct effect sites extracted (alloc/clock/ambient/blocking).
+    pub effect_sites: usize,
+    /// Functions reachable from the hot (`_into`) roots.
+    pub hot_reachable: usize,
+    /// Functions reachable from the determinism roots.
+    pub det_reachable: usize,
 }
 
 /// The full audit result.
@@ -106,13 +123,29 @@ impl AuditReport {
 
     /// Human-readable report.
     pub fn render(&self) -> String {
+        self.render_with(false)
+    }
+
+    /// Human-readable report; with `explain`, each finding is followed
+    /// by its witness trace.
+    pub fn render_with(&self, explain: bool) -> String {
         let s = &self.stats;
         let mut out = String::new();
         writeln!(
             out,
             "zsaudit: {} files, {} fns | {} locks, {} acquisitions, {} edges | \
-             {} panic sites, {} fns reachable from no-panic roots",
-            s.files, s.fns, s.locks, s.acquisitions, s.edges, s.panic_sites, s.reachable_fns
+             {} panic sites, {} fns reachable from no-panic roots | \
+             {} effect sites, {} hot-reachable, {} det-reachable fns",
+            s.files,
+            s.fns,
+            s.locks,
+            s.acquisitions,
+            s.edges,
+            s.panic_sites,
+            s.reachable_fns,
+            s.effect_sites,
+            s.hot_reachable,
+            s.det_reachable
         )
         .unwrap();
         if self.findings.is_empty() {
@@ -130,6 +163,9 @@ impl AuditReport {
             } else {
                 writeln!(out, "  {}: {}", f.file, f.detail).unwrap();
             }
+            if explain && !f.witness.is_empty() {
+                writeln!(out, "    trace: {}", f.witness.join(" -> ")).unwrap();
+            }
         }
         writeln!(out, "\n{} finding(s)", self.findings.len()).unwrap();
         out
@@ -142,8 +178,18 @@ impl AuditReport {
         writeln!(
             out,
             "  \"stats\": {{\"files\": {}, \"fns\": {}, \"acquisitions\": {}, \"locks\": {}, \
-             \"edges\": {}, \"panic_sites\": {}, \"reachable_fns\": {}}},",
-            s.files, s.fns, s.acquisitions, s.locks, s.edges, s.panic_sites, s.reachable_fns
+             \"edges\": {}, \"panic_sites\": {}, \"reachable_fns\": {}, \"effect_sites\": {}, \
+             \"hot_reachable\": {}, \"det_reachable\": {}}},",
+            s.files,
+            s.fns,
+            s.acquisitions,
+            s.locks,
+            s.edges,
+            s.panic_sites,
+            s.reachable_fns,
+            s.effect_sites,
+            s.hot_reachable,
+            s.det_reachable
         )
         .unwrap();
         out.push_str("  \"edges\": [\n");
@@ -160,16 +206,23 @@ impl AuditReport {
         }
         out.push_str("  ],\n  \"findings\": [\n");
         for (i, f) in self.findings.iter().enumerate() {
+            let witness = f
+                .witness
+                .iter()
+                .map(|w| format!("\"{}\"", esc(w)))
+                .collect::<Vec<_>>()
+                .join(", ");
             writeln!(
                 out,
                 "    {{\"pass\": \"{}\", \"file\": \"{}\", \"line\": {}, \"func\": \"{}\", \
-                 \"token\": \"{}\", \"detail\": \"{}\"}}{}",
+                 \"token\": \"{}\", \"detail\": \"{}\", \"witness\": [{}]}}{}",
                 esc(f.pass),
                 esc(&f.file),
                 f.line,
                 esc(&f.func),
                 esc(&f.token),
                 esc(&f.detail),
+                witness,
                 if i + 1 < self.findings.len() { "," } else { "" }
             )
             .unwrap();
@@ -260,20 +313,40 @@ pub fn baseline_from_json(text: &str) -> Result<BTreeSet<String>, String> {
     Err("baseline: truncated findings array".to_string())
 }
 
-/// Runs both passes over in-memory sources with explicit roots and
-/// allowlist — the fixture-test entry point.
-pub fn audit_sources_with(
-    sources: &[(String, String)],
-    roots: &[(&str, &str, &str)],
-    allowlist: &[(&str, &str, &str, &str)],
-) -> AuditReport {
+/// Full audit configuration: panic roots/allowlist plus the effect
+/// pass configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditConfig<'a> {
+    /// Panic-reachability roots: `(file_suffix, fn_name, why)`.
+    pub panic_roots: &'a [(&'a str, &'a str, &'a str)],
+    /// Panic-site allowlist: `(file_suffix, fn_name, kind, why)`.
+    pub panic_allowlist: &'a [(&'a str, &'a str, &'a str, &'a str)],
+    /// Effect-pass roots and allowlists.
+    pub effects: effects::EffectConfig<'a>,
+}
+
+impl AuditConfig<'static> {
+    /// The repo's standard configuration.
+    pub const fn default_repo() -> AuditConfig<'static> {
+        AuditConfig {
+            panic_roots: &panics::PANIC_ROOTS,
+            panic_allowlist: &panics::PANIC_ALLOWLIST,
+            effects: effects::DEFAULT_EFFECTS,
+        }
+    }
+}
+
+/// Runs every pass over in-memory sources with an explicit
+/// configuration — the most general entry point.
+pub fn audit_sources_cfg(sources: &[(String, String)], cfg: &AuditConfig) -> AuditReport {
     let parsed: Vec<items::ParsedFile> = sources
         .iter()
         .map(|(p, s)| items::parse_file(p, s))
         .collect();
     let graph = callgraph::CallGraph::build(parsed);
     let la = locks::analyze_locks(&graph);
-    let pa = panics::analyze_panics(&graph, roots, allowlist);
+    let pa = panics::analyze_panics(&graph, cfg.panic_roots, cfg.panic_allowlist);
+    let ea = effects::analyze_effects(&graph, &la, &cfg.effects);
     let stats = AuditStats {
         files: graph.files.len(),
         fns: graph.fns.len(),
@@ -282,8 +355,16 @@ pub fn audit_sources_with(
         edges: la.edges.len(),
         panic_sites: pa.sites,
         reachable_fns: pa.reachable_fns,
+        effect_sites: ea.sites,
+        hot_reachable: ea.hot_reachable,
+        det_reachable: ea.det_reachable,
     };
-    let mut findings: Vec<Finding> = la.findings.into_iter().chain(pa.findings).collect();
+    let mut findings: Vec<Finding> = la
+        .findings
+        .into_iter()
+        .chain(pa.findings)
+        .chain(ea.findings)
+        .collect();
     findings.sort_by(|a, b| {
         (a.pass, &a.file, a.line, &a.token).cmp(&(b.pass, &b.file, b.line, &b.token))
     });
@@ -296,10 +377,27 @@ pub fn audit_sources_with(
     }
 }
 
+/// Runs the passes over in-memory sources with explicit panic roots and
+/// allowlist and the empty effect configuration (no named effect roots,
+/// no effect allowlists — but the `_into` suffix rule still applies) —
+/// the fixture-test entry point.
+pub fn audit_sources_with(
+    sources: &[(String, String)],
+    roots: &[(&str, &str, &str)],
+    allowlist: &[(&str, &str, &str, &str)],
+) -> AuditReport {
+    let cfg = AuditConfig {
+        panic_roots: roots,
+        panic_allowlist: allowlist,
+        effects: effects::EffectConfig::empty(),
+    };
+    audit_sources_cfg(sources, &cfg)
+}
+
 /// Runs the audit over in-memory sources with the repo's standard roots
-/// and allowlist.
+/// and allowlists.
 pub fn audit_sources(sources: &[(String, String)]) -> AuditReport {
-    audit_sources_with(sources, &panics::PANIC_ROOTS, &panics::PANIC_ALLOWLIST)
+    audit_sources_cfg(sources, &AuditConfig::default_repo())
 }
 
 /// Collects workspace `.rs` sources under `root/crates`, skipping

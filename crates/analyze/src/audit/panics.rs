@@ -256,6 +256,7 @@ pub fn analyze_panics(
         if allowed {
             continue;
         }
+        let witness = graph.path_chain(&parents, s.fn_idx);
         findings.push(Finding {
             pass: "panic-reachable",
             file: node.item.file.clone(),
@@ -266,8 +267,9 @@ pub fn analyze_panics(
                 "`{}` in `{}` is reachable from a no-panic root via {}",
                 s.kind.id(),
                 node.item.name,
-                graph.path_to(&parents, s.fn_idx)
+                witness.join(" -> ")
             ),
+            witness,
         });
     }
     // Stale allowlist entries.
@@ -282,6 +284,7 @@ pub fn analyze_panics(
                 detail: format!(
                     "panic allowlist entry ({file}, {func}, {kind}) matches no current site"
                 ),
+                witness: Vec::new(),
             });
         }
     }

@@ -24,6 +24,7 @@
 //! noisy location estimator for a contended CI host); the gate then
 //! allows `--max-regress` percent on top of that.
 
+use std::path::Path;
 use std::time::Instant;
 use zerosum_core::{Monitor, ProcessInfo, ZeroSumConfig};
 use zerosum_proc::fault::{FaultInjector, FaultPlan};
@@ -418,6 +419,32 @@ fn bench_parse(iters: u32, reps: u32) -> f64 {
     best
 }
 
+/// Best-of-`reps` wall time of one full `zerosum audit` over the
+/// workspace, in milliseconds. The audit runs on every push (CI's
+/// audit stage), so its own cost is a gated budget: a quadratic blowup
+/// in the call graph or the effect fixpoint fails the bench gate
+/// before it makes CI unbearable. Returns 0.0 when no workspace root
+/// is locatable (bench invoked from an extracted tarball).
+fn bench_audit(reps: usize) -> f64 {
+    let Some(root) = crate::lint::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))) else {
+        return 0.0;
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let report = crate::audit::audit_workspace(&root);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        if report.is_ok() {
+            best = best.min(ms);
+        }
+    }
+    if best.is_finite() {
+        best
+    } else {
+        0.0
+    }
+}
+
 /// Runs the whole suite. `quick` shrinks workloads for the CI smoke
 /// stage; the full mode is what `BENCH_pr3.json` records.
 pub fn run_bench(quick: bool) -> BenchReport {
@@ -425,6 +452,7 @@ pub fn run_bench(quick: bool) -> BenchReport {
     let (samples_per_sec, faultwrap_pct) = bench_sampling(rounds, reps);
     let sim_speed = bench_sim_speed(if quick { 80 } else { 40 }, if quick { 2 } else { 3 });
     let parse_speed = bench_parse(if quick { 300 } else { 1_500 }, if quick { 3 } else { 5 });
+    let audit_ms = bench_audit(if quick { 2 } else { 3 });
     // §4.1 reproduction: virtual-time overhead of monitoring miniQMC at
     // two threads per core (the paper's contended configuration).
     let fig8 = zerosum_experiments::figures::fig8(true, if quick { 2 } else { 4 }, 60, 42);
@@ -455,6 +483,13 @@ pub fn run_bench(quick: bool) -> BenchReport {
                 key: "monitor_overhead_pct".into(),
                 value: fig8.overhead_frac * 100.0,
                 unit: "% virt".into(),
+                higher_is_better: false,
+                gated: true,
+            },
+            Metric {
+                key: "audit_ms".into(),
+                value: audit_ms,
+                unit: "ms".into(),
                 higher_is_better: false,
                 gated: true,
             },
@@ -643,6 +678,7 @@ mod tests {
             "sim_us_per_wall_ms",
             "parse_mb_per_sec",
             "monitor_overhead_pct",
+            "audit_ms",
             "faultwrap_overhead_pct",
         ] {
             let m = r.get(key).expect(key);

@@ -1,17 +1,13 @@
 //! `zslint`: repo-specific source lints for the ZeroSum tree.
 //!
-//! Six rules, each encoding a project constraint that `clippy` cannot
-//! express:
+//! Four active rules, each encoding a project constraint that `clippy`
+//! cannot express:
 //!
 //! * **no-panic-hot-path** — `unwrap()` / `expect(` are banned in the
 //!   monitor's per-sample hot paths (`crates/core/src/monitor.rs`,
 //!   `lwp.rs`, `hwt.rs`, `feed.rs`). A monitoring tool must never take
 //!   down the application it watches (§3.1 of the paper): a malformed
 //!   `/proc` line or a closed channel is data, not a crash.
-//! * **no-wall-clock-in-sched** — `Instant::now` / `SystemTime::now`
-//!   are banned everywhere in `crates/sched`. The scheduler substrate is
-//!   a deterministic virtual-time simulation; one wall-clock read makes
-//!   runs irreproducible and breaks the trace checker's replay.
 //! * **no-print-in-lib** — `println!` / `eprintln!` are banned in
 //!   library code (everything except `src/main.rs`, `src/bin/`,
 //!   examples, benches, and tests). Libraries report through return
@@ -23,12 +19,6 @@
 //!   failed `/proc` read is an observation about the observed system —
 //!   it must be routed through the `HealthLedger` (retry, interpolate,
 //!   quarantine), never allowed to abort the whole sample round.
-//! * **no-clone-in-hot-path** (*note level*) — `.clone()` /
-//!   `.to_owned()` / `.to_vec()` in the monitor hot-path files are
-//!   reported but do not fail the lint pass. The sampling fast path is
-//!   built on reusing scratch buffers (`*_into` reads, `clone_from`);
-//!   a fresh allocation there is usually a one-time setup cost, but
-//!   every occurrence deserves an eyeball when it appears in a diff.
 //! * **no-unbounded-growth-in-monitor** (*note level*) — `.push(` into
 //!   a field of long-lived monitor/cluster state is reported unless the
 //!   receiver field is on the reviewed allowlist
@@ -39,6 +29,18 @@
 //!   leak starts, so each one gets flagged until it is allowlisted with
 //!   a bound argument. Pushes into locals (no `.` in the receiver) are
 //!   per-round scratch and not flagged.
+//!
+//! Two former rules are **deprecated aliases** superseded by the
+//! interprocedural effect passes of `zerosum audit`, which see through
+//! call chains instead of matching single lines:
+//!
+//! * **no-wall-clock-in-sched** → the audit's *nondeterminism* pass
+//!   (wall-clock, ambient entropy, and unordered-map iteration
+//!   reachable from the sim/experiment roots);
+//! * **no-clone-in-hot-path** → the audit's *hot-path-alloc* pass
+//!   (allocation effects reachable from the `_into` sampling roots,
+//!   with witness traces and a fail-on-new allowlist instead of a
+//!   note).
 //!
 //! The rules are line-oriented but run on token-blanked text from the
 //! audit lexer ([`crate::audit::lexer`]): comments, string, char, and
@@ -57,15 +59,18 @@ use std::path::{Path, PathBuf};
 pub enum Rule {
     /// `unwrap()`/`expect(` in a monitor hot-path file.
     NoPanicHotPath,
-    /// Wall-clock reads inside the scheduler simulation.
+    /// Deprecated alias: wall-clock reads in the scheduler are now
+    /// caught interprocedurally by `zerosum audit`'s nondeterminism
+    /// pass. Never scheduled by [`lint_source`]/[`lint_repo`].
     NoWallClockInSched,
     /// `println!`/`eprintln!` in library code.
     NoPrintInLib,
     /// Bare `?`-propagation of a `ProcSource` read error in the
     /// monitor's per-sample loop.
     NoSourceErrorBubble,
-    /// Allocating clones in a monitor hot-path file (note level: never
-    /// fails the pass, only flags the line for review).
+    /// Deprecated alias: hot-path allocations are now caught
+    /// interprocedurally by `zerosum audit`'s hot-path-alloc pass.
+    /// Never scheduled by [`lint_source`]/[`lint_repo`].
     NoCloneInHotPath,
     /// `.push(` into a non-allowlisted field of long-lived
     /// monitor/cluster state (note level: flags potential unbounded
@@ -92,6 +97,17 @@ impl Rule {
             self,
             Rule::NoCloneInHotPath | Rule::NoUnboundedGrowthInMonitor
         )
+    }
+
+    /// For deprecated alias rules, the `zerosum audit` pass that
+    /// replaced them; `None` for active rules. Deprecated rules are
+    /// never scheduled and [`scan_blanked`] skips them defensively.
+    pub fn deprecated_replacement(self) -> Option<&'static str> {
+        match self {
+            Rule::NoWallClockInSched => Some("zerosum audit (nondeterminism pass)"),
+            Rule::NoCloneInHotPath => Some("zerosum audit (hot-path-alloc pass)"),
+            _ => None,
+        }
     }
 }
 
@@ -206,6 +222,9 @@ fn scan_blanked(rel: &Path, code: &str, rules: &[Rule]) -> Vec<LintViolation> {
     let mut out = Vec::new();
     for (lineno, &line) in lines.iter().enumerate() {
         for &rule in rules {
+            if rule.deprecated_replacement().is_some() {
+                continue;
+            }
             if rule == Rule::NoUnboundedGrowthInMonitor {
                 let Some(col) = line.find(".push(") else {
                     continue;
@@ -335,16 +354,12 @@ fn rules_for(rel: &Path) -> Vec<Rule> {
     let mut rules = Vec::new();
     if HOT_PATHS.contains(&s.as_str()) {
         rules.push(Rule::NoPanicHotPath);
-        rules.push(Rule::NoCloneInHotPath);
     }
     if MONITOR_STATE_PATHS.contains(&s.as_str()) {
         rules.push(Rule::NoUnboundedGrowthInMonitor);
     }
     if s == "crates/core/src/monitor.rs" {
         rules.push(Rule::NoSourceErrorBubble);
-    }
-    if s.starts_with("crates/sched/src/") {
-        rules.push(Rule::NoWallClockInSched);
     }
     if is_library_source(rel) {
         rules.push(Rule::NoPrintInLib);
@@ -512,13 +527,22 @@ mod tests {
     }
 
     #[test]
-    fn wall_clock_in_sched_is_flagged() {
+    fn wall_clock_in_sched_is_deprecated_to_the_audit() {
+        // The rule is an alias now: lint no longer schedules it (the
+        // audit's nondeterminism pass covers `crates/sched` roots
+        // interprocedurally), and passing it explicitly is a no-op.
         let v = lint_source(
             Path::new("crates/sched/src/node.rs"),
             "fn f() { let _t = std::time::Instant::now(); }\n",
         );
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, Rule::NoWallClockInSched);
+        assert!(
+            !v.iter().any(|x| x.rule == Rule::NoWallClockInSched),
+            "{v:?}"
+        );
+        assert_eq!(
+            Rule::NoWallClockInSched.deprecated_replacement(),
+            Some("zerosum audit (nondeterminism pass)")
+        );
     }
 
     #[test]
@@ -578,7 +602,10 @@ fn sample(res: &dyn ProcSource, pid: u32) {
     }
 
     #[test]
-    fn clone_in_hot_path_is_a_note() {
+    fn clone_in_hot_path_is_deprecated_to_the_audit() {
+        // The note-level rule is an alias now: the audit's
+        // hot-path-alloc pass flags allocations reachable from the
+        // `_into` roots with witness traces instead of per-file notes.
         let src = "\
 fn f(s: &TaskStatus, out: &mut TaskStatus) {
     let a = s.cpus_allowed.clone();
@@ -587,17 +614,18 @@ fn f(s: &TaskStatus, out: &mut TaskStatus) {
 }
 ";
         let v = lint_source(Path::new("crates/core/src/monitor.rs"), src);
-        let notes: Vec<_> = v
-            .iter()
-            .filter(|x| x.rule == Rule::NoCloneInHotPath)
-            .collect();
-        // The allocating `.clone()` is noted; `clone_from` is approved.
-        assert_eq!(notes.len(), 1, "{v:?}");
-        assert_eq!(notes[0].line, 2);
-        assert!(notes[0].rule.is_note());
-        assert!(notes[0].to_string().contains("note:"));
-        // Outside the hot-path file set, no note.
-        assert!(lint_source(Path::new("crates/core/src/config.rs"), src).is_empty());
+        assert!(!v.iter().any(|x| x.rule == Rule::NoCloneInHotPath), "{v:?}");
+        assert_eq!(
+            Rule::NoCloneInHotPath.deprecated_replacement(),
+            Some("zerosum audit (hot-path-alloc pass)")
+        );
+        // Deprecated rules are skipped even when passed explicitly.
+        let forced = scan_blanked(
+            Path::new("crates/core/src/monitor.rs"),
+            src,
+            &[Rule::NoCloneInHotPath, Rule::NoWallClockInSched],
+        );
+        assert!(forced.is_empty(), "{forced:?}");
     }
 
     #[test]

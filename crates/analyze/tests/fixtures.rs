@@ -8,7 +8,8 @@
 //! excluded from the real lint/audit walks.
 
 use std::path::{Path, PathBuf};
-use zerosum_analyze::audit::audit_sources_with;
+use zerosum_analyze::audit::effects::EffectConfig;
+use zerosum_analyze::audit::{audit_sources_cfg, audit_sources_with, AuditConfig};
 use zerosum_analyze::lint::{find_workspace_root, lint_source};
 use zerosum_analyze::AuditReport;
 
@@ -24,18 +25,16 @@ fn read(name: &str) -> String {
 }
 
 /// `(fixture stem, lint-as path, rule id, expected bad-fixture lines)`.
-const LINT_CASES: [(&str, &str, &str, &[usize]); 7] = [
+///
+/// The former `wall_clock_sched` and `clone_hot_path` cases moved to
+/// the audit fixtures below when their lint rules were folded into the
+/// interprocedural nondeterminism and hot-path-alloc passes.
+const LINT_CASES: [(&str, &str, &str, &[usize]); 6] = [
     (
         "panic_hot_path",
         "crates/core/src/monitor.rs",
         "no-panic-hot-path",
         &[4, 8],
-    ),
-    (
-        "wall_clock_sched",
-        "crates/sched/src/virtual_clock.rs",
-        "no-wall-clock-in-sched",
-        &[6, 10],
     ),
     (
         "print_in_lib",
@@ -47,12 +46,6 @@ const LINT_CASES: [(&str, &str, &str, &[usize]); 7] = [
         "source_error_bubble",
         "crates/core/src/monitor.rs",
         "no-source-error-bubble",
-        &[4, 5],
-    ),
-    (
-        "clone_hot_path",
-        "crates/core/src/hwt.rs",
-        "no-clone-in-hot-path",
         &[4, 5],
     ),
     (
@@ -69,6 +62,15 @@ const LINT_CASES: [(&str, &str, &str, &[usize]); 7] = [
         "crates/core/src/lwp.rs",
         "no-panic-hot-path",
         &[7],
+    ),
+    // Lexer-hardening regression: byte strings, raw byte strings, and
+    // a nested block comment all carry panic-family text that must be
+    // blanked; only the unwrap at line 14 is code.
+    (
+        "byte_string_nested_comment",
+        "crates/core/src/lwp.rs",
+        "no-panic-hot-path",
+        &[14],
     ),
 ];
 
@@ -115,6 +117,109 @@ fn lock_cycle_fixture_pair() {
             .any(|e| e.from == "alpha" && e.to == "beta"),
         "consistent ordering still contributes an edge: {:?}",
         clean.edges
+    );
+}
+
+/// Audits one fixture with no panic roots and the given effect
+/// configuration — the entry point for the effect-pass pairs.
+fn audit_effects(name: &str, effects: EffectConfig) -> AuditReport {
+    audit_sources_cfg(
+        &[(name.to_string(), read(name))],
+        &AuditConfig {
+            panic_roots: &[],
+            panic_allowlist: &[],
+            effects,
+        },
+    )
+}
+
+#[test]
+fn hot_path_alloc_fixture_pair() {
+    let bad = audit_effects("hot_path_alloc.bad.rs", EffectConfig::empty());
+    let hot: Vec<_> = bad
+        .findings
+        .iter()
+        .filter(|f| f.pass == "hot-path-alloc")
+        .collect();
+    assert_eq!(hot.len(), 1, "{:?}", bad.findings);
+    assert_eq!(hot[0].func, "leaf");
+    assert_eq!(hot[0].token, "clone");
+    assert_eq!(hot[0].witness, vec!["task_stat_into", "helper", "leaf"]);
+    let clean = audit_effects("hot_path_alloc.clean.rs", EffectConfig::empty());
+    assert!(clean.clean(), "{:?}", clean.findings);
+}
+
+#[test]
+fn determinism_fixture_pair() {
+    let bad = audit_effects(
+        "determinism.bad.rs",
+        EffectConfig {
+            det_roots: &[("determinism.bad.rs", "run_sim")],
+            ..EffectConfig::empty()
+        },
+    );
+    let det: Vec<_> = bad
+        .findings
+        .iter()
+        .filter(|f| f.pass == "nondeterminism")
+        .collect();
+    assert!(
+        det.iter()
+            .any(|f| f.func == "stamp" && f.token == "Instant::now"),
+        "{:?}",
+        bad.findings
+    );
+    assert!(
+        det.iter()
+            .any(|f| f.func == "run_sim" && f.token == "tasks.iter"),
+        "{:?}",
+        bad.findings
+    );
+    let clean = audit_effects(
+        "determinism.clean.rs",
+        EffectConfig {
+            det_roots: &[("determinism.clean.rs", "run_sim")],
+            ..EffectConfig::empty()
+        },
+    );
+    assert!(clean.clean(), "{:?}", clean.findings);
+}
+
+#[test]
+fn blocking_fixture_pair() {
+    let bad = audit_effects("blocking.bad.rs", EffectConfig::empty());
+    let blocking: Vec<_> = bad
+        .findings
+        .iter()
+        .filter(|f| f.pass == "blocking")
+        .collect();
+    assert!(
+        blocking
+            .iter()
+            .any(|f| f.func == "drain" && f.token == "alpha:thread::sleep"),
+        "{:?}",
+        bad.findings
+    );
+    let via = blocking
+        .iter()
+        .find(|f| f.token == "alpha:fs::read_to_string")
+        .expect("callee-carried blocking finding");
+    assert_eq!(via.witness, vec!["drain", "flush"]);
+    let clean = audit_effects("blocking.clean.rs", EffectConfig::empty());
+    assert!(clean.clean(), "{:?}", clean.findings);
+}
+
+#[test]
+fn witness_traces_are_stable_across_runs() {
+    // The snapshot contract for `--explain`: two independent audits of
+    // the same source render byte-identical reports, including the
+    // exact shortest-path trace lines.
+    let a = audit_effects("hot_path_alloc.bad.rs", EffectConfig::empty()).render_with(true);
+    let b = audit_effects("hot_path_alloc.bad.rs", EffectConfig::empty()).render_with(true);
+    assert_eq!(a, b, "audit output must be deterministic");
+    assert!(
+        a.contains("    trace: task_stat_into -> helper -> leaf"),
+        "missing witness trace:\n{a}"
     );
 }
 

@@ -411,16 +411,20 @@ fn run_cluster_chaos(args: &[String]) -> i32 {
     }
 }
 
-/// `zerosum audit [--json] [--root DIR] [--baseline FILE]
+/// `zerosum audit [--json] [--explain] [--root DIR] [--baseline FILE]
 /// [--write-baseline FILE] [--drill]` — run the interprocedural
-/// concurrency audit (lock-order cycles, locks held across blocking
-/// ops, panic-reachability). With `--baseline`, only findings beyond
-/// the committed baseline fail (lock cycles always fail). `--drill`
-/// additionally runs monitored workloads under the runtime lock-order
-/// sanitizer and checks every observed edge against the static graph.
-/// Exit 0 clean, 1 findings/drill failure, 2 usage/IO errors.
+/// concurrency and effect audit (lock-order cycles, locks held across
+/// blocking ops, panic-reachability, hot-path allocation,
+/// nondeterminism, blocking-in-scope). With `--baseline`, only
+/// findings beyond the committed baseline fail (lock cycles always
+/// fail). `--explain` prints the witness trace (shortest root→site
+/// call chain) under each finding. `--drill` additionally runs
+/// monitored workloads under the runtime lock-order sanitizer and
+/// checks every observed edge against the static graph. Exit 0 clean,
+/// 1 findings/drill failure, 2 usage/IO errors.
 fn run_audit(args: &[String]) -> i32 {
     let mut json = false;
+    let mut explain = false;
     let mut drill = false;
     let mut root_arg: Option<String> = None;
     let mut baseline_file: Option<String> = None;
@@ -436,6 +440,10 @@ fn run_audit(args: &[String]) -> i32 {
                 json = true;
                 Ok(())
             }
+            "--explain" => {
+                explain = true;
+                Ok(())
+            }
             "--drill" => {
                 drill = true;
                 Ok(())
@@ -447,10 +455,14 @@ fn run_audit(args: &[String]) -> i32 {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: zerosum audit [--json] [--root DIR] [--baseline FILE] \
+                    "usage: zerosum audit [--json] [--explain] [--root DIR] [--baseline FILE] \
                      [--write-baseline FILE] [--drill]"
                 );
-                println!("static lock-order + panic-reachability audit; see DESIGN.md §10");
+                println!(
+                    "static lock-order + panic-reachability + effect audit; \
+                     see DESIGN.md §10-§11"
+                );
+                println!("  --explain   print the witness call chain under each finding");
                 return 0;
             }
             other => Err(format!("unknown flag {other:?}")),
@@ -492,7 +504,7 @@ fn run_audit(args: &[String]) -> i32 {
     if json {
         print!("{}", report.to_json());
     } else {
-        print!("{}", report.render());
+        print!("{}", report.render_with(explain));
     }
     if let Some(path) = write_baseline {
         if let Err(e) = std::fs::write(&path, report.baseline_json()) {
@@ -523,6 +535,9 @@ fn run_audit(args: &[String]) -> i32 {
             } else {
                 for f in &beyond {
                     println!("audit: NEW {}: {}:{}: {}", f.pass, f.file, f.line, f.detail);
+                    if explain && !f.witness.is_empty() {
+                        println!("    trace: {}", f.witness.join(" -> "));
+                    }
                 }
                 println!("audit: {} finding(s) beyond baseline", beyond.len());
                 failed = true;

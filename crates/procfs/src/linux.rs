@@ -118,8 +118,13 @@ impl LinuxProc {
         s
     }
 
-    fn task_dir(&self, pid: Pid) -> PathBuf {
-        self.root.join(pid.to_string()).join("task")
+    /// Assembles `<root>/<pid>/task` in the reusable path scratch.
+    fn task_dir(&self, pid: Pid) -> std::cell::RefMut<'_, String> {
+        use std::fmt::Write as _;
+        let mut s = self.path_buf.borrow_mut();
+        s.clear();
+        let _ = write!(s, "{}/{pid}/task", self.root.display());
+        s
     }
 
     /// The root this source reads from.
@@ -200,8 +205,9 @@ impl ProcSource for LinuxProc {
     fn list_tasks_into(&self, pid: Pid, out: &mut Vec<Tid>) -> SourceResult<()> {
         out.clear();
         let dir = self.task_dir(pid);
-        let entries = std::fs::read_dir(&dir)
-            .map_err(|e| classify_read_error(e.kind(), format_args!("{}: {e}", dir.display())))?;
+        let entries = std::fs::read_dir(&*dir)
+            .map_err(|e| classify_read_error(e.kind(), format_args!("{dir}: {e}")))?;
+        drop(dir);
         for entry in entries {
             // A single unreadable entry (a task racing to exit, or a
             // permission-restricted sibling) must not abort the whole

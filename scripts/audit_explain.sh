@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Smoke test for `zerosum audit --explain`: the report must carry the
+# effect-pass header counts and at least one witness trace, and stay
+# clean against the committed baseline. Run from anywhere in the repo.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out=$(cargo run -q -p zerosum-cli --bin zerosum -- \
+    audit --explain --baseline AUDIT_baseline.json)
+echo "$out" | grep -q "effect sites" \
+    || { echo "audit_explain: missing effect-pass header"; echo "$out"; exit 1; }
+echo "$out" | grep -q "    trace: " \
+    || { echo "audit_explain: no witness traces rendered"; echo "$out"; exit 1; }
+echo "audit_explain: OK ($(echo "$out" | grep -c 'trace:') witness traces)"

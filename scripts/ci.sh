@@ -17,15 +17,20 @@ cargo test -q --workspace
 echo "== zslint"
 cargo run -q -p zerosum-analyze --bin zslint
 
-echo "== zsaudit (lock-order + panic-reachability vs AUDIT_baseline.json, sanitizer drill)"
+echo "== zsaudit (lock-order + panic-reach + effect passes vs AUDIT_baseline.json, sanitizer drill)"
 # --baseline diffs findings against the committed baseline (lock-order
-# cycles fail regardless); --drill asserts every dynamically observed
-# lock-order edge appears in the static graph. Debug build on purpose:
-# the runtime sanitizer only records under debug_assertions.
+# cycles fail regardless); the hot-path-alloc / nondeterminism /
+# blocking effect passes ship with zero unbaselined findings; --drill
+# asserts every dynamically observed lock-order edge appears in the
+# static graph. Debug build on purpose: the runtime sanitizer only
+# records under debug_assertions.
 cargo run -q -p zerosum-cli --bin zerosum -- \
     audit --baseline AUDIT_baseline.json --drill > /tmp/zsaudit.out \
     || { cat /tmp/zsaudit.out; exit 1; }
 tail -n 3 /tmp/zsaudit.out
+
+echo "== zsaudit --explain smoke (witness traces)"
+scripts/audit_explain.sh
 
 echo "== trace checker (Table 2 scenario)"
 cargo run -q -p zerosum-cli --bin zerosum -- analyze --scenario table2 --scale 100

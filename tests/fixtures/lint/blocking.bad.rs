@@ -1,0 +1,13 @@
+// Audited standalone: the guard on `alpha` is held across a sleep and,
+// through `flush`, across a file read — both block every other thread
+// contending for the lock for the full syscall latency.
+fn drain(s: &Shared) {
+    let g = s.alpha.lock();
+    thread::sleep(backoff);
+    flush(&g);
+}
+
+fn flush(g: &Guard) {
+    let text = fs::read_to_string(path);
+    let _ = (g, text);
+}

@@ -1,0 +1,11 @@
+// Near-miss twin: the blocking work happens before the lock is taken
+// and after the guard's scope ends; the critical section only moves
+// already-read data.
+fn drain(s: &Shared) {
+    let text = fs::read_to_string(path);
+    {
+        let g = s.alpha.lock();
+        g.absorb(&text);
+    }
+    thread::sleep(backoff);
+}

@@ -1,0 +1,15 @@
+// Lexer-hardening regression, linted as a sampling hot-path file. The
+// byte string, raw byte string, and nested block comment all contain
+// text that must be blanked; only the final unwrap is real code.
+fn magic() -> &'static [u8] {
+    b"header {{{ x.unwrap() \" not code"
+}
+
+fn raw_magic() -> &'static [u8] {
+    br#"also } not " code .expect("#
+}
+
+/* outer /* inner x.unwrap() */ still comment } { */
+fn real(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

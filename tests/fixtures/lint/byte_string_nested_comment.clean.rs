@@ -1,0 +1,15 @@
+// Near-miss twin: the same byte-string and nested-comment shapes, but
+// the only panic-family text lives inside literals and comments — a
+// lexer that mis-ends either would report a phantom violation.
+fn magic() -> &'static [u8] {
+    b"header {{{ x.unwrap() \" not code"
+}
+
+fn raw_magic() -> &'static [u8] {
+    br#"also } not " code .expect("#
+}
+
+/* outer /* inner x.unwrap() */ still comment } { */
+fn real(x: u32) -> u32 {
+    x
+}

@@ -1,0 +1,13 @@
+// Audited standalone with `run_sim` as a determinism root: a
+// wall-clock read behind a callee and an iteration over a HashMap both
+// make replay diverge between runs.
+fn run_sim(tasks: &HashMap<u32, Task>) {
+    let t0 = stamp();
+    for (tid, task) in tasks.iter() {
+        let _ = (tid, task, t0);
+    }
+}
+
+fn stamp() -> Instant {
+    Instant::now()
+}

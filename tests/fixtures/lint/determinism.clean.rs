@@ -1,0 +1,12 @@
+// Near-miss twin: the simulation takes its timestamp as an input and
+// iterates a BTreeMap (sorted, replay-stable); the wall-clock read
+// lives outside the root's reach.
+fn run_sim(tasks: &BTreeMap<u32, Task>, t0: u64) {
+    for (tid, task) in tasks.iter() {
+        let _ = (tid, task, t0);
+    }
+}
+
+fn outside() -> Instant {
+    Instant::now()
+}

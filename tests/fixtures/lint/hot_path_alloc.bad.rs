@@ -1,0 +1,14 @@
+// Audited standalone: the `_into` sampling root reaches a fresh
+// allocation two calls down. The hot-path-alloc pass must flag `leaf`
+// with the witness chain task_stat_into -> helper -> leaf.
+fn task_stat_into(out: &mut TaskStat) {
+    helper(out);
+}
+
+fn helper(out: &mut TaskStat) {
+    leaf(out);
+}
+
+fn leaf(out: &mut TaskStat) {
+    out.comm = fresh.comm.clone();
+}

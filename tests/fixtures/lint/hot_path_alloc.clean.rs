@@ -1,0 +1,14 @@
+// Near-miss twin: the hot chain reuses the caller's scratch buffer
+// (`clone_from`); the allocating clone lives on an island no `_into`
+// root can reach, so the pass stays silent.
+fn task_stat_into(out: &mut TaskStat) {
+    helper(out);
+}
+
+fn helper(out: &mut TaskStat) {
+    out.comm.clone_from(&fresh.comm);
+}
+
+fn island(src: &TaskStat) -> TaskStat {
+    src.clone()
+}
