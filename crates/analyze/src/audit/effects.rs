@@ -168,6 +168,14 @@ pub const DEFAULT_EFFECTS: EffectConfig<'static> = EffectConfig {
             "crates/experiments/src/cluster_chaos.rs",
             "run_cluster_chaos_with_plan",
         ),
+        (
+            "crates/experiments/src/transport_chaos.rs",
+            "run_transport_chaos",
+        ),
+        (
+            "crates/experiments/src/transport_chaos.rs",
+            "run_transport_chaos_with_plan",
+        ),
         ("crates/experiments/src/parallel.rs", "run_jobs"),
         ("crates/experiments/src/parallel.rs", "run_seeded"),
         ("crates/experiments/src/figures.rs", "fig5"),

@@ -31,7 +31,11 @@ use super::Finding;
 /// * `write_partial_logs`, `render_process_report` — registered as
 ///   crash flushes by the export path and the chaos drill; they run on
 ///   the exit path through a `dyn Fn` the call graph cannot see.
-pub const PANIC_ROOTS: [(&str, &str, &str); 6] = [
+/// * `decode_frame`, `pump_frames` — the collector daemon's
+///   hostile-input boundary: frames arrive truncated, corrupted, and
+///   version-skewed off the wire, and a panic here kills supervision
+///   for the whole allocation.
+pub const PANIC_ROOTS: [(&str, &str, &str); 8] = [
     (
         "crates/core/src/monitor.rs",
         "sample_inner",
@@ -61,6 +65,16 @@ pub const PANIC_ROOTS: [(&str, &str, &str); 6] = [
         "crates/core/src/report.rs",
         "render_process_report",
         "registered crash flush",
+    ),
+    (
+        "crates/net/src/frame.rs",
+        "decode_frame",
+        "wire hostile-input boundary",
+    ),
+    (
+        "crates/net/src/collector.rs",
+        "pump_frames",
+        "collector daemon loop",
     ),
 ];
 

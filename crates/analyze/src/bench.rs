@@ -14,6 +14,11 @@
 //! * `monitor_overhead_pct` — the §4.1 miniQMC reproduction: virtual-time
 //!   overhead of a monitored run over the unmonitored baseline. This one
 //!   is computed in virtual time, so it is deterministic.
+//! * `net_frames_per_sec` — wire frames pushed through a full
+//!   encode-then-decode round trip per wall second (mixed tag batch).
+//! * `collector_round_us` — wall microseconds one collector round
+//!   (`pump_frames` + `run_round`) costs over an 8-node in-process
+//!   cluster with heartbeats and LWP details in flight.
 //!
 //! A fifth, ungated figure (`faultwrap_overhead_pct`) records what the
 //! chaos layer's pass-through wrapper adds to fault-free sampling; the
@@ -26,7 +31,8 @@
 
 use std::path::Path;
 use std::time::Instant;
-use zerosum_core::{Monitor, ProcessInfo, ZeroSumConfig};
+use zerosum_core::{Monitor, NodeAggregate, ProcessInfo, ZeroSumConfig};
+use zerosum_net::{decode_frame, encode_frame, in_proc_pair, Collector, Frame, NodeAgent};
 use zerosum_proc::fault::{FaultInjector, FaultPlan};
 use zerosum_proc::{format, parse, CpuTimes, SystemStat, TaskStat, TaskStatus};
 use zerosum_sched::{Behavior, NodeSim, SchedParams, SimProcSource};
@@ -445,6 +451,100 @@ fn bench_audit(reps: usize) -> f64 {
     }
 }
 
+/// Wire frames encoded *and then* decoded per wall second over a mixed
+/// batch (one frame of every tag, strings and f64 bit patterns
+/// included), best of `reps`. The codec sits on every collector read
+/// and every agent tick, so a per-frame allocation or a quadratic
+/// checksum slip shows up here before it shows up as a stalled round.
+fn bench_net_frames(iters: u32, reps: u32) -> f64 {
+    let batch = vec![
+        Frame::Hello {
+            hostname: "bench-node".into(),
+        },
+        Frame::Heartbeat { round: 7, t_s: 0.7 },
+        Frame::LwpDetail {
+            round: 7,
+            tid: 1234,
+            busy_pct: 55.25,
+        },
+        Frame::Aggregate {
+            round: 7,
+            agg: NodeAggregate {
+                hostname: "bench-node".into(),
+                ranks: 2,
+                lwps: 16,
+                mean_user_pct: 91.5,
+                mean_idle_pct: 6.5,
+                total_nvcsw: 987_654,
+                rss_kib: 8_388_608,
+            },
+        },
+        Frame::Ack { round: 7 },
+        Frame::Bye,
+    ];
+    let mut buf: Vec<u8> = Vec::with_capacity(4 * 1024);
+    let mut best = 0.0f64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let mut frames = 0u64;
+        for _ in 0..iters {
+            buf.clear();
+            for f in &batch {
+                encode_frame(f, &mut buf).expect("bench frame encodes");
+            }
+            let mut off = 0usize;
+            while off < buf.len() {
+                let rest = buf.get(off..).expect("offset within buffer");
+                let (_, n) = decode_frame(rest).expect("bench frame decodes");
+                off += n;
+            }
+            frames += batch.len() as u64;
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        best = best.max(frames as f64 / secs.max(1e-9));
+    }
+    best
+}
+
+/// Wall µs per collector round over a `nodes`-node in-process cluster,
+/// best of `reps`. Each round every agent sends a heartbeat plus eight
+/// LWP details; the timer covers only the collector side
+/// (`pump_frames` + `run_round`), which is exactly the loop one daemon
+/// runs per period for the whole allocation.
+fn bench_collector_round(nodes: usize, rounds: u64, reps: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut collector = Collector::new();
+        let mut agents = Vec::with_capacity(nodes);
+        for i in 0..nodes {
+            let host = format!("bench{i:02}");
+            collector.expect_node(&host);
+            let (agent_end, collector_end) = in_proc_pair(64);
+            collector.add_link(Box::new(collector_end));
+            agents.push(NodeAgent::new(agent_end, host));
+        }
+        let mut in_round = 0.0f64;
+        for r in 0..rounds {
+            let round = r + 1;
+            for a in &mut agents {
+                a.begin_round(round, round as f64 * 0.1);
+                for d in 0..8u32 {
+                    a.send_detail(round, 100 + d, f64::from(d) * 11.5);
+                }
+                for _ in 0..4 {
+                    a.tick();
+                }
+            }
+            let t0 = Instant::now();
+            collector.pump_frames();
+            collector.run_round();
+            in_round += t0.elapsed().as_secs_f64();
+        }
+        best = best.min(in_round / rounds as f64 * 1e6);
+    }
+    best
+}
+
 /// Runs the whole suite. `quick` shrinks workloads for the CI smoke
 /// stage; the full mode is what `BENCH_pr3.json` records.
 pub fn run_bench(quick: bool) -> BenchReport {
@@ -453,6 +553,8 @@ pub fn run_bench(quick: bool) -> BenchReport {
     let sim_speed = bench_sim_speed(if quick { 80 } else { 40 }, if quick { 2 } else { 3 });
     let parse_speed = bench_parse(if quick { 300 } else { 1_500 }, if quick { 3 } else { 5 });
     let audit_ms = bench_audit(if quick { 2 } else { 3 });
+    let net_frames = bench_net_frames(if quick { 2_000 } else { 10_000 }, reps);
+    let round_us = bench_collector_round(8, if quick { 60 } else { 200 }, reps);
     // §4.1 reproduction: virtual-time overhead of monitoring miniQMC at
     // two threads per core (the paper's contended configuration).
     let fig8 = zerosum_experiments::figures::fig8(true, if quick { 2 } else { 4 }, 60, 42);
@@ -490,6 +592,20 @@ pub fn run_bench(quick: bool) -> BenchReport {
                 key: "audit_ms".into(),
                 value: audit_ms,
                 unit: "ms".into(),
+                higher_is_better: false,
+                gated: true,
+            },
+            Metric {
+                key: "net_frames_per_sec".into(),
+                value: net_frames,
+                unit: "frames/s".into(),
+                higher_is_better: true,
+                gated: true,
+            },
+            Metric {
+                key: "collector_round_us".into(),
+                value: round_us,
+                unit: "µs/round".into(),
                 higher_is_better: false,
                 gated: true,
             },
@@ -679,6 +795,8 @@ mod tests {
             "parse_mb_per_sec",
             "monitor_overhead_pct",
             "audit_ms",
+            "net_frames_per_sec",
+            "collector_round_us",
             "faultwrap_overhead_pct",
         ] {
             let m = r.get(key).expect(key);

@@ -23,6 +23,13 @@
 //!   `DEGRADED (k/n nodes)` markers, survivor aggregates exactly
 //!   matching the fault-free run, plus the bounded-memory drill proving
 //!   series storage stays constant over million-round runs.
+//! * **Lossy-transport chaos** ([`transport_chaos`]) — the same
+//!   allocation judged through the wire: seeded transport fault plans
+//!   (frame drops, bit flips, truncation, delay, reorder, disconnects,
+//!   partitions, permanent kills) over the deterministic in-process
+//!   backend, with survivor aggregates delivered bit-identical to the
+//!   fault-free run, plus a loopback-TCP smoke when sockets are
+//!   allowed.
 //!
 //! Entry points: `zerosum analyze` / `zerosum chaos` (CLI) and
 //! `cargo run -p zerosum-analyze --bin zslint`.
@@ -35,6 +42,7 @@ pub mod hb;
 pub mod invariants;
 pub mod lint;
 pub mod scenarios;
+pub mod transport_chaos;
 
 pub use audit::{audit_sources, audit_workspace, baseline_from_json, AuditReport};
 pub use bench::{check as bench_check, compare as bench_compare, run_bench, BenchReport, Metric};
@@ -46,3 +54,6 @@ pub use hb::{detect_races, Race, VectorClock, KERNEL_CTX};
 pub use invariants::{check_invariants, InvariantKind, Violation};
 pub use lint::{find_workspace_root, lint_repo, lint_source, LintViolation, Rule};
 pub use scenarios::{check_comm_matrix, check_trace, run_all, ScenarioReport};
+pub use transport_chaos::{
+    judge_transport_run, run_transport_suite, tcp_loopback_smoke, TransportChaosReport,
+};

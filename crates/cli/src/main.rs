@@ -10,6 +10,8 @@ fn main() {
         Some("bench") => std::process::exit(run_bench(&args[1..])),
         Some("chaos") => std::process::exit(run_chaos(&args[1..])),
         Some("cluster-chaos") => std::process::exit(run_cluster_chaos(&args[1..])),
+        Some("collect") => std::process::exit(run_collect(&args[1..])),
+        Some("stream") => std::process::exit(run_stream(&args[1..])),
         Some("lint") => std::process::exit(run_lint()),
         Some("audit") => std::process::exit(run_audit(&args[1..])),
         _ => {}
@@ -355,8 +357,10 @@ fn run_cluster_chaos(args: &[String]) -> i32 {
                      [--schedules N] [--seed N] [--drill-rounds N]"
                 );
                 println!("runs seeded node-fault plans (kills, stragglers, rejoins,");
-                println!("clock skew) against the cluster supervision layer, plus the");
-                println!("bounded-memory drill over the monitor's ring series");
+                println!("clock skew) against the cluster supervision layer, the same");
+                println!("plans again over lossy transports (frame drops, corruption,");
+                println!("partitions), a loopback-TCP smoke, plus the bounded-memory");
+                println!("drill over the monitor's ring series");
                 return 0;
             }
             other => Err(format!("unknown flag {other:?}")),
@@ -371,6 +375,27 @@ fn run_cluster_chaos(args: &[String]) -> i32 {
     for r in &reports {
         print!("{}", r.render());
         clean &= r.passed();
+    }
+    // The same allocation judged through the wire: seeded transport
+    // fault plans (drops, bit flips, truncation, delay, reorder,
+    // disconnects, partitions, kills) over the in-process backend.
+    let wire_reports =
+        zerosum_analyze::run_transport_suite(nodes, rounds, schedules, seed.wrapping_add(0x51DE));
+    for r in &wire_reports {
+        print!("{}", r.render());
+        clean &= r.passed();
+    }
+    match zerosum_analyze::tcp_loopback_smoke(3, 5) {
+        None => println!("tcp-loopback smoke: SKIPPED (sandbox forbids sockets)"),
+        Some(problems) if problems.is_empty() => {
+            println!("tcp-loopback smoke: ok (3 nodes, aggregates bit-identical over TCP)")
+        }
+        Some(problems) => {
+            clean = false;
+            for p in &problems {
+                println!("tcp-loopback smoke problem: {p}");
+            }
+        }
     }
     let drill_capacity = 4_096;
     let drill_problems = zerosum_analyze::bounded_memory_drill(drill_rounds, drill_capacity);
@@ -403,12 +428,285 @@ fn run_cluster_chaos(args: &[String]) -> i32 {
         }
     }
     if clean {
-        println!("cluster-chaos: all {} plan(s) clean", reports.len());
+        println!(
+            "cluster-chaos: all {} plan(s) clean",
+            reports.len() + wire_reports.len()
+        );
         0
     } else {
         println!("cluster-chaos: FAILED");
         1
     }
+}
+
+/// `zerosum collect --listen ADDR [--probe] [--port-file F] [--nodes N]
+/// [--rounds N] [--period-ms N]` — run the collector daemon over real
+/// TCP: accept `--nodes` agent connections, drive `--rounds`
+/// supervision rounds off received frames, and print the wire-side
+/// allocation summary. `--probe` only binds and exits (0 = sockets
+/// work, 3 = sandbox forbids them) so CI can decide to skip loudly.
+/// Exit 0 iff every node's aggregate was delivered.
+fn run_collect(args: &[String]) -> i32 {
+    let mut listen = String::from("127.0.0.1:0");
+    let mut probe = false;
+    let mut port_file: Option<String> = None;
+    let mut nodes: usize = 1;
+    let mut rounds: u32 = 10;
+    let mut period_ms: u64 = 100;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>, flag: &str| match it.next() {
+            Some(v) => Ok(v.clone()),
+            None => Err(format!("{flag} requires a value")),
+        };
+        let parsed = match arg.as_str() {
+            "--listen" => value(&mut it, "--listen").map(|v| listen = v),
+            "--probe" => {
+                probe = true;
+                Ok(())
+            }
+            "--port-file" => value(&mut it, "--port-file").map(|v| port_file = Some(v)),
+            "--nodes" => value(&mut it, "--nodes").and_then(|v| {
+                v.parse()
+                    .map(|s| nodes = s)
+                    .map_err(|e| format!("--nodes: {e}"))
+            }),
+            "--rounds" => value(&mut it, "--rounds").and_then(|v| {
+                v.parse()
+                    .map(|s| rounds = s)
+                    .map_err(|e| format!("--rounds: {e}"))
+            }),
+            "--period-ms" => value(&mut it, "--period-ms").and_then(|v| {
+                v.parse()
+                    .map(|s| period_ms = s)
+                    .map_err(|e| format!("--period-ms: {e}"))
+            }),
+            "--help" | "-h" => {
+                println!(
+                    "usage: zerosum collect [--listen ADDR] [--probe] [--port-file F] \
+                     [--nodes N] [--rounds N] [--period-ms N]"
+                );
+                println!("collector daemon: accepts `zerosum stream` agents over TCP and");
+                println!("drives supervision rounds off their frames (DESIGN.md §12)");
+                return 0;
+            }
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("zerosum collect: {e}");
+            return 2;
+        }
+    }
+    let acceptor = match zerosum_net::Acceptor::bind(&listen) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("zerosum collect: bind {listen}: {e}");
+            // Distinct exit for "no sockets here" — CI skips loudly.
+            return 3;
+        }
+    };
+    let addr = match acceptor.local_addr() {
+        Ok(a) => a.to_string(),
+        Err(e) => {
+            eprintln!("zerosum collect: local_addr: {e}");
+            return 3;
+        }
+    };
+    eprintln!("zerosum collect: listening on {addr}");
+    if let Some(pf) = &port_file {
+        if let Err(e) = std::fs::write(pf, &addr) {
+            eprintln!("zerosum collect: {pf}: {e}");
+            return 2;
+        }
+    }
+    if probe {
+        return 0;
+    }
+    let period = std::time::Duration::from_millis(period_ms.max(1));
+    let mut collector = zerosum_net::Collector::with_config(zerosum_net::CollectorConfig {
+        period_s: period.as_secs_f64(),
+        ..Default::default()
+    });
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let mut accepted = 0;
+    while accepted < nodes {
+        match acceptor.poll_accept(zerosum_net::DEFAULT_WINDOW) {
+            Ok(Some(link)) => {
+                collector.add_link(Box::new(link));
+                accepted += 1;
+                eprintln!("zerosum collect: {accepted}/{nodes} node(s) connected");
+            }
+            Ok(None) => {
+                if std::time::Instant::now() > deadline {
+                    eprintln!("zerosum collect: timed out waiting for {nodes} node(s)");
+                    return 1;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(e) => {
+                eprintln!("zerosum collect: accept: {e}");
+                return 1;
+            }
+        }
+    }
+    for _ in 0..rounds {
+        // Pump a few times within the period so acks flow promptly.
+        for _ in 0..4 {
+            std::thread::sleep(period / 4);
+            collector.pump_frames();
+        }
+        collector.run_round();
+    }
+    // Drain: final aggregates retransmit until acked.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while collector.wire_aggregates().len() < nodes && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        collector.pump_frames();
+    }
+    print!("{}", collector.render_summary());
+    if collector.wire_aggregates().len() == nodes {
+        0
+    } else {
+        eprintln!(
+            "zerosum collect: only {}/{} aggregate(s) delivered",
+            collector.wire_aggregates().len(),
+            nodes
+        );
+        1
+    }
+}
+
+/// `zerosum stream --connect ADDR [--node NAME] [--rank N] [--rounds N]
+/// [--period-ms N] [--seed N]` — run one node agent over real TCP: a
+/// simulated node samples every period and streams
+/// Hello/heartbeat/detail frames, then ships its final aggregate until
+/// acked. Exit 0 iff the aggregate was acknowledged.
+fn run_stream(args: &[String]) -> i32 {
+    let mut connect: Option<String> = None;
+    let mut node = String::from("stream0000");
+    let mut rank: u32 = 0;
+    let mut rounds: u32 = 10;
+    let mut period_ms: u64 = 100;
+    let mut seed: u64 = 42;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>, flag: &str| match it.next() {
+            Some(v) => Ok(v.clone()),
+            None => Err(format!("{flag} requires a value")),
+        };
+        let parsed = match arg.as_str() {
+            "--connect" => value(&mut it, "--connect").map(|v| connect = Some(v)),
+            "--node" => value(&mut it, "--node").map(|v| node = v),
+            "--rank" => value(&mut it, "--rank").and_then(|v| {
+                v.parse()
+                    .map(|s| rank = s)
+                    .map_err(|e| format!("--rank: {e}"))
+            }),
+            "--rounds" => value(&mut it, "--rounds").and_then(|v| {
+                v.parse()
+                    .map(|s| rounds = s)
+                    .map_err(|e| format!("--rounds: {e}"))
+            }),
+            "--period-ms" => value(&mut it, "--period-ms").and_then(|v| {
+                v.parse()
+                    .map(|s| period_ms = s)
+                    .map_err(|e| format!("--period-ms: {e}"))
+            }),
+            "--seed" => value(&mut it, "--seed").and_then(|v| {
+                v.parse()
+                    .map(|s| seed = s)
+                    .map_err(|e| format!("--seed: {e}"))
+            }),
+            "--help" | "-h" => {
+                println!(
+                    "usage: zerosum stream --connect ADDR [--node NAME] [--rank N] \
+                     [--rounds N] [--period-ms N] [--seed N]"
+                );
+                println!("node agent: streams monitoring frames to `zerosum collect`");
+                return 0;
+            }
+            other => Err(format!("unknown flag {other:?}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("zerosum stream: {e}");
+            return 2;
+        }
+    }
+    let Some(addr) = connect else {
+        eprintln!("zerosum stream: --connect ADDR is required");
+        return 2;
+    };
+    let link = match zerosum_net::TcpLink::dial(&addr, zerosum_net::DEFAULT_WINDOW) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("zerosum stream: dial {addr}: {e}");
+            return 3;
+        }
+    };
+    let mut agent = zerosum_net::NodeAgent::new(link, node.clone());
+    // The streamed node is the cluster-chaos simulated node: a pinned
+    // rank with an OpenMP worker, sampled once per period.
+    let period = std::time::Duration::from_millis(period_ms.max(1));
+    let period_us = period.as_micros() as u64;
+    let mut sim = zerosum_sched::NodeSim::new(
+        zerosum_topology::presets::laptop_i7_1165g7(),
+        zerosum_sched::SchedParams {
+            seed: seed | 1,
+            ..Default::default()
+        },
+    );
+    sim.set_hostname(&node);
+    let mask = zerosum_topology::CpuSet::from_indices([0u32, 1]);
+    let work = zerosum_sched::Behavior::FiniteCompute {
+        remaining_us: u64::from(rounds) * period_us,
+        chunk_us: 10_000,
+    };
+    let pid = sim.spawn_process("rank", mask.clone(), 1_024, work.clone());
+    sim.spawn_task(pid, "OpenMP", None, work, false);
+    let mut mon = zerosum_core::Monitor::new(zerosum_core::ZeroSumConfig::scaled(10));
+    mon.watch_process(zerosum_core::ProcessInfo {
+        pid,
+        rank: Some(rank),
+        hostname: node.clone(),
+        gpus: vec![],
+        cpus_allowed: mask,
+    });
+    for r in 0..rounds {
+        sim.run_for(period_us);
+        let t_s = sim.now_us() as f64 / 1e6;
+        {
+            let src = zerosum_sched::SimProcSource::new(&sim);
+            mon.sample(t_s, &src);
+        }
+        let round = u64::from(r) + 1;
+        agent.begin_round(round, t_s);
+        if let Some(w) = mon.process(pid) {
+            for t in w.lwps.tracks() {
+                agent.send_detail(round, t.tid, t.cpu_fraction() * 100.0);
+            }
+        }
+        for _ in 0..4 {
+            std::thread::sleep(period / 4);
+            agent.tick();
+        }
+    }
+    let agg = zerosum_core::NodeAggregate::from_monitor(&node, &mon);
+    agent.finish(u64::from(rounds), agg);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !agent.done() {
+        if std::time::Instant::now() > deadline {
+            eprintln!("zerosum stream: aggregate never acknowledged");
+            return 1;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        agent.tick();
+    }
+    println!(
+        "stream: {node} delivered its aggregate after {rounds} round(s) \
+         ({} frame(s) sent, {} detail(s) shed)",
+        agent.stats.frames_tx, agent.stats.details_shed
+    );
+    0
 }
 
 /// `zerosum audit [--json] [--explain] [--root DIR] [--baseline FILE]

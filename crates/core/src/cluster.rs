@@ -130,6 +130,46 @@ pub struct NodeAggregate {
     pub rss_kib: u64,
 }
 
+impl NodeAggregate {
+    /// Computes one node's aggregate from its monitor. The wire
+    /// collector uses this node-side (the agent aggregates locally and
+    /// ships the result), so a streamed aggregate is bit-identical to
+    /// the one [`ClusterMonitor::aggregates`] would compute in-process.
+    pub fn from_monitor(hostname: &str, m: &Monitor) -> NodeAggregate {
+        let mut user = 0.0;
+        let mut idle = 0.0;
+        let mut n = 0usize;
+        for cpu in m.watched_cpuset().iter() {
+            if let Some((i, _s, u)) = m.hwt.overall(cpu) {
+                user += u;
+                idle += i;
+                n += 1;
+            }
+        }
+        let lwps = m.processes().iter().map(|w| w.lwps.len()).sum();
+        let total_nvcsw = m
+            .processes()
+            .iter()
+            .flat_map(|w| w.lwps.tracks())
+            .map(|t| t.total_nvcsw())
+            .sum();
+        let rss_kib = m
+            .processes()
+            .iter()
+            .filter_map(|w| m.mem.peak_rss_kib(w.info.pid))
+            .sum();
+        NodeAggregate {
+            hostname: hostname.to_string(),
+            ranks: m.processes().len(),
+            lwps,
+            mean_user_pct: if n > 0 { user / n as f64 } else { 0.0 },
+            mean_idle_pct: if n > 0 { idle / n as f64 } else { 0.0 },
+            total_nvcsw,
+            rss_kib,
+        }
+    }
+}
+
 /// The allocation-wide monitor: one [`Monitor`] per node.
 #[derive(Debug, Default)]
 pub struct ClusterMonitor {
@@ -328,39 +368,7 @@ impl ClusterMonitor {
     pub fn aggregates(&self) -> Vec<NodeAggregate> {
         self.nodes
             .iter()
-            .map(|(hostname, m)| {
-                let mut user = 0.0;
-                let mut idle = 0.0;
-                let mut n = 0usize;
-                for cpu in m.watched_cpuset().iter() {
-                    if let Some((i, _s, u)) = m.hwt.overall(cpu) {
-                        user += u;
-                        idle += i;
-                        n += 1;
-                    }
-                }
-                let lwps = m.processes().iter().map(|w| w.lwps.len()).sum();
-                let total_nvcsw = m
-                    .processes()
-                    .iter()
-                    .flat_map(|w| w.lwps.tracks())
-                    .map(|t| t.total_nvcsw())
-                    .sum();
-                let rss_kib = m
-                    .processes()
-                    .iter()
-                    .filter_map(|w| m.mem.peak_rss_kib(w.info.pid))
-                    .sum();
-                NodeAggregate {
-                    hostname: hostname.clone(),
-                    ranks: m.processes().len(),
-                    lwps,
-                    mean_user_pct: if n > 0 { user / n as f64 } else { 0.0 },
-                    mean_idle_pct: if n > 0 { idle / n as f64 } else { 0.0 },
-                    total_nvcsw,
-                    rss_kib,
-                }
-            })
+            .map(|(hostname, m)| NodeAggregate::from_monitor(hostname, m))
             .collect()
     }
 
@@ -370,6 +378,46 @@ impl ClusterMonitor {
         self.quorum_aggregates()
             .into_iter()
             .min_by(|a, b| a.mean_user_pct.partial_cmp(&b.mean_user_pct).unwrap())
+    }
+
+    /// Renders only the supervision markers: the `DEGRADED (k/n nodes)`
+    /// line when the quorum is short, plus one DEAD / SUSPECT / SKEWED
+    /// line per affected node. Empty when every supervised node is
+    /// healthy. The wire collector appends this to its own table so a
+    /// streamed summary degrades exactly like the in-process one.
+    pub fn render_markers(&self) -> String {
+        let mut out = String::new();
+        let (k, n) = self.quorum();
+        if k < n {
+            writeln!(
+                out,
+                "DEGRADED ({k}/{n} nodes): aggregates cover the quorum only"
+            )
+            .unwrap();
+        }
+        for (host, s) in &self.sup {
+            match s.state {
+                NodeState::Dead => writeln!(
+                    out,
+                    "DEAD: node {host} (missed {} round(s), deaths {}, rejoins {})",
+                    s.missed, s.deaths, s.rejoins
+                )
+                .unwrap(),
+                NodeState::Suspect => {
+                    writeln!(out, "SUSPECT: node {host} (missed {} round(s))", s.missed).unwrap()
+                }
+                NodeState::Alive => {}
+            }
+            if s.skewed {
+                writeln!(
+                    out,
+                    "SKEWED: node {host} (clock offset up to {:.3}s)",
+                    s.max_skew_s
+                )
+                .unwrap();
+            }
+        }
+        out
     }
 
     /// Renders the allocation summary table over the quorum, with an
@@ -413,36 +461,7 @@ impl ClusterMonitor {
             nvcsw
         )
         .unwrap();
-        let (k, n) = self.quorum();
-        if k < n {
-            writeln!(
-                out,
-                "DEGRADED ({k}/{n} nodes): aggregates cover the quorum only"
-            )
-            .unwrap();
-        }
-        for (host, s) in &self.sup {
-            match s.state {
-                NodeState::Dead => writeln!(
-                    out,
-                    "DEAD: node {host} (missed {} round(s), deaths {}, rejoins {})",
-                    s.missed, s.deaths, s.rejoins
-                )
-                .unwrap(),
-                NodeState::Suspect => {
-                    writeln!(out, "SUSPECT: node {host} (missed {} round(s))", s.missed).unwrap()
-                }
-                NodeState::Alive => {}
-            }
-            if s.skewed {
-                writeln!(
-                    out,
-                    "SKEWED: node {host} (clock offset up to {:.3}s)",
-                    s.max_skew_s
-                )
-                .unwrap();
-            }
-        }
+        out.push_str(&self.render_markers());
         // Contention hot spots: quorum nodes with any over-subscribed
         // process.
         for (hostname, m) in &self.nodes {

@@ -28,6 +28,7 @@ pub mod parallel;
 pub mod platforms;
 pub mod sweep;
 pub mod tables;
+pub mod transport_chaos;
 
 use std::path::PathBuf;
 

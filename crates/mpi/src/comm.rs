@@ -124,11 +124,17 @@ impl CommMatrix {
         self.size
     }
 
-    /// Records one message.
+    /// Records one message. Out-of-range ranks are dropped, matching
+    /// the read accessors: the matrix is bookkeeping, and bookkeeping
+    /// must never panic under the sampling supervisor.
     pub fn record(&mut self, src: usize, dst: usize, bytes: u64) {
         let idx = src * self.size + dst;
-        self.bytes[idx] += bytes;
-        self.messages[idx] += 1;
+        if let Some(b) = self.bytes.get_mut(idx) {
+            *b += bytes;
+        }
+        if let Some(m) = self.messages.get_mut(idx) {
+            *m += 1;
+        }
     }
 
     /// Bytes sent from `src` to `dst`. Out-of-range ranks read as 0 —

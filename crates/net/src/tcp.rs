@@ -1,0 +1,346 @@
+//! The real-socket [`Link`] backend: length-prefixed frames over a
+//! non-blocking TCP stream.
+//!
+//! `TcpLink` mirrors the in-process backend's contract exactly: a
+//! bounded send window (frames queued but not yet written to the
+//! socket), `WindowFull` backpressure, and `Disconnected` on any tear
+//! — so the same agent, collector, and [`crate::fault::FaultyLink`]
+//! chaos wrapper run unchanged over loopback TCP. The implementation
+//! is poll-driven and clock-free: *no* `Instant` reads and no sleeping
+//! here (pacing belongs to the caller's loop), which keeps this
+//! backend out of the nondeterminism audit's finding set even though
+//! the call graph resolves `Link` methods to every backend.
+//!
+//! IO errors are stringified at this boundary ([`TransportError::Io`])
+//! — raw `io::Error` sources never cross the net API.
+
+use crate::transport::{Link, SendStatus, TransportError};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read as _, Write as _};
+use std::net::{TcpListener, TcpStream};
+
+/// One TCP endpoint speaking the frame protocol.
+#[derive(Debug)]
+pub struct TcpLink {
+    /// Redial target; `None` on accepted (collector-side) links, which
+    /// cannot reconnect — a reconnecting agent shows up as a fresh
+    /// accepted connection instead.
+    addr: Option<String>,
+    stream: Option<TcpStream>,
+    /// Frames accepted into the send window but not fully written.
+    pending: VecDeque<Vec<u8>>,
+    /// Bytes of the front pending frame already written.
+    head_off: usize,
+    /// Send-window bound, frames.
+    window: usize,
+}
+
+/// Default send-window bound, frames.
+pub const DEFAULT_WINDOW: usize = 64;
+
+fn io_err(e: &std::io::Error) -> TransportError {
+    TransportError::Io(e.to_string())
+}
+
+impl TcpLink {
+    /// Dials `addr` (e.g. `127.0.0.1:7070`) with a bounded send window.
+    pub fn dial(addr: &str, window: usize) -> Result<TcpLink, TransportError> {
+        let mut link = TcpLink {
+            addr: Some(addr.to_string()),
+            stream: None,
+            pending: VecDeque::new(),
+            head_off: 0,
+            window: window.max(1),
+        };
+        link.connect()?;
+        Ok(link)
+    }
+
+    /// Wraps an accepted server-side stream.
+    pub fn accepted(stream: TcpStream, window: usize) -> Result<TcpLink, TransportError> {
+        stream.set_nonblocking(true).map_err(|e| io_err(&e))?;
+        stream.set_nodelay(true).map_err(|e| io_err(&e))?;
+        Ok(TcpLink {
+            addr: None,
+            stream: Some(stream),
+            pending: VecDeque::new(),
+            head_off: 0,
+            window: window.max(1),
+        })
+    }
+
+    /// Writes as much pending data as the socket accepts right now.
+    /// Returns `false` on a tear (the stream is dropped).
+    fn flush(&mut self) -> bool {
+        let Some(stream) = self.stream.as_mut() else {
+            return false;
+        };
+        while let Some(front) = self.pending.front() {
+            let chunk = front.get(self.head_off..).unwrap_or(&[]);
+            if chunk.is_empty() {
+                self.pending.pop_front();
+                self.head_off = 0;
+                continue;
+            }
+            match stream.write(chunk) {
+                Ok(0) => {
+                    self.stream = None;
+                    return false;
+                }
+                Ok(n) => {
+                    self.head_off += n;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.stream = None;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Link for TcpLink {
+    fn send_bytes(&mut self, frame: &[u8]) -> Result<SendStatus, TransportError> {
+        if self.stream.is_none() {
+            return Err(TransportError::Disconnected);
+        }
+        if self.pending.len() >= self.window {
+            // Try to drain before refusing — the window measures real
+            // socket backpressure, not tick granularity.
+            if !self.flush() {
+                return Err(TransportError::Disconnected);
+            }
+            if self.pending.len() >= self.window {
+                return Ok(SendStatus::WindowFull);
+            }
+        }
+        self.pending.push_back(frame.to_vec());
+        if !self.flush() {
+            return Err(TransportError::Disconnected);
+        }
+        Ok(SendStatus::Sent)
+    }
+
+    fn recv_bytes(&mut self, buf: &mut Vec<u8>) -> Result<usize, TransportError> {
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(TransportError::Disconnected);
+        };
+        let mut chunk = [0u8; 4096];
+        let mut total = 0usize;
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Orderly EOF: peer closed.
+                    self.stream = None;
+                    if total > 0 {
+                        return Ok(total);
+                    }
+                    return Err(TransportError::Disconnected);
+                }
+                Ok(n) => {
+                    buf.extend_from_slice(chunk.get(..n).unwrap_or(&[]));
+                    total += n;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(total),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.stream = None;
+                    if total > 0 {
+                        return Ok(total);
+                    }
+                    return Err(io_err(&e));
+                }
+            }
+        }
+    }
+
+    fn tick(&mut self) {
+        self.flush();
+    }
+
+    fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    fn connect(&mut self) -> Result<(), TransportError> {
+        let Some(addr) = self.addr.clone() else {
+            // Accepted links cannot redial; the agent side owns
+            // reconnection.
+            return Err(TransportError::Disconnected);
+        };
+        self.pending.clear();
+        self.head_off = 0;
+        let stream = TcpStream::connect(&addr).map_err(|e| io_err(&e))?;
+        stream.set_nonblocking(true).map_err(|e| io_err(&e))?;
+        stream.set_nodelay(true).map_err(|e| io_err(&e))?;
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    fn shutdown(&mut self) {
+        self.pending.clear();
+        self.head_off = 0;
+        self.stream = None;
+    }
+}
+
+/// A non-blocking accept loop for the collector daemon.
+#[derive(Debug)]
+pub struct Acceptor {
+    listener: TcpListener,
+}
+
+impl Acceptor {
+    /// Binds `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: &str) -> Result<Acceptor, TransportError> {
+        let listener = TcpListener::bind(addr).map_err(|e| io_err(&e))?;
+        listener.set_nonblocking(true).map_err(|e| io_err(&e))?;
+        Ok(Acceptor { listener })
+    }
+
+    /// The bound address (`ip:port`), for port-file handoff.
+    pub fn local_addr(&self) -> Result<String, TransportError> {
+        self.listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .map_err(|e| io_err(&e))
+    }
+
+    /// Accepts one pending connection, if any.
+    pub fn poll_accept(&self, window: usize) -> Result<Option<TcpLink>, TransportError> {
+        match self.listener.accept() {
+            Ok((stream, _peer)) => TcpLink::accepted(stream, window).map(Some),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(io_err(&e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::NodeAgent;
+    use crate::collector::Collector;
+    use zerosum_core::{NodeAggregate, NodeState};
+
+    /// Binds a loopback listener, or `None` when the sandbox forbids
+    /// sockets (the CI smoke stage reports that case visibly; here we
+    /// can only skip).
+    fn try_acceptor() -> Option<Acceptor> {
+        Acceptor::bind("127.0.0.1:0").ok()
+    }
+
+    #[test]
+    fn loopback_agent_to_collector_roundtrip() {
+        let Some(acceptor) = try_acceptor() else {
+            return; // sandbox forbids sockets; ci.sh surfaces SKIPPED
+        };
+        let addr = acceptor.local_addr().unwrap();
+        let dial = TcpLink::dial(&addr, 8).unwrap();
+        let mut agent = NodeAgent::new(dial, "tcp-node");
+        let mut collector = Collector::new();
+        collector.expect_node("tcp-node");
+        // Accept the agent's connection (retry: non-blocking accept may
+        // race the connect).
+        let mut accepted = None;
+        for _ in 0..1000 {
+            if let Some(l) = acceptor.poll_accept(8).unwrap() {
+                accepted = Some(l);
+                break;
+            }
+        }
+        collector.add_link(Box::new(accepted.expect("loopback accept")));
+        let agg = NodeAggregate {
+            hostname: "tcp-node".into(),
+            ranks: 1,
+            lwps: 4,
+            mean_user_pct: 88.5,
+            mean_idle_pct: 10.0,
+            total_nvcsw: 7,
+            rss_kib: 2048,
+        };
+        for r in 1..=4u64 {
+            agent.begin_round(r, r as f64 * 0.1);
+            agent.send_detail(r, 42, 50.0);
+            // Loopback delivery is asynchronous: pump until this
+            // round's heartbeat lands, then close the round (a
+            // heartbeat latches until `end_round` consumes it).
+            for _ in 0..10_000 {
+                agent.tick();
+                collector.pump_frames();
+                if collector.stats.heartbeats_rx >= r {
+                    break;
+                }
+            }
+            collector.run_round();
+        }
+        agent.finish(4, agg.clone());
+        for _ in 0..2000 {
+            agent.tick();
+            collector.pump_frames();
+            if agent.done() && !collector.wire_aggregates().is_empty() {
+                break;
+            }
+        }
+        assert!(agent.done(), "aggregate never acked over loopback");
+        assert_eq!(collector.wire_aggregates(), vec![agg]);
+        assert_eq!(collector.cluster().node_state("tcp-node"), NodeState::Alive);
+        assert_eq!(collector.stats.decode_errors, 0);
+    }
+
+    #[test]
+    fn window_refuses_frames_when_peer_stalls() {
+        let Some(acceptor) = try_acceptor() else {
+            return;
+        };
+        let addr = acceptor.local_addr().unwrap();
+        let mut link = TcpLink::dial(&addr, 2).unwrap();
+        // Nobody ever accepts or reads; the OS buffer soaks up a bit,
+        // then the pending queue hits the window.
+        let big = vec![0xABu8; 256 * 1024];
+        let mut saw_full = false;
+        for _ in 0..64 {
+            match link.send_bytes(&big) {
+                Ok(SendStatus::WindowFull) => {
+                    saw_full = true;
+                    break;
+                }
+                Ok(SendStatus::Sent) => {}
+                Err(_) => break, // a tear is also a valid outcome here
+            }
+        }
+        assert!(saw_full || !link.is_connected());
+    }
+
+    #[test]
+    fn peer_close_surfaces_as_disconnected_then_redial_works() {
+        let Some(acceptor) = try_acceptor() else {
+            return;
+        };
+        let addr = acceptor.local_addr().unwrap();
+        let mut link = TcpLink::dial(&addr, 8).unwrap();
+        let mut accepted = None;
+        for _ in 0..1000 {
+            if let Some(l) = acceptor.poll_accept(8).unwrap() {
+                accepted = Some(l);
+                break;
+            }
+        }
+        drop(accepted); // collector side goes away
+        let mut buf = Vec::new();
+        let mut torn = false;
+        for _ in 0..10_000 {
+            link.tick();
+            if link.send_bytes(b"ping").is_err() || link.recv_bytes(&mut buf).is_err() {
+                torn = true;
+                break;
+            }
+        }
+        assert!(torn, "peer close never surfaced");
+        assert!(link.connect().is_ok(), "redial against live listener");
+        assert!(link.is_connected());
+    }
+}
